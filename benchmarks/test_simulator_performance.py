@@ -1,0 +1,56 @@
+"""Engineering benchmarks: compiler and simulator performance.
+
+Not a paper artifact — these time the toolchain itself (pytest-benchmark
+with real repeated rounds) so performance regressions in the hot paths
+are visible: program compilation, MP5 simulation throughput, and the
+single-pipeline reference.
+"""
+
+from repro.banzai import run_reference
+from repro.compiler import compile_program
+from repro.mp5 import MP5Config, run_mp5
+from repro.workloads import (
+    clone_packets,
+    line_rate_trace,
+    reference_trace,
+    make_sensitivity_program,
+    sensitivity_trace,
+)
+
+
+def test_compile_flowlet(benchmark):
+    compiled = benchmark(compile_program, "flowlet")
+    assert compiled.stage_count > 1
+
+
+def test_compile_synthetic_wide(benchmark):
+    compiled = benchmark(lambda: make_sensitivity_program(10, 1024))
+    assert len(compiled.arrays) == 10
+
+
+def _mp5_run():
+    program = _mp5_run.program
+    trace = clone_packets(_mp5_run.trace)
+    stats, _ = run_mp5(program, trace, MP5Config(num_pipelines=4))
+    return stats
+
+
+_mp5_run.program = make_sensitivity_program(4, 512)
+_mp5_run.trace = sensitivity_trace(2000, 4, 4, 512, seed=0)
+
+
+def test_mp5_simulation_throughput(benchmark):
+    stats = benchmark.pedantic(_mp5_run, rounds=3, iterations=1)
+    assert stats.egressed == 2000
+
+
+def test_reference_pipeline_throughput(benchmark):
+    program = compile_program("heavy_hitter")
+    trace = line_rate_trace(
+        2000, 4, lambda r, i: {"src_ip": int(r.integers(0, 512)), "hot": 0}, seed=0
+    )
+    ref = reference_trace(trace, 4)
+    result = benchmark.pedantic(
+        lambda: run_reference(program, ref), rounds=3, iterations=1
+    )
+    assert result.registers is not None

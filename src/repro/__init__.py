@@ -1,0 +1,94 @@
+"""MP5: Stateful Multi-Pipelined Programmable Switches — a reproduction.
+
+This library reimplements the system of *Stateful Multi-Pipelined
+Programmable Switches* (Vishal Shrivastav, SIGCOMM 2022): a switch
+architecture, compiler, and runtime that make a k-pipelined RMT/Banzai
+switch functionally equivalent to a logical single-pipelined switch for
+all stateful packet-processing programs while processing packets close
+to the ideal rate.
+
+Package map
+-----------
+
+* :mod:`repro.domino` — the Domino language frontend (lexer, parser,
+  semantics) and a library of bundled programs.
+* :mod:`repro.compiler` — preprocessing (three-address code), pipelining
+  (PVSM), MP5's PVSM-to-PVSM transformer (preemptive address
+  resolution), and Banzai code generation.
+* :mod:`repro.banzai` — the single-pipeline RMT substrate and the
+  functional-equivalence reference switch.
+* :mod:`repro.mp5` — the MP5 switch: crossbar steering, phantom packets,
+  per-stage FIFOs, dynamic state sharding, and the cycle-level engine.
+* :mod:`repro.baselines` — the designs MP5 is evaluated against.
+* :mod:`repro.workloads` — traffic and access-pattern generation.
+* :mod:`repro.apps` — the real applications of the paper's evaluation.
+* :mod:`repro.asic` — analytic area/clock/SRAM models (Table 1).
+* :mod:`repro.equivalence` — the functional-equivalence checker.
+* :mod:`repro.harness` — drivers that regenerate every table and figure.
+
+Quickstart
+----------
+
+    from repro.compiler import compile_program
+    from repro.mp5 import MP5Config, run_mp5
+    from repro.equivalence import check_equivalence
+    from repro.workloads import line_rate_trace
+
+    program = compile_program("heavy_hitter")
+    trace = line_rate_trace(
+        5000, 4, lambda rng, i: {"src_ip": int(rng.integers(0, 512)), "hot": 0}
+    )
+    report = check_equivalence(program, trace, MP5Config(num_pipelines=4))
+    assert report.equivalent and report.c1_fraction == 0.0
+"""
+
+from . import analysis, apps, asic, banzai, baselines, compiler, domino, equivalence
+from . import harness, mp5, workloads
+from .compiler import BanzaiTarget, CompiledProgram, compile_program
+from .equivalence import check_equivalence
+from .errors import (
+    CompilerError,
+    ConfigError,
+    DominoError,
+    DominoSemanticError,
+    DominoSyntaxError,
+    EquivalenceError,
+    ReproError,
+    ResourceError,
+    SimulationError,
+    TransformError,
+)
+from .mp5 import MP5Config, MP5Switch, run_mp5
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BanzaiTarget",
+    "CompiledProgram",
+    "CompilerError",
+    "ConfigError",
+    "DominoError",
+    "DominoSemanticError",
+    "DominoSyntaxError",
+    "EquivalenceError",
+    "MP5Config",
+    "MP5Switch",
+    "ReproError",
+    "ResourceError",
+    "SimulationError",
+    "TransformError",
+    "analysis",
+    "apps",
+    "asic",
+    "banzai",
+    "baselines",
+    "check_equivalence",
+    "compile_program",
+    "compiler",
+    "domino",
+    "equivalence",
+    "harness",
+    "mp5",
+    "run_mp5",
+    "workloads",
+]

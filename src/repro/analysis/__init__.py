@@ -1,0 +1,23 @@
+"""Analytical cross-validation: throughput bounds and queueing models."""
+
+from .queueing import (
+    ArrayBound,
+    array_throughput_bound,
+    fundamental_limit,
+    md1_mean_in_system,
+    md1_mean_queue,
+    md1_mean_wait,
+    program_throughput_bound,
+    scalar_state_limit,
+)
+
+__all__ = [
+    "ArrayBound",
+    "array_throughput_bound",
+    "fundamental_limit",
+    "md1_mean_in_system",
+    "md1_mean_queue",
+    "md1_mean_wait",
+    "program_throughput_bound",
+    "scalar_state_limit",
+]

@@ -1,0 +1,143 @@
+"""Analytical models cross-validating the simulator.
+
+Two families:
+
+* **Fundamental throughput bounds** (§3.5.2): the maximum packet rate a
+  program admits regardless of MP5's machinery. A register array served
+  by ``m`` pipelines (m = min(size, k) when shardable, 1 when pinned)
+  processes at most ``m`` accessing packets per tick; with packets of
+  ``mean_bytes`` arriving at utilization ``u`` of line rate, the
+  normalized throughput cannot exceed ``m * mean_bytes / (64 k u)``
+  (capped at 1). The program bound is the minimum over its arrays —
+  e.g. the network sequencer on 16 pipelines with ~740 B packets caps at
+  740/1024 ≈ 0.72, exactly what the simulator measures.
+
+* **M/D/1 queueing approximations**: a stateful stage serves one packet
+  per tick (deterministic service); when arrivals into one pipeline's
+  stage are random with intensity ρ < 1, the Pollaczek-Khinchine formula
+  gives the mean number in system. Tests check the simulator's measured
+  queues against these within modeling slack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..compiler.codegen import CompiledProgram
+from ..errors import ConfigError
+from ..workloads.traffic import MIN_PACKET_BYTES
+
+
+def md1_mean_wait(rho: float) -> float:
+    """Mean wait in queue (in service times) of an M/D/1 queue."""
+    if not 0.0 <= rho < 1.0:
+        raise ConfigError("rho must be in [0, 1) for a stable queue")
+    return rho / (2.0 * (1.0 - rho))
+
+
+def md1_mean_queue(rho: float) -> float:
+    """Mean number waiting in queue (not in service) of an M/D/1 queue.
+
+    By Little's law with deterministic unit service: Lq = rho^2 / 2(1-rho).
+    """
+    if not 0.0 <= rho < 1.0:
+        raise ConfigError("rho must be in [0, 1) for a stable queue")
+    return rho * rho / (2.0 * (1.0 - rho))
+
+
+def md1_mean_in_system(rho: float) -> float:
+    """Mean number in system (queue + service) of an M/D/1 queue."""
+    return md1_mean_queue(rho) + rho
+
+
+@dataclass(frozen=True)
+class ArrayBound:
+    """Throughput bound contributed by one register array."""
+
+    array: str
+    serving_pipelines: int
+    bound: float  # normalized throughput cap in (0, 1]
+
+
+def array_throughput_bound(
+    size: int,
+    shardable: bool,
+    num_pipelines: int,
+    mean_packet_bytes: float = MIN_PACKET_BYTES,
+    utilization: float = 1.0,
+    access_probability: float = 1.0,
+) -> float:
+    """Normalized throughput cap imposed by one array (§3.5.2).
+
+    ``access_probability`` scales the array's load when only a fraction
+    of packets access it.
+    """
+    if num_pipelines < 1 or size < 1:
+        raise ConfigError("num_pipelines and size must be >= 1")
+    if not 0 < utilization <= 1:
+        raise ConfigError("utilization must be in (0, 1]")
+    if not 0 <= access_probability <= 1:
+        raise ConfigError("access_probability must be in [0, 1]")
+    serving = min(size, num_pipelines) if shardable else 1
+    offered_per_tick = (
+        num_pipelines
+        * (MIN_PACKET_BYTES / mean_packet_bytes)
+        * utilization
+        * access_probability
+    )
+    if offered_per_tick <= 0:
+        return 1.0
+    return min(1.0, serving / offered_per_tick)
+
+
+def program_throughput_bound(
+    program: CompiledProgram,
+    num_pipelines: int,
+    mean_packet_bytes: float = MIN_PACKET_BYTES,
+    utilization: float = 1.0,
+    access_probabilities: Optional[Dict[str, float]] = None,
+) -> List[ArrayBound]:
+    """Per-array §3.5.2 bounds for a compiled program.
+
+    The program's overall fundamental limit is the minimum bound (1.0
+    when the program is stateless).
+    """
+    access_probabilities = access_probabilities or {}
+    bounds = []
+    for plan in program.arrays_in_stage_order():
+        bound = array_throughput_bound(
+            plan.size,
+            plan.shardable,
+            num_pipelines,
+            mean_packet_bytes=mean_packet_bytes,
+            utilization=utilization,
+            access_probability=access_probabilities.get(plan.name, 1.0),
+        )
+        serving = min(plan.size, num_pipelines) if plan.shardable else 1
+        bounds.append(
+            ArrayBound(array=plan.name, serving_pipelines=serving, bound=bound)
+        )
+    return bounds
+
+
+def fundamental_limit(
+    program: CompiledProgram,
+    num_pipelines: int,
+    mean_packet_bytes: float = MIN_PACKET_BYTES,
+    utilization: float = 1.0,
+) -> float:
+    """min over arrays of the §3.5.2 bound; 1.0 for stateless programs."""
+    bounds = program_throughput_bound(
+        program, num_pipelines, mean_packet_bytes, utilization
+    )
+    if not bounds:
+        return 1.0
+    return min(b.bound for b in bounds)
+
+
+def scalar_state_limit(
+    num_pipelines: int, mean_packet_bytes: float = MIN_PACKET_BYTES
+) -> float:
+    """The global-register special case: one pipeline serves everything."""
+    return min(1.0, mean_packet_bytes / (MIN_PACKET_BYTES * num_pipelines))

@@ -1,0 +1,27 @@
+"""Real stateful applications (§4.4): programs + workload bindings."""
+
+from .base import Application
+from .catalog import (
+    ALL_APPS,
+    CONGA,
+    FIGURE8_APPS,
+    FIREWALL,
+    FLOWLET,
+    HEAVY_HITTER,
+    SEQUENCER,
+    WFQ,
+    get_application,
+)
+
+__all__ = [
+    "ALL_APPS",
+    "Application",
+    "CONGA",
+    "FIGURE8_APPS",
+    "FIREWALL",
+    "FLOWLET",
+    "HEAVY_HITTER",
+    "SEQUENCER",
+    "WFQ",
+    "get_application",
+]

@@ -1,0 +1,51 @@
+"""Shared harness glue for the real applications evaluated in §4.4."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..compiler import BanzaiTarget, CompiledProgram, compile_program
+from ..mp5.packet import DataPacket
+from ..workloads.distributions import BimodalPacketSizes
+from ..workloads.traffic import FlowWorkload
+
+
+@dataclass
+class Application:
+    """One evaluated application: a Domino program plus its workload.
+
+    ``extra_fields(rng, pkt)`` layers the application's header fields on
+    top of the flow-structured base workload (web-search flow sizes,
+    bimodal packet sizes), mirroring the §4.4 methodology.
+    """
+
+    name: str
+    program_name: str
+    extra_fields: Callable[[np.random.Generator, DataPacket], Dict[str, int]]
+    description: str = ""
+
+    def compile(self, target: Optional[BanzaiTarget] = None) -> CompiledProgram:
+        return compile_program(self.program_name, target=target)
+
+    def workload(
+        self,
+        num_packets: int,
+        num_pipelines: int,
+        seed: int = 0,
+        num_ports: int = 64,
+        sizes: Optional[BimodalPacketSizes] = None,
+        utilization: float = 1.0,
+    ) -> List[DataPacket]:
+        generator = FlowWorkload(
+            num_pipelines=num_pipelines,
+            num_ports=num_ports,
+            active_flows=num_ports,
+            sizes=sizes or BimodalPacketSizes(),
+            seed=seed,
+            utilization=utilization,
+            extra_fields=self.extra_fields,
+        )
+        return generator.generate(num_packets)

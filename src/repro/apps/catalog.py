@@ -1,0 +1,135 @@
+"""The application catalog: the four §4.4 programs plus extras.
+
+Each entry binds a bundled Domino program to the header fields its
+packets need, generated on top of the flow-structured web-search
+workload. The four headline applications are exactly those of Figure 8:
+flowlet switching [30], CONGA [1], WFQ priority computation [32], and
+the network sequencer [22].
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..mp5.packet import DataPacket
+from .base import Application
+
+
+def _flowlet_fields(rng: np.random.Generator, pkt: DataPacket) -> Dict[str, int]:
+    return {
+        # Coarse arrival clock: flowlets are delimited by inter-packet
+        # gaps measured in these units.
+        "arrival": int(pkt.arrival),
+        "new_hop": 0,
+        "next_hop": 0,
+        "id": 0,
+    }
+
+
+def _conga_fields(rng: np.random.Generator, pkt: DataPacket) -> Dict[str, int]:
+    path = int(rng.integers(0, 8))
+    # Path utilization feedback: correlated with path id plus noise, as a
+    # stand-in for the fabric's congestion metric.
+    util = int((path * 7 + rng.integers(0, 40)) % 100)
+    return {"path_id": path, "util": util}
+
+
+def _wfq_fields(rng: np.random.Generator, pkt: DataPacket) -> Dict[str, int]:
+    return {"length": pkt.size_bytes, "start": 0, "id": 0}
+
+
+def _sequencer_fields(rng: np.random.Generator, pkt: DataPacket) -> Dict[str, int]:
+    return {"seq": 0}
+
+
+def _heavy_hitter_fields(rng: np.random.Generator, pkt: DataPacket) -> Dict[str, int]:
+    return {"src_ip": (pkt.flow_id or 0) % 4096, "hot": 0}
+
+
+class _FirewallFields:
+    """SYN on the first packet of each flow; stateless for the rest.
+
+    Tracks seen flows per workload run (a new trace starts at packet id
+    zero, which resets the tracker).
+    """
+
+    def __init__(self):
+        self._seen = set()
+
+    def __call__(self, rng: np.random.Generator, pkt: DataPacket) -> Dict[str, int]:
+        if pkt.pkt_id == 0:
+            self._seen = set()
+        flow = pkt.flow_id or 0
+        first = flow not in self._seen
+        self._seen.add(flow)
+        return {
+            "src_ip": flow % 65536,
+            "dst_ip": (flow * 31 + 7) % 65536,
+            "syn": 1 if first else 0,
+            "allowed": 0,
+        }
+
+
+_firewall_fields = _FirewallFields()
+
+
+FLOWLET = Application(
+    name="flowlet",
+    program_name="flowlet",
+    extra_fields=_flowlet_fields,
+    description="Flowlet switching [30]: per-flow next-hop pinned per burst",
+)
+
+CONGA = Application(
+    name="conga",
+    program_name="conga",
+    extra_fields=_conga_fields,
+    description="CONGA [1] leaf: best-path utilization tracking",
+)
+
+WFQ = Application(
+    name="wfq",
+    program_name="wfq",
+    extra_fields=_wfq_fields,
+    description="WFQ/STFQ [32]: per-flow virtual start-time computation",
+)
+
+SEQUENCER = Application(
+    name="sequencer",
+    program_name="sequencer",
+    extra_fields=_sequencer_fields,
+    description="Network sequencer [22]: global ordering stamp",
+)
+
+HEAVY_HITTER = Application(
+    name="heavy_hitter",
+    program_name="heavy_hitter",
+    extra_fields=_heavy_hitter_fields,
+    description="Per-source packet counting sketch (DDoS/heavy hitters)",
+)
+
+FIREWALL = Application(
+    name="stateful_firewall",
+    program_name="stateful_firewall",
+    extra_fields=_firewall_fields,
+    description="Stateful firewall: SYN packets write, the rest read",
+)
+
+# The four applications of Figure 8, in figure order.
+FIGURE8_APPS: List[Application] = [FLOWLET, CONGA, WFQ, SEQUENCER]
+
+ALL_APPS: Dict[str, Application] = {
+    app.name: app
+    for app in [FLOWLET, CONGA, WFQ, SEQUENCER, HEAVY_HITTER, FIREWALL]
+}
+
+
+def get_application(name: str) -> Application:
+    try:
+        return ALL_APPS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown application {name!r}; available: {sorted(ALL_APPS)}"
+        ) from None

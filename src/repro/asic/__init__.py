@@ -1,0 +1,43 @@
+"""Analytic ASIC cost models for MP5's hardware additions (§4.2, Table 1)."""
+
+from .area import (
+    AreaBreakdown,
+    COMMERCIAL_ASIC_AREA_MM2,
+    PAPER_TABLE1,
+    area_table,
+    chip_area,
+    chip_area_mm2,
+    model_error_vs_paper,
+)
+from .sram import (
+    BITS_PER_INDEX,
+    SramReport,
+    sram_overhead,
+    sram_overhead_paper_example,
+)
+from .timing import (
+    TARGET_FREQUENCY_GHZ,
+    TimingReport,
+    achievable_frequency_ghz,
+    max_pipelines_at_1ghz,
+    timing_report,
+)
+
+__all__ = [
+    "AreaBreakdown",
+    "BITS_PER_INDEX",
+    "COMMERCIAL_ASIC_AREA_MM2",
+    "PAPER_TABLE1",
+    "SramReport",
+    "TARGET_FREQUENCY_GHZ",
+    "TimingReport",
+    "achievable_frequency_ghz",
+    "area_table",
+    "chip_area",
+    "chip_area_mm2",
+    "max_pipelines_at_1ghz",
+    "model_error_vs_paper",
+    "sram_overhead",
+    "sram_overhead_paper_example",
+    "timing_report",
+]

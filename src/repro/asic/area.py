@@ -1,0 +1,117 @@
+"""Analytic chip-area model for MP5's added hardware (Table 1, §4.2).
+
+The paper synthesizes the MP5-specific components — inter-stage
+crossbars, per-stage FIFOs, packet steering and dynamic sharding logic —
+with Synopsys DC on the 15 nm NanGate library and reports:
+
+* area grows **linearly with the number of stages** (one crossbar + FIFO
+  group per stage boundary) and **quadratically with the number of
+  pipelines** (a k x k crossbar has k^2 crosspoints);
+* the area is **dominated by the crossbars** (consistent with dRMT [12]).
+
+We model per-stage area as ``a * k^2 + b * k`` where the k^2 term is the
+two crossbars (512-bit data channel + 48-bit phantom channel) and the
+linear term is the k FIFOs plus steering/sharding logic, then calibrate
+(a, b) against the paper's table:
+
+    a = 0.0125  mm^2 per crosspoint-group (k^2 term)
+    b = 0.00125 mm^2 per pipeline (FIFO + logic term)
+
+which reproduces every Table 1 entry within ~4% (the published table is
+itself only piecewise-consistent at that level: e.g. the k=2 column
+scales 3.86-4x between k=2 and k=4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import ConfigError
+
+# Channel widths (§4.2): data packet header 512 bits, phantom packet 48.
+DATA_CHANNEL_BITS = 512
+PHANTOM_CHANNEL_BITS = 48
+FIFO_ENTRIES = 8  # per ring buffer, "sufficient to avoid tail drops"
+
+# Calibrated 15 nm coefficients (mm^2).
+CROSSPOINT_COEFF = 0.0125  # k^2 term: data + phantom crossbars
+PER_PIPELINE_COEFF = 0.00125  # k term: FIFOs + steering + sharding logic
+
+# Published Table 1, used by tests and the table generator for reference.
+PAPER_TABLE1: Dict[Tuple[int, int], float] = {
+    (2, 4): 0.21, (2, 8): 0.42, (2, 12): 0.63, (2, 16): 0.81,
+    (4, 4): 0.84, (4, 8): 1.68, (4, 12): 2.52, (4, 16): 3.36,
+    (8, 4): 3.2, (8, 8): 6.4, (8, 12): 9.6, (8, 16): 12.8,
+}
+
+COMMERCIAL_ASIC_AREA_MM2 = (300.0, 700.0)  # §4.2 reference range
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Per-component area (mm^2) for one (k, s) configuration."""
+
+    pipelines: int
+    stages: int
+    crossbar_mm2: float
+    fifo_mm2: float
+    logic_mm2: float
+
+    @property
+    def total_mm2(self) -> float:
+        return self.crossbar_mm2 + self.fifo_mm2 + self.logic_mm2
+
+    def overhead_fraction(self, asic_mm2: float = 500.0) -> float:
+        """MP5's share of a commercial switch ASIC of ``asic_mm2``."""
+        return self.total_mm2 / asic_mm2
+
+
+def _validate(pipelines: int, stages: int) -> None:
+    if pipelines < 1:
+        raise ConfigError("pipelines must be >= 1")
+    if stages < 1:
+        raise ConfigError("stages must be >= 1")
+
+
+def chip_area(pipelines: int, stages: int) -> AreaBreakdown:
+    """Area of MP5-specific hardware for ``pipelines`` x ``stages``."""
+    _validate(pipelines, stages)
+    k, s = pipelines, stages
+    crosspoint_total = CROSSPOINT_COEFF * k * k * s
+    # Split the k^2 term between the two crossbars by channel width.
+    data_share = DATA_CHANNEL_BITS / (DATA_CHANNEL_BITS + PHANTOM_CHANNEL_BITS)
+    linear_total = PER_PIPELINE_COEFF * k * s
+    # FIFO storage dominates the linear term; give steering/sharding
+    # logic a fixed 20% share of it.
+    return AreaBreakdown(
+        pipelines=k,
+        stages=s,
+        crossbar_mm2=crosspoint_total,
+        fifo_mm2=linear_total * 0.8,
+        logic_mm2=linear_total * 0.2 + crosspoint_total * (1 - data_share) * 0.0,
+    )
+
+
+def chip_area_mm2(pipelines: int, stages: int) -> float:
+    return chip_area(pipelines, stages).total_mm2
+
+
+def area_table(
+    pipeline_counts: List[int] = (2, 4, 8),
+    stage_counts: List[int] = (4, 8, 12, 16),
+) -> Dict[Tuple[int, int], float]:
+    """Regenerate Table 1's area rows from the model."""
+    return {
+        (k, s): round(chip_area_mm2(k, s), 3)
+        for k in pipeline_counts
+        for s in stage_counts
+    }
+
+
+def model_error_vs_paper() -> Dict[Tuple[int, int], float]:
+    """Relative error of the model against every published Table 1 cell."""
+    return {
+        key: abs(chip_area_mm2(*key) - value) / value
+        for key, value in PAPER_TABLE1.items()
+    }

@@ -1,0 +1,56 @@
+"""SRAM overhead model for the sharding metadata (§4.2).
+
+Per register index MP5 stores 30 bits:
+
+* 6 bits  — index-to-pipeline map entry (supports up to 64 pipelines),
+* 16 bits — packet access counter (reset every ~100 cycles),
+* 8 bits  — in-flight packet counter.
+
+With the paper's sizing example — 10 stateful stages x 1000 register
+entries — this is ~36.6 KB per pipeline, the "about 35 KB" of §4.2,
+nominal next to the 50-100 MB of SRAM on modern programmable switches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ConfigError
+
+MAP_BITS = 6
+ACCESS_COUNTER_BITS = 16
+INFLIGHT_COUNTER_BITS = 8
+BITS_PER_INDEX = MAP_BITS + ACCESS_COUNTER_BITS + INFLIGHT_COUNTER_BITS
+
+SWITCH_SRAM_BYTES = (50 * 1024 * 1024, 100 * 1024 * 1024)  # §4.2 reference
+
+
+@dataclass(frozen=True)
+class SramReport:
+    total_indexes: int
+
+    @property
+    def bits(self) -> int:
+        return BITS_PER_INDEX * self.total_indexes
+
+    @property
+    def kilobytes(self) -> float:
+        return self.bits / 8 / 1024
+
+    def fraction_of_switch_sram(self, switch_bytes: int = 64 * 1024 * 1024) -> float:
+        return (self.bits / 8) / switch_bytes
+
+
+def sram_overhead(register_sizes: Sequence[int]) -> SramReport:
+    """Overhead for a program's register arrays (one entry per index)."""
+    if any(size < 1 for size in register_sizes):
+        raise ConfigError("register sizes must be positive")
+    return SramReport(total_indexes=sum(register_sizes))
+
+
+def sram_overhead_paper_example(
+    stateful_stages: int = 10, entries_per_stage: int = 1000
+) -> SramReport:
+    """The §4.2 sizing example: all stages stateful, 1000 entries each."""
+    return sram_overhead([entries_per_stage] * stateful_stages)

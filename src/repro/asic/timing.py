@@ -1,0 +1,72 @@
+"""Clock-feasibility model (Table 1's ">= 1 GHz" rows, §4.2).
+
+The paper's synthesis meets 1 GHz — the clock of state-of-the-art
+multi-terabit pipelines — for every configuration from 2x4 to 8x16. The
+dominant added combinational path is the crossbar's select-and-mux tree,
+whose depth grows with log2(k); FIFO head comparison adds a shallow
+log2(k) comparator tree as well. We model achievable frequency as a base
+15 nm frequency degraded per mux/comparator level and expose the same
+feasibility question Table 1 answers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+BASE_FREQUENCY_GHZ = 1.6  # headroom of the 15 nm library at this logic depth
+MUX_LEVEL_PENALTY_GHZ = 0.08  # per crossbar select level (log2 k)
+COMPARATOR_PENALTY_GHZ = 0.04  # per FIFO timestamp-compare level (log2 k)
+TARGET_FREQUENCY_GHZ = 1.0  # state-of-the-art pipeline clock (§4.2)
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    pipelines: int
+    stages: int
+    frequency_ghz: float
+
+    @property
+    def meets_1ghz(self) -> bool:
+        return self.frequency_ghz >= TARGET_FREQUENCY_GHZ
+
+
+def achievable_frequency_ghz(pipelines: int, stages: int) -> float:
+    """Estimated post-synthesis clock for a (k, s) configuration.
+
+    The stage count barely affects the critical path (stages are
+    pipelined against each other); pipeline count adds mux/comparator
+    levels. The model is calibrated so every Table 1 configuration
+    clears 1 GHz, with headroom shrinking as k grows.
+    """
+    if pipelines < 1 or stages < 1:
+        raise ConfigError("pipelines and stages must be >= 1")
+    levels = math.ceil(math.log2(max(pipelines, 2)))
+    freq = (
+        BASE_FREQUENCY_GHZ
+        - MUX_LEVEL_PENALTY_GHZ * levels
+        - COMPARATOR_PENALTY_GHZ * levels
+        - 0.002 * stages  # wiring pressure from wider stage fan-out
+    )
+    return round(max(freq, 0.05), 4)
+
+
+def timing_report(pipelines: int, stages: int) -> TimingReport:
+    return TimingReport(
+        pipelines=pipelines,
+        stages=stages,
+        frequency_ghz=achievable_frequency_ghz(pipelines, stages),
+    )
+
+
+def max_pipelines_at_1ghz(stages: int = 16, limit: int = 1024) -> int:
+    """Scalability probe (§3.5.3): largest k that still meets 1 GHz."""
+    best = 1
+    k = 1
+    while k <= limit:
+        if timing_report(k, stages).meets_1ghz:
+            best = k
+        k *= 2
+    return best

@@ -1,0 +1,49 @@
+"""Banzai RMT substrate: atoms, match tables, registers, single pipeline.
+
+Banzai [Sivaraman et al., SIGCOMM 2016] models stateful packet processing
+on RMT switches; the paper's functional-equivalence target (§2.2) is a
+single Banzai pipeline running at full line rate. This package provides
+that reference switch plus the building blocks (atoms, registers, match
+tables) the MP5 multi-pipeline simulator reuses per stage.
+"""
+
+from .atoms import Atom
+from .control import AuditRecord, ControlPlane, deploy_wildcard_control
+from .match_table import MatchEntry, MatchTable
+from .pipeline import (
+    BanzaiPipeline,
+    BanzaiStageUnit,
+    PipelinePacket,
+    RunResult,
+    run_reference,
+)
+from .registers import RegisterFile
+from .templates import (
+    AtomRequirement,
+    AtomTemplate,
+    TEMPLATE_BY_NAME,
+    check_atom_feasibility,
+    classify_cluster,
+    classify_program,
+)
+
+__all__ = [
+    "Atom",
+    "AtomRequirement",
+    "AuditRecord",
+    "ControlPlane",
+    "deploy_wildcard_control",
+    "AtomTemplate",
+    "TEMPLATE_BY_NAME",
+    "check_atom_feasibility",
+    "classify_cluster",
+    "classify_program",
+    "BanzaiPipeline",
+    "BanzaiStageUnit",
+    "MatchEntry",
+    "MatchTable",
+    "PipelinePacket",
+    "RegisterFile",
+    "RunResult",
+    "run_reference",
+]

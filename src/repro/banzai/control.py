@@ -1,0 +1,125 @@
+"""Control plane: pre-runtime table population (§2.2.1's assumption).
+
+Functional equivalence assumes all control-plane operations happen
+identically on both switches *before* runtime and never during it. This
+module makes that assumption operational: a :class:`ControlPlane` owns
+every match table, installs entries while the switch is offline, keeps
+an audit log, and ``commit()`` seals all tables — after which any
+mutation raises. Deploying the same control plane against the single
+pipeline and every MP5 pipeline (D1: homogeneous programming) guarantees
+the "identical match-table state" precondition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..errors import ConfigError
+from .match_table import MatchEntry, MatchTable
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One control-plane operation, for the audit log."""
+
+    operation: str
+    table: str
+    entry: Optional[MatchEntry] = None
+
+
+class ControlPlane:
+    """Owns match tables and enforces the configure-then-run lifecycle."""
+
+    def __init__(self):
+        self._tables: Dict[str, MatchTable] = {}
+        self._log: List[AuditRecord] = []
+        self._committed = False
+
+    # ------------------------------------------------------------------
+    # Configuration phase
+    # ------------------------------------------------------------------
+
+    def create_table(self, name: str) -> MatchTable:
+        """Create an empty match table (configuration phase only)."""
+        if self._committed:
+            raise ConfigError("control plane already committed")
+        if name in self._tables:
+            raise ConfigError(f"table {name!r} already exists")
+        table = MatchTable(name)
+        self._tables[name] = table
+        self._log.append(AuditRecord("create", name))
+        return table
+
+    def install(
+        self,
+        table: str,
+        fields: Mapping[str, int],
+        action: str = "default",
+        priority: int = 0,
+    ) -> None:
+        """Install one exact-match entry into ``table``."""
+        if self._committed:
+            raise ConfigError(
+                "control plane already committed; runtime table updates are "
+                "outside the functional-equivalence scope (§2.2.1)"
+            )
+        entry = MatchEntry(fields=dict(fields), action=action, priority=priority)
+        self._get(table).add_entry(entry)
+        self._log.append(AuditRecord("install", table, entry))
+
+    def install_wildcard(self, table: str, action: str = "default") -> None:
+        self.install(table, {}, action=action, priority=-(10**9))
+
+    def commit(self) -> None:
+        """Seal every table; the switch may start processing packets."""
+        for table in self._tables.values():
+            table.seal()
+        self._committed = True
+        self._log.append(AuditRecord("commit", "*"))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def _get(self, name: str) -> MatchTable:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise ConfigError(f"unknown table {name!r}") from None
+
+    @property
+    def committed(self) -> bool:
+        return self._committed
+
+    def table(self, name: str) -> MatchTable:
+        return self._get(name)
+
+    def tables(self) -> List[str]:
+        return sorted(self._tables)
+
+    def audit_log(self) -> List[AuditRecord]:
+        return list(self._log)
+
+    def snapshot(self) -> Dict[str, Tuple[MatchEntry, ...]]:
+        """Immutable view of the installed entries, for equivalence
+        comparison between two switches' control state."""
+        return {
+            name: tuple(table.entries) for name, table in self._tables.items()
+        }
+
+    def equivalent_to(self, other: "ControlPlane") -> bool:
+        """True when both control planes installed identical state — the
+        §2.2.1 precondition for data-plane equivalence."""
+        return self.snapshot() == other.snapshot()
+
+
+def deploy_wildcard_control(num_stages: int) -> ControlPlane:
+    """The control plane Domino-compiled programs need: one wildcard
+    entry per stage, committed."""
+    plane = ControlPlane()
+    for stage in range(num_stages):
+        plane.create_table(f"stage{stage}")
+        plane.install_wildcard(f"stage{stage}")
+    plane.commit()
+    return plane

@@ -1,0 +1,80 @@
+"""Match tables for RMT pipeline stages.
+
+In RMT, each stage matches packet header fields against a table populated
+by the control plane and the matching entry selects the action. Domino
+compiles programs whose action always fires (an implicit wildcard match),
+but we model the table explicitly for architectural fidelity and for the
+functional-equivalence assumption of §2.2.1: control-plane operations
+(table population) happen identically on both switches before runtime,
+and never during it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class MatchEntry:
+    """One exact-match entry. Empty ``fields`` is a wildcard (matches all)."""
+
+    fields: Mapping[str, int]
+    action: str = "default"
+    priority: int = 0
+
+    def matches(self, headers: Mapping[str, int]) -> bool:
+        return all(headers.get(name) == value for name, value in self.fields.items())
+
+
+class MatchTable:
+    """An exact-match table with priority-ordered lookup.
+
+    The control plane populates entries before runtime via
+    :meth:`add_entry`; :meth:`seal` freezes the table, after which
+    mutation raises — enforcing the "no control-plane operations during
+    runtime" assumption.
+    """
+
+    def __init__(self, name: str = "table"):
+        self.name = name
+        self._entries: List[MatchEntry] = []
+        self._sealed = False
+
+    def add_entry(self, entry: MatchEntry) -> None:
+        if self._sealed:
+            raise ConfigError(
+                f"match table {self.name!r} is sealed; control-plane updates "
+                f"are not allowed during runtime (§2.2.1)"
+            )
+        self._entries.append(entry)
+        self._entries.sort(key=lambda e: -e.priority)
+
+    def seal(self) -> None:
+        self._sealed = True
+
+    @property
+    def sealed(self) -> bool:
+        return self._sealed
+
+    @property
+    def entries(self) -> List[MatchEntry]:
+        return list(self._entries)
+
+    def lookup(self, headers: Mapping[str, int]) -> Optional[MatchEntry]:
+        """Highest-priority matching entry, or None on a miss."""
+        for entry in self._entries:
+            if entry.matches(headers):
+                return entry
+        return None
+
+    @classmethod
+    def wildcard(cls, name: str = "table", action: str = "default") -> "MatchTable":
+        """A table whose single entry matches every packet — the shape
+        Domino-compiled stages use."""
+        table = cls(name)
+        table.add_entry(MatchEntry(fields={}, action=action))
+        table.seal()
+        return table

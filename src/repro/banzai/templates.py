@@ -1,0 +1,197 @@
+"""Banzai atom templates: classifying what circuit a stateful atom needs.
+
+Banzai (Packet Transactions, SIGCOMM 2016) models action units as
+*atoms*: small digital circuits with bounded capability, drawn from a
+template hierarchy of increasing power. A program is implementable on a
+machine only if every one of its stateful clusters fits one of the
+machine's atom templates. The hierarchy (simplified to the levels the
+Domino paper evaluates):
+
+=============  ==========================================================
+template       capability
+=============  ==========================================================
+READ           read the state, never write it
+WRITE          write a packet-derived value, never read it back (blind)
+RAW            read-add-write: ``s = s op f(pkt)`` with one ALU op
+PRED_RAW       RAW guarded by a packet-based predicate
+IF_ELSE_RAW    two RAW alternatives selected by a predicate
+SUB            RAW where the update may also *compare* against the state
+NESTED         arbitrary single-state update DAG (bounded depth)
+PAIRED         updates two state variables in one atom (fused clusters)
+=============  ==========================================================
+
+The classifier inspects a cluster's TAC instructions and returns the
+weakest sufficient template; code generation can then check it against
+the target's most powerful template (``BanzaiTarget.atom_template``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set
+
+from ..compiler.tac import OpKind, TacInstr, Temp
+from ..errors import ResourceError
+
+
+class AtomTemplate(enum.IntEnum):
+    """Template hierarchy, ordered by capability (higher = stronger)."""
+
+    READ = 0
+    WRITE = 1
+    RAW = 2
+    PRED_RAW = 3
+    IF_ELSE_RAW = 4
+    SUB = 5
+    NESTED = 6
+    PAIRED = 7
+
+    @property
+    def display_name(self) -> str:
+        return self.name.lower()
+
+
+# The templates shipped by name, for target configuration.
+TEMPLATE_BY_NAME: Dict[str, AtomTemplate] = {
+    t.name.lower(): t for t in AtomTemplate
+}
+
+
+@dataclass(frozen=True)
+class AtomRequirement:
+    """Outcome of classifying one stateful cluster."""
+
+    arrays: tuple
+    template: AtomTemplate
+    alu_ops: int  # arithmetic/logic instructions inside the atom
+    depth: int  # longest dependence chain inside the atom
+
+    def fits(self, available: AtomTemplate) -> bool:
+        return self.template <= available
+
+
+def _cluster_depth(instrs: Sequence[TacInstr]) -> int:
+    depth: Dict[Temp, int] = {}
+    longest = 0
+    for instr in instrs:
+        input_depth = 0
+        for used in instr.uses():
+            input_depth = max(input_depth, depth.get(used, 0))
+        level = input_depth + (
+            1 if instr.kind in (OpKind.BINARY, OpKind.UNARY, OpKind.CALL, OpKind.SELECT) else 0
+        )
+        if instr.dest is not None:
+            depth[instr.dest] = level
+        longest = max(longest, level)
+    return longest
+
+
+def classify_cluster(instrs: Sequence[TacInstr]) -> AtomRequirement:
+    """Classify the stateful cluster formed by ``instrs``.
+
+    ``instrs`` must be the instruction list of one pipeline stage (the
+    scheduler guarantees a stage holds complete clusters); stateless
+    stages raise, since they need no stateful atom at all.
+    """
+    arrays: List[str] = []
+    reads: Set[str] = set()
+    writes: Set[str] = set()
+    has_guard = False
+    selects = 0
+    alu_ops = 0
+    compares_state = False
+
+    state_tainted: Set[Temp] = set()
+    for instr in instrs:
+        if instr.kind is OpKind.REG_READ:
+            reads.add(instr.reg)
+            if instr.reg not in arrays:
+                arrays.append(instr.reg)
+            if instr.guard is not None:
+                has_guard = True
+            state_tainted.add(instr.dest)
+        elif instr.kind is OpKind.REG_WRITE:
+            writes.add(instr.reg)
+            if instr.reg not in arrays:
+                arrays.append(instr.reg)
+            if instr.guard is not None:
+                has_guard = True
+        elif instr.kind in (OpKind.BINARY, OpKind.UNARY, OpKind.CALL):
+            alu_ops += 1
+            tainted = any(
+                isinstance(a, Temp) and a in state_tainted for a in instr.args
+            )
+            if tainted and instr.dest is not None:
+                state_tainted.add(instr.dest)
+            if (
+                instr.kind is OpKind.BINARY
+                and instr.op in ("==", "!=", "<", "<=", ">", ">=")
+                and tainted
+            ):
+                compares_state = True
+        elif instr.kind is OpKind.SELECT:
+            selects += 1
+            tainted = any(
+                isinstance(a, Temp) and a in state_tainted for a in instr.args
+            )
+            if tainted and instr.dest is not None:
+                state_tainted.add(instr.dest)
+
+    if not arrays:
+        raise ResourceError("stage holds no stateful cluster to classify")
+
+    if len(arrays) > 1:
+        template = AtomTemplate.PAIRED
+    elif not writes:
+        template = AtomTemplate.READ
+    elif not reads:
+        template = AtomTemplate.WRITE
+    elif compares_state:
+        # Comparing the state value (e.g. conditional reset, min/max
+        # tracking) needs the subtract-and-compare family.
+        template = AtomTemplate.SUB if selects <= 1 else AtomTemplate.NESTED
+    elif selects == 0:
+        template = AtomTemplate.RAW
+    elif selects == 1 or (has_guard and selects == 0):
+        template = AtomTemplate.PRED_RAW
+    elif selects == 2:
+        template = AtomTemplate.IF_ELSE_RAW
+    else:
+        template = AtomTemplate.NESTED
+
+    return AtomRequirement(
+        arrays=tuple(arrays),
+        template=template,
+        alu_ops=alu_ops,
+        depth=_cluster_depth(instrs),
+    )
+
+
+def classify_program(stages) -> List[AtomRequirement]:
+    """Classify every stateful stage of a compiled program or PVSM.
+
+    Accepts any sequence of objects with ``instrs`` and ``arrays``
+    attributes (``StageProgram`` or ``PvsmStage``).
+    """
+    requirements = []
+    for stage in stages:
+        if getattr(stage, "arrays", None):
+            requirements.append(classify_cluster(stage.instrs))
+    return requirements
+
+
+def check_atom_feasibility(
+    stages, available: AtomTemplate, program_name: str = "<program>"
+) -> List[AtomRequirement]:
+    """Raise :class:`ResourceError` if any stage needs a stronger atom
+    than the machine provides; returns the requirements otherwise."""
+    requirements = classify_program(stages)
+    for requirement in requirements:
+        if not requirement.fits(available):
+            raise ResourceError(
+                f"program {program_name!r}: arrays {requirement.arrays} need a "
+                f"{requirement.template.display_name!r} atom but the target "
+                f"provides only {available.display_name!r}"
+            )
+    return requirements

@@ -1,0 +1,33 @@
+"""Baseline switch designs compared against MP5 in §4.3.
+
+* :func:`make_single_pipeline_state_switch` — the naive D1-only design:
+  every register array (and hence every stateful packet) mapped to one
+  pipeline (§3.1, Challenge #1).
+* :func:`static_shard_config` — MP5 with compile-time random sharding and
+  no runtime remapping (the D2 ablation).
+* :func:`no_phantom_config` — MP5 without preemptive order enforcement
+  (the D4 ablation; counts C1 violations).
+* :class:`RecirculationSwitch` — a current-generation multi-pipelined
+  switch (§2.3): static port-to-pipeline mapping, static sharding, and
+  packet re-circulation to reach state in other pipelines.
+* ``MP5Config.ideal()`` (in :mod:`repro.mp5`) — the ideal-MP5 baseline
+  with per-index queues and LPT repacking.
+"""
+
+from .recirculation import RecircConfig, RecirculationSwitch, run_recirculation
+from .variants import (
+    make_single_pipeline_state_switch,
+    no_phantom_config,
+    run_single_pipeline_state,
+    static_shard_config,
+)
+
+__all__ = [
+    "RecircConfig",
+    "RecirculationSwitch",
+    "make_single_pipeline_state_switch",
+    "no_phantom_config",
+    "run_recirculation",
+    "run_single_pipeline_state",
+    "static_shard_config",
+]

@@ -1,0 +1,276 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+* ``programs``            — list bundled Domino programs
+* ``compile <name|file>`` — compile and print the pipeline layout
+* ``tac <name|file>``     — print the three-address code
+* ``run <name>``          — simulate a program on MP5 and print stats
+* ``equiv <name>``        — run the functional-equivalence check
+* ``table1``              — regenerate Table 1
+* ``fig7 <a|b|c|d>``      — regenerate one Figure 7 panel
+* ``fig8``                — regenerate Figure 8
+* ``micro <d2|d3|d4>``    — run one §4.3.2 microbenchmark
+
+Programs given by name use the bundled catalog; a path ending in ``.c``
+or ``.domino`` is read from disk.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from .compiler import compile_program, preprocess
+from .domino import analyze, get_program, parse, program_names
+from .equivalence import check_equivalence
+from .harness import (
+    MicrobenchSettings,
+    run_all,
+    RealAppSettings,
+    SweepSettings,
+    render_figure8,
+    render_sweep,
+    render_table1,
+    run_d2,
+    run_d3,
+    run_d4,
+    run_figure8,
+    sweep_packet_size,
+    sweep_pipelines,
+    sweep_register_size,
+    sweep_stateful_stages,
+)
+from .mp5 import MP5Config, run_mp5
+from .workloads import line_rate_trace
+
+
+def _load_ast(spec: str):
+    path = Path(spec)
+    if path.suffix in (".c", ".domino") and path.exists():
+        ast = parse(path.read_text(), source_name=path.stem)
+        analyze(ast)
+        return ast
+    return get_program(spec)
+
+
+def _random_headers(program):
+    """Generic header generator: every field uniform over a small range.
+
+    Good enough for smoke runs; real experiments use the workload
+    generators in :mod:`repro.workloads`.
+    """
+    fields = list(program.packet_fields)
+
+    def gen(rng: np.random.Generator, _i: int):
+        return {f: int(rng.integers(0, 256)) for f in fields}
+
+    return gen
+
+
+def cmd_programs(_args) -> int:
+    for name in program_names():
+        print(name)
+    return 0
+
+
+def cmd_compile(args) -> int:
+    compiled = compile_program(_load_ast(args.program))
+    print(compiled.describe())
+    return 0
+
+
+def cmd_tac(args) -> int:
+    tac = preprocess(_load_ast(args.program))
+    print(tac)
+    return 0
+
+
+def cmd_run(args) -> int:
+    """``run``: simulate a program on MP5 and print its statistics."""
+    compiled = compile_program(_load_ast(args.program))
+    trace = line_rate_trace(
+        args.packets,
+        args.pipelines,
+        _random_headers(compiled),
+        packet_size=args.packet_size,
+        seed=args.seed,
+    )
+    stats, _regs = run_mp5(
+        compiled, trace, MP5Config(num_pipelines=args.pipelines, seed=args.seed)
+    )
+    for key, value in stats.summary().items():
+        print(f"{key:16s} {value}")
+    return 0
+
+
+def cmd_equiv(args) -> int:
+    """``equiv``: equivalence-check a program; exit 1 on divergence."""
+    compiled = compile_program(_load_ast(args.program))
+    trace = line_rate_trace(
+        args.packets,
+        args.pipelines,
+        _random_headers(compiled),
+        packet_size=args.packet_size,
+        seed=args.seed,
+    )
+    report = check_equivalence(
+        compiled, trace, MP5Config(num_pipelines=args.pipelines, seed=args.seed)
+    )
+    print(report.summary())
+    return 0 if report.equivalent else 1
+
+
+def cmd_table1(_args) -> int:
+    print(render_table1())
+    return 0
+
+
+def cmd_fig7(args) -> int:
+    """``fig7``: regenerate one Figure 7 panel."""
+    settings = SweepSettings(num_packets=args.packets, seeds=tuple(range(args.seeds)))
+    sweeps = {
+        "a": (sweep_pipelines, "7a"),
+        "b": (sweep_stateful_stages, "7b"),
+        "c": (sweep_register_size, "7c"),
+        "d": (sweep_packet_size, "7d"),
+    }
+    runner, figure = sweeps[args.panel]
+    print(render_sweep(runner(settings), figure))
+    return 0
+
+
+def cmd_fig8(args) -> int:
+    settings = RealAppSettings(
+        num_packets=args.packets, seeds=tuple(range(args.seeds))
+    )
+    print(render_figure8(run_figure8(settings=settings)))
+    return 0
+
+
+def cmd_reproduce(args) -> int:
+    artifacts = run_all(
+        out_dir=args.out, scale=args.scale, progress=lambda msg: print(f"[{msg}]")
+    )
+    if args.out is None:
+        for name, text in artifacts.items():
+            print(f"\n{text}")
+    return 0
+
+
+def cmd_micro(args) -> int:
+    settings = MicrobenchSettings(
+        num_packets=args.packets, seeds=tuple(range(args.seeds))
+    )
+    if args.which == "d2":
+        results = run_d2(settings)
+        for result in results:
+            print(
+                f"{result.pattern}: dynamic/static {result.min_ratio:.2f}-"
+                f"{result.max_ratio:.2f}x"
+            )
+    elif args.which == "d3":
+        result = run_d3(settings)
+        print(
+            f"MP5 {np.mean(result.mp5):.3f}  "
+            f"recirc {np.mean(result.recirculation):.3f}  "
+            f"naive {np.mean(result.single_pipeline_state):.3f}  "
+            f"({np.mean(result.avg_recirculations):.2f} recirc/pkt)"
+        )
+    else:
+        result = run_d4(settings)
+        print(
+            f"C1 inversion fraction: MP5 {np.mean(result.with_d4):.3f}, "
+            f"no-D4 {np.mean(result.without_d4):.3f}, "
+            f"recirculation {np.mean(result.recirculation):.3f}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MP5 (SIGCOMM 2022) reproduction: compiler, simulator, "
+        "and experiment harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("programs", help="list bundled programs").set_defaults(
+        func=cmd_programs
+    )
+
+    def add_program_args(p, packets_default=5000):
+        p.add_argument("program", help="bundled name or .c/.domino file")
+        p.add_argument("--pipelines", type=int, default=4)
+        p.add_argument("--packets", type=int, default=packets_default)
+        p.add_argument("--packet-size", type=int, default=64)
+        p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("compile", help="compile and show the pipeline layout")
+    p.add_argument("program")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("tac", help="show the three-address code")
+    p.add_argument("program")
+    p.set_defaults(func=cmd_tac)
+
+    p = sub.add_parser("run", help="simulate on MP5 and print statistics")
+    add_program_args(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("equiv", help="check functional equivalence")
+    add_program_args(p, packets_default=2000)
+    p.set_defaults(func=cmd_equiv)
+
+    sub.add_parser("table1", help="regenerate Table 1").set_defaults(
+        func=cmd_table1
+    )
+
+    p = sub.add_parser("fig7", help="regenerate a Figure 7 panel")
+    p.add_argument("panel", choices=("a", "b", "c", "d"))
+    p.add_argument("--packets", type=int, default=4000)
+    p.add_argument("--seeds", type=int, default=2)
+    p.set_defaults(func=cmd_fig7)
+
+    p = sub.add_parser("fig8", help="regenerate Figure 8")
+    p.add_argument("--packets", type=int, default=4000)
+    p.add_argument("--seeds", type=int, default=2)
+    p.set_defaults(func=cmd_fig8)
+
+    p = sub.add_parser(
+        "reproduce", help="regenerate every table/figure into a directory"
+    )
+    p.add_argument("--out", default=None, help="output directory")
+    p.add_argument("--scale", choices=("tiny", "small", "full"), default="full")
+    p.set_defaults(func=cmd_reproduce)
+
+    p = sub.add_parser("micro", help="run a §4.3.2 microbenchmark")
+    p.add_argument("which", choices=("d2", "d3", "d4"))
+    p.add_argument("--packets", type=int, default=4000)
+    p.add_argument("--seeds", type=int, default=3)
+    p.set_defaults(func=cmd_micro)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

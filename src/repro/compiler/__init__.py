@@ -1,0 +1,101 @@
+"""The MP5 compiler: Domino source -> Banzai/MP5 pipeline configuration.
+
+Pipeline of phases (Figure 5 of the paper)::
+
+    Domino AST --preprocess--> three-address code
+               --pipelining--> PVSM
+               --PVSM-to-PVSM transform--> PVSM w/ address resolution
+               --code generation--> CompiledProgram
+
+The top-level entry point is :func:`compile_program`::
+
+    from repro.compiler import compile_program, BanzaiTarget
+
+    compiled = compile_program("flowlet")                  # bundled name
+    compiled = compile_program(source_text)                # raw Domino
+    compiled = compile_program(ast, target=BanzaiTarget(num_stages=8))
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..domino.ast_nodes import Program
+from ..domino.parser import parse
+from ..domino.programs import PROGRAM_SOURCES, get_program
+from ..domino.semantic import analyze
+from ..errors import ResourceError
+from .codegen import BanzaiTarget, CompiledProgram, StageProgram, generate
+from .preprocess import preprocess
+from .pvsm import Pvsm, PvsmStage, schedule
+from .tac import (
+    Const,
+    OpKind,
+    Operand,
+    TacEvaluator,
+    TacInstr,
+    TacProgram,
+    Temp,
+    TempFactory,
+)
+from .transformer import ArrayPlan, TransformedProgram, transform
+
+__all__ = [
+    "ArrayPlan",
+    "BanzaiTarget",
+    "CompiledProgram",
+    "Const",
+    "OpKind",
+    "Operand",
+    "Pvsm",
+    "PvsmStage",
+    "StageProgram",
+    "TacEvaluator",
+    "TacInstr",
+    "TacProgram",
+    "Temp",
+    "TempFactory",
+    "TransformedProgram",
+    "compile_program",
+    "generate",
+    "preprocess",
+    "schedule",
+    "transform",
+]
+
+
+def compile_program(
+    program: Union[str, Program],
+    target: Optional[BanzaiTarget] = None,
+    name: Optional[str] = None,
+) -> CompiledProgram:
+    """Compile a Domino program for an MP5 target.
+
+    ``program`` may be a bundled program name (see
+    :func:`repro.domino.program_names`), raw Domino source text, or an
+    already-parsed :class:`~repro.domino.Program` (it will be semantically
+    checked if given as source).
+
+    Tries the fully serialized schedule first (one register array per
+    stage, all arrays sharding-eligible); if that exceeds the target's
+    stage budget, falls back to co-staging arrays and pinning them to a
+    common pipeline, per §3.3.
+    """
+    if isinstance(program, str):
+        if program in PROGRAM_SOURCES:
+            ast = get_program(program)
+            name = name or program
+        else:
+            ast = parse(program, source_name=name or "<domino>")
+            analyze(ast)
+    else:
+        ast = program
+    name = name or ast.source_name
+
+    target = target or BanzaiTarget()
+    tac = preprocess(ast)
+
+    transformed = transform(tac, serialize_arrays=True)
+    if transformed.num_stages > target.num_stages:
+        transformed = transform(tac, serialize_arrays=False)
+    return generate(transformed, target, name=name)

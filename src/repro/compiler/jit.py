@@ -1,0 +1,209 @@
+"""TAC-to-Python compilation for faster simulation.
+
+The interpreter (:class:`~repro.compiler.tac.TacEvaluator`) dispatches on
+every instruction; for large simulations the dispatch dominates. This
+module compiles an instruction list into one Python function with the
+exact same semantics — 32-bit two's-complement arithmetic, C-style
+division, guarded state accesses, the access callback — and is verified
+against the interpreter by the test suite over every bundled program and
+fuzzed programs.
+
+Temps live in the packet's ``env`` dict between stages (the PHV); within
+a compiled stage they become Python locals, with a prologue loading the
+temps earlier stages defined and an epilogue publishing the stage's own
+definitions.
+
+Usage::
+
+    stage_fn = compile_instrs(stage.instrs)
+    stage_fn(headers, registers, env, on_access)
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from ..domino.builtins import BUILTINS
+from ..errors import CompilerError
+from .tac import Const, OpKind, TacInstr, Temp, _to_signed32
+
+_counter = itertools.count()
+
+# Operators whose Python semantics already match the evaluator's after a
+# single wrap of the result.
+_WRAPPED_BINOPS = {"+": "+", "-": "-", "*": "*", "&": "&", "|": "|", "^": "^"}
+_COMPARISONS = {"==", "!=", "<", "<=", ">", ">="}
+
+StageFn = Callable[[dict, dict, dict, Optional[Callable]], None]
+
+
+def _var(temp: Temp, names: Dict[Temp, str]) -> str:
+    name = names.get(temp)
+    if name is None:
+        name = f"v{len(names)}"
+        names[temp] = name
+    return name
+
+
+def _operand(op, names: Dict[Temp, str]) -> str:
+    if isinstance(op, Const):
+        return repr(op.value)
+    return _var(op, names)
+
+
+def compile_instrs(
+    instrs: Sequence[TacInstr], name: str = "stage"
+) -> Optional[StageFn]:
+    """Compile ``instrs`` into a single callable; None for an empty list."""
+    if not instrs:
+        return None
+    names: Dict[Temp, str] = {}
+    defined: Set[Temp] = set()
+    used_before_def: List[Temp] = []
+    for instr in instrs:
+        for temp in instr.uses():
+            if temp not in defined and temp not in used_before_def:
+                used_before_def.append(temp)
+        dest = instr.defines()
+        if dest is not None:
+            defined.add(dest)
+
+    lines: List[str] = [
+        f"def _{name}(headers, registers, env, on_access=None):"
+    ]
+    # Prologue: pull carried temps out of the PHV.
+    for temp in used_before_def:
+        lines.append(f"    {_var(temp, names)} = env[{temp.name!r}]")
+
+    for instr in instrs:
+        lines.extend(_emit(instr, names))
+
+    # Epilogue: publish this stage's definitions for later stages.
+    for temp in sorted(defined, key=lambda t: t.name):
+        lines.append(f"    env[{temp.name!r}] = {_var(temp, names)}")
+
+    source = "\n".join(lines)
+    scope = {
+        "_wrap": _to_signed32,
+        "_builtins": BUILTINS,
+    }
+    exec(compile(source, f"<jit:{name}:{next(_counter)}>", "exec"), scope)
+    fn = scope[f"_{name}"]
+    fn.__doc__ = source  # keep the generated code inspectable
+    return fn
+
+
+def _emit(instr: TacInstr, names: Dict[Temp, str]) -> List[str]:
+    kind = instr.kind
+    pad = "    "
+    if kind is OpKind.READ_FIELD:
+        return [
+            f"{pad}{_var(instr.dest, names)} = "
+            f"_wrap(headers.get({instr.field_name!r}, 0))"
+        ]
+    if kind is OpKind.WRITE_FIELD:
+        value = _operand(instr.args[0], names)
+        line = f"headers[{instr.field_name!r}] = {value}"
+        return _guarded(instr, line, names)
+    if kind is OpKind.CONST:
+        return [
+            f"{pad}{_var(instr.dest, names)} = "
+            f"_wrap({_operand(instr.args[0], names)})"
+        ]
+    if kind is OpKind.UNARY:
+        a = _operand(instr.args[0], names)
+        dest = _var(instr.dest, names)
+        if instr.op == "-":
+            return [f"{pad}{dest} = _wrap(-({a}))"]
+        if instr.op == "!":
+            return [f"{pad}{dest} = 0 if {a} else 1"]
+        raise CompilerError(f"jit: unknown unary op {instr.op!r}")
+    if kind is OpKind.BINARY:
+        return [_emit_binary(instr, names)]
+    if kind is OpKind.CALL:
+        args = ", ".join(_operand(a, names) for a in instr.args)
+        return [
+            f"{pad}{_var(instr.dest, names)} = "
+            f"_wrap(_builtins[{instr.op!r}]({args}))"
+        ]
+    if kind is OpKind.SELECT:
+        g = _operand(instr.args[0], names)
+        a = _operand(instr.args[1], names)
+        b = _operand(instr.args[2], names)
+        return [f"{pad}{_var(instr.dest, names)} = {a} if {g} else {b}"]
+    if kind is OpKind.REG_READ:
+        dest = _var(instr.dest, names)
+        idx = _operand(instr.args[0], names)
+        body = [
+            f"_arr = registers[{instr.reg!r}]",
+            f"_i = ({idx}) % len(_arr)",
+            f"{dest} = _arr[_i]",
+            f"on_access({instr.reg!r}, _i, 'read') if on_access else None",
+        ]
+        out = _guarded(instr, body, names)
+        if instr.guard is not None:
+            out.append(f"{pad}else:")
+            out.append(f"{pad}    {dest} = 0")
+        return out
+    if kind is OpKind.REG_WRITE:
+        idx = _operand(instr.args[0], names)
+        value = _operand(instr.args[1], names)
+        body = [
+            f"_arr = registers[{instr.reg!r}]",
+            f"_i = ({idx}) % len(_arr)",
+            f"_arr[_i] = {value}",
+            f"on_access({instr.reg!r}, _i, 'write') if on_access else None",
+        ]
+        return _guarded(instr, body, names)
+    raise CompilerError(f"jit: unknown instruction kind {kind}")
+
+
+def _emit_binary(instr: TacInstr, names: Dict[Temp, str]) -> str:
+    a = _operand(instr.args[0], names)
+    b = _operand(instr.args[1], names)
+    dest = _var(instr.dest, names)
+    op = instr.op
+    pad = "    "
+    if op in _WRAPPED_BINOPS:
+        return f"{pad}{dest} = _wrap(({a}) {_WRAPPED_BINOPS[op]} ({b}))"
+    if op in _COMPARISONS:
+        return f"{pad}{dest} = 1 if ({a}) {op} ({b}) else 0"
+    if op == "/":
+        return f"{pad}{dest} = _wrap(int(({a}) / ({b}))) if ({b}) != 0 else 0"
+    if op == "%":
+        return (
+            f"{pad}{dest} = _wrap(int(({a}) - ({b}) * int(({a}) / ({b})))) "
+            f"if ({b}) != 0 else 0"
+        )
+    if op == "&&":
+        return f"{pad}{dest} = 1 if (({a}) and ({b})) else 0"
+    if op == "||":
+        return f"{pad}{dest} = 1 if (({a}) or ({b})) else 0"
+    if op == "<<":
+        return f"{pad}{dest} = _wrap(({a}) << (({b}) & 31))"
+    if op == ">>":
+        return f"{pad}{dest} = _wrap((({a}) & 0xFFFFFFFF) >> (({b}) & 31))"
+    raise CompilerError(f"jit: unknown binary op {op!r}")
+
+
+def _guarded(instr: TacInstr, body, names: Dict[Temp, str]) -> List[str]:
+    """Wrap one or more statements in the instruction's guard."""
+    pad = "    "
+    if isinstance(body, str):
+        body = [body]
+    if instr.guard is None:
+        return [f"{pad}{line}" for line in body]
+    guard = _var(instr.guard, names)
+    out = [f"{pad}if {guard}:"]
+    out.extend(f"{pad}    {line}" for line in body)
+    return out
+
+
+def compile_program_stages(program) -> List[Optional[StageFn]]:
+    """Compile every stage of a :class:`CompiledProgram`; index-aligned
+    with ``program.stages``."""
+    return [
+        compile_instrs(stage.instrs, name=f"s{stage.index}")
+        for stage in program.stages
+    ]

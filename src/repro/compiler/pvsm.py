@@ -1,0 +1,453 @@
+"""Pipelined Virtual Switch Machine (PVSM) intermediate representation.
+
+The Domino compiler's *Pipelining* phase (§3.3, Figure 5) transforms
+three-address code into a PVSM: an idealized switch pipeline with no
+computational or resource limits. We model a PVSM as a sequence of
+stages, each holding an ordered list of TAC instructions; all state
+accesses for a given register array are *clustered* into a single stage
+(Banzai's atomic read-modify-write constraint: "all state operations
+finish within one pipeline stage", §2.1).
+
+Clustering: for each register array, the cluster contains its
+``reg_read``, its ``reg_write``, and every instruction on a data path
+from the read to the write (the ALU chain the atom must evaluate inside
+the stage). Such a path-closed set is convex, so contracting it into a
+supernode keeps the dependence graph acyclic unless two arrays are
+mutually dependent — which we reject, as Domino does for code that no
+atom template can implement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import CompilerError
+from .tac import OpKind, TacInstr, TacProgram, Temp
+
+
+@dataclass
+class PvsmStage:
+    """One stage of the virtual pipeline."""
+
+    instrs: List[TacInstr] = field(default_factory=list)
+    arrays: List[str] = field(default_factory=list)
+
+    @property
+    def is_stateful(self) -> bool:
+        return bool(self.arrays)
+
+    def __str__(self) -> str:
+        header = f"-- stage (arrays: {', '.join(self.arrays) or 'none'}) --"
+        return "\n".join([header] + [f"  {i}" for i in self.instrs])
+
+
+@dataclass
+class Pvsm:
+    """A scheduled virtual pipeline."""
+
+    stages: List[PvsmStage]
+    tac: TacProgram
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    @property
+    def stateful_stages(self) -> List[int]:
+        return [i for i, s in enumerate(self.stages) if s.is_stateful]
+
+    def stage_of_array(self, name: str) -> int:
+        for i, stage in enumerate(self.stages):
+            if name in stage.arrays:
+                return i
+        raise KeyError(name)
+
+    def all_instrs(self) -> List[TacInstr]:
+        out: List[TacInstr] = []
+        for stage in self.stages:
+            out.extend(stage.instrs)
+        return out
+
+    def __str__(self) -> str:
+        return "\n".join(str(s) for s in self.stages)
+
+
+# ----------------------------------------------------------------------
+# Dependence analysis
+# ----------------------------------------------------------------------
+
+
+class DependenceGraph:
+    """Def-use dependence graph over a TAC instruction list."""
+
+    def __init__(self, instrs: Sequence[TacInstr]):
+        self.instrs = list(instrs)
+        self.index: Dict[int, int] = {id(i): n for n, i in enumerate(self.instrs)}
+        definer: Dict[Temp, int] = {}
+        for n, instr in enumerate(self.instrs):
+            dest = instr.defines()
+            if dest is not None:
+                definer[dest] = n
+        self.preds: List[Set[int]] = [set() for _ in self.instrs]
+        self.succs: List[Set[int]] = [set() for _ in self.instrs]
+        for n, instr in enumerate(self.instrs):
+            for used in instr.uses():
+                m = definer.get(used)
+                if m is not None and m != n:
+                    self.preds[n].add(m)
+                    self.succs[m].add(n)
+        # Intra-array ordering: the write depends on the read even when no
+        # data path connects them (e.g. a blind overwrite), so the cluster
+        # always holds together.
+        read_of: Dict[str, int] = {}
+        for n, instr in enumerate(self.instrs):
+            if instr.kind is OpKind.REG_READ:
+                read_of[instr.reg] = n
+        for n, instr in enumerate(self.instrs):
+            if instr.kind is OpKind.REG_WRITE and instr.reg in read_of:
+                m = read_of[instr.reg]
+                if m != n:
+                    self.preds[n].add(m)
+                    self.succs[m].add(n)
+
+    def reachable_from(self, start: int) -> Set[int]:
+        """All instructions transitively using ``start``'s result."""
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for nxt in self.succs[node]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return seen
+
+    def reaching(self, target: int) -> Set[int]:
+        """All instructions ``target`` transitively depends on."""
+        seen = {target}
+        frontier = [target]
+        while frontier:
+            node = frontier.pop()
+            for prev in self.preds[node]:
+                if prev not in seen:
+                    seen.add(prev)
+                    frontier.append(prev)
+        return seen
+
+
+def _build_clusters(
+    tac: TacProgram, graph: DependenceGraph
+) -> Dict[str, Set[int]]:
+    """Map each register array to the set of instruction ids (indexes)
+    forming its atom cluster."""
+    clusters: Dict[str, Set[int]] = {}
+    reads: Dict[str, int] = {}
+    writes: Dict[str, int] = {}
+    for n, instr in enumerate(graph.instrs):
+        if instr.kind is OpKind.REG_READ:
+            if instr.reg in reads:
+                raise CompilerError(
+                    f"register {instr.reg!r}: multiple reads after lowering "
+                    f"(internal error)"
+                )
+            reads[instr.reg] = n
+        elif instr.kind is OpKind.REG_WRITE:
+            if instr.reg in writes:
+                raise CompilerError(
+                    f"register {instr.reg!r}: multiple writes after lowering "
+                    f"(internal error)"
+                )
+            writes[instr.reg] = n
+    for reg, read_n in reads.items():
+        members = {read_n}
+        write_n = writes.get(reg)
+        if write_n is not None:
+            members.add(write_n)
+            members |= graph.reachable_from(read_n) & graph.reaching(write_n)
+        clusters[reg] = members
+    # A write with no read would be a blind store; the lowering always
+    # emits a read first, so every written array is already present.
+    for reg, write_n in writes.items():
+        if reg not in clusters:
+            clusters[reg] = {write_n}
+    return clusters
+
+
+class _UnionFind:
+    """Tiny union-find over hashable keys."""
+
+    def __init__(self):
+        self.parent: Dict[object, object] = {}
+
+    def find(self, x: object) -> object:
+        self.parent.setdefault(x, x)
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: object, b: object) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+
+def _tarjan_sccs(nodes: List[object], preds: Dict[object, Set[object]]) -> List[List[object]]:
+    """Strongly connected components (iterative Tarjan) of the contracted
+    group graph. Edges are pred -> node."""
+    succs: Dict[object, List[object]] = {n: [] for n in nodes}
+    for n, ps in preds.items():
+        for p in ps:
+            succs[p].append(n)
+    index_counter = [0]
+    index: Dict[object, int] = {}
+    lowlink: Dict[object, int] = {}
+    on_stack: Set[object] = set()
+    stack: List[object] = []
+    sccs: List[List[object]] = []
+
+    for root in nodes:
+        if root in index:
+            continue
+        work = [(root, iter(succs[root]))]
+        index[root] = lowlink[root] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in index:
+                    index[nxt] = lowlink[nxt] = index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(succs[nxt])))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    lowlink[node] = min(lowlink[node], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent_node = work[-1][0]
+                lowlink[parent_node] = min(lowlink[parent_node], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(component)
+    return sccs
+
+
+# ----------------------------------------------------------------------
+# Scheduling
+# ----------------------------------------------------------------------
+
+
+def schedule(
+    tac: TacProgram,
+    pinned_levels: Optional[Dict[int, int]] = None,
+    serialize_arrays: bool = False,
+    min_cluster_level: int = 0,
+) -> Pvsm:
+    """Level-schedule TAC into a PVSM.
+
+    ``pinned_levels`` optionally forces specific instructions (by position
+    in ``tac.instrs``) to a given stage — the MP5 transformer uses this to
+    pin address-resolution instructions to stage 0.
+
+    ``serialize_arrays`` additionally forces every register-array cluster
+    into its own stage (at most one array per stage), the constraint MP5
+    needs so that a packet is in at most one pipeline per stage (§3.3).
+
+    ``min_cluster_level`` forces every stateful cluster to a stage no
+    earlier than the given level; the MP5 transformer passes 1 so that
+    the address-resolution stage (level 0) precedes all state.
+    """
+    graph = DependenceGraph(tac.instrs)
+    clusters = _build_clusters(tac, graph)
+
+    # Arrays whose clusters overlap must share one atom: a single
+    # instruction on both read-to-write paths means no schedule can
+    # separate them. Banzai models this with multi-state atoms (e.g. the
+    # "pair" atoms CONGA needs), so we *fuse* the clusters.
+    array_uf = _UnionFind()
+    owner: Dict[int, str] = {}
+    for reg, members in clusters.items():
+        array_uf.find(reg)
+        for n in members:
+            if n in owner:
+                array_uf.union(owner[n], reg)
+            else:
+                owner[n] = reg
+
+    pinned_levels = pinned_levels or {}
+    pinned_zero = {n for n, lvl in pinned_levels.items() if lvl == 0}
+
+    def _cluster_key(reg: str) -> str:
+        root = array_uf.find(reg)
+        fused = sorted(r for r in clusters if array_uf.find(r) == root)
+        return "cluster:" + "+".join(fused)
+
+    def _build_groups() -> Tuple[Dict[int, object], Dict[object, List[int]], Dict[object, Set[object]]]:
+        group_of: Dict[int, object] = {}
+        for n in range(len(graph.instrs)):
+            if n in owner:
+                group_of[n] = _cluster_key(owner[n])
+            elif n in pinned_zero:
+                # All stage-0 (address resolution) instructions form one
+                # supernode that executes together in the new front stage.
+                group_of[n] = "resolution"
+            else:
+                group_of[n] = n
+        members_of: Dict[object, List[int]] = {}
+        for n, g in group_of.items():
+            members_of.setdefault(g, []).append(n)
+        group_preds: Dict[object, Set[object]] = {g: set() for g in members_of}
+        for n in range(len(graph.instrs)):
+            for m in graph.preds[n]:
+                if group_of[m] != group_of[n]:
+                    group_preds[group_of[n]].add(group_of[m])
+        return group_of, members_of, group_preds
+
+    group_of, members_of, group_preds = _build_groups()
+
+    # Mutual dependence *through* intermediate instructions (array A's
+    # write needs B's read and vice versa) shows up as a cycle in the
+    # contracted graph. Fuse every non-trivial SCC into one atom.
+    sccs = _tarjan_sccs(list(members_of), group_preds)
+    fused_any = False
+    for component in sccs:
+        if len(component) < 2:
+            continue
+        fused_any = True
+        regs_in_scc: List[str] = []
+        for g in component:
+            if isinstance(g, str) and g.startswith("cluster:"):
+                regs_in_scc.extend(g.split(":", 1)[1].split("+"))
+        if not regs_in_scc:
+            raise CompilerError(
+                "dependence cycle among stateless instructions (internal error)"
+            )
+        anchor = regs_in_scc[0]
+        for reg in regs_in_scc[1:]:
+            array_uf.union(anchor, reg)
+        # Stateless instructions caught in the cycle join the fused atom.
+        for g in component:
+            if isinstance(g, int):
+                owner[g] = anchor
+            elif g == "resolution":
+                raise CompilerError(
+                    "address-resolution instructions participate in a "
+                    "stateful dependence cycle (internal error)"
+                )
+    if fused_any:
+        group_of, members_of, group_preds = _build_groups()
+
+    # Longest-path levels via DFS (acyclic after fusing).
+    levels: Dict[object, int] = {}
+    visiting: Set[object] = set()
+
+    def level_of(g: object) -> int:
+        if g in levels:
+            return levels[g]
+        if g in visiting:
+            raise CompilerError(
+                "unexpected dependence cycle after atom fusion (internal error)"
+            )
+        visiting.add(g)
+        base = 0
+        if isinstance(g, str) and g.startswith("cluster:"):
+            base = min_cluster_level
+        for p in group_preds[g]:
+            base = max(base, level_of(p) + 1)
+        if g == "resolution":
+            if group_preds[g]:
+                raise CompilerError(
+                    "address-resolution slice depends on non-resolution "
+                    "instructions (internal error: slices must be closed)"
+                )
+            base = 0
+        else:
+            for n in members_of[g]:
+                lvl = pinned_levels.get(n)
+                if lvl is not None:
+                    base = max(base, lvl)
+        visiting.discard(g)
+        levels[g] = base
+        return base
+
+    for g in members_of:
+        level_of(g)
+
+    # Optionally serialize clusters so no two arrays share a stage. We
+    # walk clusters in level order and bump each to the first free stage;
+    # bumping a cluster requires bumping everything that depends on it, so
+    # we iterate to a fixed point (graphs here are tiny).
+    if serialize_arrays:
+        _serialize_clusters(members_of, group_preds, levels, pinned_levels)
+
+    num_stages = max(levels.values()) + 1 if levels else 1
+    stages = [PvsmStage() for _ in range(num_stages)]
+    # Keep original TAC order within a stage so execution is valid.
+    order_key = {g: min(members_of[g]) for g in members_of}
+    for g in sorted(members_of, key=lambda g: order_key[g]):
+        stage = stages[levels[g]]
+        for n in sorted(members_of[g]):
+            stage.instrs.append(graph.instrs[n])
+        if isinstance(g, str) and g.startswith("cluster:"):
+            stage.arrays.extend(g.split(":", 1)[1].split("+"))
+    for stage in stages:
+        stage.instrs.sort(key=lambda i: graph.index[id(i)])
+    return Pvsm(stages=stages, tac=tac)
+
+
+def _serialize_clusters(
+    members_of: Dict[object, List[int]],
+    group_preds: Dict[object, Set[object]],
+    levels: Dict[object, int],
+    pinned_levels: Optional[Dict[int, int]],
+) -> None:
+    cluster_groups = [
+        g for g in members_of if isinstance(g, str) and g.startswith("cluster:")
+    ]
+    # Successor map for relaxation after bumping.
+    group_succs: Dict[object, Set[object]] = {g: set() for g in group_preds}
+    for g, preds in group_preds.items():
+        for p in preds:
+            group_succs[p].add(g)
+
+    def push_down(g: object, new_level: int) -> None:
+        if levels[g] >= new_level:
+            return
+        levels[g] = new_level
+        for s in group_succs[g]:
+            push_down(s, new_level + 1)
+
+    # Place clusters one per stage; any bump can cascade through
+    # dependents, so restart placement after each change (graphs are tiny).
+    changed = True
+    while changed:
+        changed = False
+        occupied: Dict[int, object] = {}
+        for g in sorted(
+            cluster_groups, key=lambda g: (levels[g], min(members_of[g]))
+        ):
+            level = levels[g]
+            while level in occupied:
+                level += 1
+            if level != levels[g]:
+                push_down(g, level)
+                changed = True
+                break
+            occupied[level] = g

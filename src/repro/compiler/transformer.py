@@ -1,0 +1,194 @@
+"""PVSM-to-PVSM transformer: MP5's addition to the Domino compiler (§3.3).
+
+The transformer decouples *address resolution* from *stateful
+processing*: for every stateful atom it moves the logic sufficient to
+decide (a) whether the packet will access the register array and (b) at
+which index, into a new stage at the beginning of the pipeline, and it
+plans phantom-packet generation for each access.
+
+Per register array the transformer classifies:
+
+* **shardable** — the index expression is stateless (computable from the
+  packet header alone), so it can be evaluated in the resolution stage
+  and the array's indexes can be dynamically sharded across pipelines
+  (D2). This is the common case the paper verified across a wide range
+  of real programs.
+* **pinned** — the index computation itself reads register state
+  (e.g. ``ring[cursor]``), so the whole array is mapped to a single
+  pipeline and an *array-level* phantom (no index) enforces ordering.
+* **conservative phantom** — the access guard reads register state
+  (e.g. flowlet's inter-arrival predicate), so MP5 assumes the predicate
+  is true and always emits the phantom; a false predicate wastes one
+  slot at the stateful stage (the paper's "nominal performance penalty
+  of one wasted clock cycle").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import TransformError
+from .pvsm import DependenceGraph, Pvsm, schedule
+from .tac import OpKind, Operand, TacInstr, TacProgram, Temp
+
+
+@dataclass
+class ArrayPlan:
+    """Compilation plan for one register array."""
+
+    name: str
+    size: int
+    initial: Tuple[int, ...]
+    stage: int  # stage index in the transformed pipeline (>= 1)
+    shardable: bool
+    index_operand: Optional[Operand]  # None when the index is stateful
+    guard_operand: Optional[Operand]  # None when the access is unconditional
+    guard_resolvable: bool  # True when the guard is evaluated at stage 0
+    has_write: bool = False
+    # Arrays sharing a pin_key must live in the same pipeline; pinned
+    # co-staged arrays share one (set by codegen). Defaults to the array
+    # name, i.e. an independent placement.
+    pin_key: str = ""
+
+    def __post_init__(self):
+        if not self.pin_key:
+            self.pin_key = self.name
+
+    @property
+    def conservative_phantom(self) -> bool:
+        """Phantom is always generated even though the access may not fire."""
+        return self.guard_operand is not None and not self.guard_resolvable
+
+
+@dataclass
+class TransformedProgram:
+    """Output of the PVSM-to-PVSM transformer.
+
+    ``pvsm.stages[0]`` is the preemptive address-resolution stage; stages
+    1..N-1 carry the (possibly serialized) original processing, with at
+    most one register array per stage.
+    """
+
+    tac: TacProgram
+    pvsm: Pvsm
+    arrays: Dict[str, ArrayPlan] = field(default_factory=dict)
+
+    @property
+    def resolution_stage(self):
+        return self.pvsm.stages[0]
+
+    @property
+    def num_stages(self) -> int:
+        return self.pvsm.num_stages
+
+    @property
+    def stateful_stages(self) -> List[int]:
+        return self.pvsm.stateful_stages
+
+    def arrays_in_stage_order(self) -> List[ArrayPlan]:
+        return sorted(self.arrays.values(), key=lambda a: a.stage)
+
+
+def _backward_slice(graph: DependenceGraph, roots: List[int]) -> Set[int]:
+    out: Set[int] = set()
+    for root in roots:
+        out |= graph.reaching(root)
+    return out
+
+
+def _slice_is_stateless(graph: DependenceGraph, members: Set[int]) -> bool:
+    return not any(
+        graph.instrs[n].kind in (OpKind.REG_READ, OpKind.REG_WRITE) for n in members
+    )
+
+
+def transform(tac: TacProgram, serialize_arrays: bool = True) -> TransformedProgram:
+    """Apply MP5's preemptive-address-resolution transform to ``tac``.
+
+    With ``serialize_arrays=True`` (the default and what MP5's compiler
+    does when the stage budget allows), each register array gets its own
+    stage. Callers that hit a resource limit can retry with ``False``, in
+    which case arrays sharing a stage are later pinned to a common
+    pipeline by code generation.
+    """
+    graph = DependenceGraph(tac.instrs)
+    definer: Dict[Temp, int] = {}
+    for n, instr in enumerate(tac.instrs):
+        dest = instr.defines()
+        if dest is not None:
+            definer[dest] = n
+
+    reads: Dict[str, TacInstr] = {}
+    writes: Set[str] = set()
+    for instr in tac.instrs:
+        if instr.kind is OpKind.REG_READ:
+            reads[instr.reg] = instr
+        elif instr.kind is OpKind.REG_WRITE:
+            writes.add(instr.reg)
+
+    pinned_levels: Dict[int, int] = {}
+    plans_meta: Dict[str, dict] = {}
+
+    for reg, read in reads.items():
+        index_op = read.args[0]
+        guard_op = read.guard
+
+        # --- index slice ---
+        index_stateless = True
+        if isinstance(index_op, Temp):
+            slice_members = _backward_slice(graph, [definer[index_op]])
+            index_stateless = _slice_is_stateless(graph, slice_members)
+            if index_stateless:
+                for n in slice_members:
+                    pinned_levels[n] = 0
+        # A Const index is trivially resolvable.
+
+        # --- guard slice ---
+        guard_resolvable = True
+        if guard_op is not None:
+            slice_members = _backward_slice(graph, [definer[guard_op]])
+            guard_resolvable = _slice_is_stateless(graph, slice_members)
+            if guard_resolvable:
+                for n in slice_members:
+                    pinned_levels[n] = 0
+
+        plans_meta[reg] = {
+            "index_stateless": index_stateless,
+            "guard_resolvable": guard_resolvable,
+            "index_operand": index_op if index_stateless else None,
+            "guard_operand": guard_op,
+        }
+
+    pvsm = schedule(
+        tac,
+        pinned_levels=pinned_levels,
+        serialize_arrays=serialize_arrays,
+        min_cluster_level=1,
+    )
+
+    transformed = TransformedProgram(tac=tac, pvsm=pvsm)
+    for reg, meta in plans_meta.items():
+        size, initial = tac.registers[reg]
+        try:
+            stage = pvsm.stage_of_array(reg)
+        except KeyError:
+            raise TransformError(
+                f"register {reg!r} read but its cluster was not scheduled"
+            ) from None
+        if stage < 1:
+            raise TransformError(
+                f"register {reg!r} scheduled in the address-resolution stage"
+            )
+        transformed.arrays[reg] = ArrayPlan(
+            name=reg,
+            size=size,
+            initial=initial,
+            stage=stage,
+            shardable=bool(meta["index_stateless"]),
+            index_operand=meta["index_operand"],
+            guard_operand=meta["guard_operand"],
+            guard_resolvable=bool(meta["guard_resolvable"]),
+            has_write=reg in writes,
+        )
+    return transformed

@@ -1,0 +1,76 @@
+"""Domino language frontend: lexer, parser, AST, semantics, programs.
+
+Domino [Sivaraman et al., SIGCOMM 2016] is the C-like language the paper
+uses to write packet-processing programs against a single logical
+pipeline. This package implements the subset needed by the paper's
+examples and evaluation applications.
+
+Typical use::
+
+    from repro.domino import parse, analyze, get_program
+
+    program = parse(source_text)
+    info = analyze(program)          # normalizes AST, gathers facts
+    flowlet = get_program("flowlet") # bundled, pre-checked program
+"""
+
+from .ast_nodes import (
+    Assign,
+    BinaryExpr,
+    CallExpr,
+    Expr,
+    If,
+    IntLiteral,
+    LocalDecl,
+    LocalVar,
+    PacketField,
+    PacketStruct,
+    Program,
+    RegisterDecl,
+    RegisterRef,
+    Stmt,
+    TernaryExpr,
+    UnaryExpr,
+)
+from .builtins import BUILTINS, hash2, hash3, hash5, hash_tuple
+from .lexer import Lexer, tokenize
+from .parser import Parser, parse
+from .programs import get_program, get_source, program_names
+from .semantic import SemanticInfo, analyze, expr_reads_register
+from .tokens import Token, TokenType
+
+__all__ = [
+    "Assign",
+    "BinaryExpr",
+    "BUILTINS",
+    "CallExpr",
+    "Expr",
+    "If",
+    "IntLiteral",
+    "Lexer",
+    "LocalDecl",
+    "LocalVar",
+    "PacketField",
+    "PacketStruct",
+    "Parser",
+    "Program",
+    "RegisterDecl",
+    "RegisterRef",
+    "SemanticInfo",
+    "Stmt",
+    "TernaryExpr",
+    "Token",
+    "TokenType",
+    "UnaryExpr",
+    "analyze",
+    "expr_reads_register",
+    "get_program",
+    "get_source",
+    "hash2",
+    "hash3",
+    "hash5",
+    "hash_tuple",
+    "parse",
+    "program_names",
+    "tokenize",
+]

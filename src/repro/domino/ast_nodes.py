@@ -1,0 +1,217 @@
+"""Abstract syntax tree for the Domino language subset.
+
+A Domino program (as in Figure 3 of the paper) consists of:
+
+* one ``struct Packet { int f; ... }`` declaration naming the header
+  fields packets carry through the pipeline,
+* zero or more global register declarations (``int r = 0;`` scalars or
+  ``int r[N] = {...};`` arrays) holding switch state that persists across
+  packets, and
+* exactly one ``void func(struct Packet p) { ... }`` body describing the
+  per-packet processing.
+
+All expressions are integer-valued. Builtin calls (``hash2``/``hash3``/
+``hash5``/``min``/``max``) appear as :class:`CallExpr`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    """Base class for expressions. ``line``/``column`` point at source."""
+
+    line: int = field(default=0, compare=False)
+    column: int = field(default=0, compare=False)
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int = 0
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass
+class PacketField(Expr):
+    """Reference to a packet header field, e.g. ``p.src_ip``."""
+
+    field_name: str = ""
+
+    def __str__(self) -> str:
+        return f"p.{self.field_name}"
+
+
+@dataclass
+class LocalVar(Expr):
+    """Reference to a local variable declared inside ``func``."""
+
+    name: str = ""
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass
+class RegisterRef(Expr):
+    """Read of a register: ``reg[idx]`` for arrays, ``reg`` for scalars.
+
+    Scalar registers are normalized to arrays of size one with an
+    implicit index of zero (``index`` is ``None`` for scalars until
+    semantic analysis fills it in with ``IntLiteral(0)``).
+    """
+
+    register: str = ""
+    index: Optional[Expr] = None
+
+    def __str__(self) -> str:
+        if self.index is None:
+            return self.register
+        return f"{self.register}[{self.index}]"
+
+
+@dataclass
+class UnaryExpr(Expr):
+    op: str = ""
+    operand: Expr = None  # type: ignore[assignment]
+
+    def __str__(self) -> str:
+        return f"({self.op}{self.operand})"
+
+
+@dataclass
+class BinaryExpr(Expr):
+    op: str = ""
+    left: Expr = None  # type: ignore[assignment]
+    right: Expr = None  # type: ignore[assignment]
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass
+class TernaryExpr(Expr):
+    condition: Expr = None  # type: ignore[assignment]
+    if_true: Expr = None  # type: ignore[assignment]
+    if_false: Expr = None  # type: ignore[assignment]
+
+    def __str__(self) -> str:
+        return f"({self.condition} ? {self.if_true} : {self.if_false})"
+
+
+@dataclass
+class CallExpr(Expr):
+    """A builtin function call such as ``hash2(p.src, p.dst)``."""
+
+    func: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        return f"{self.func}({', '.join(str(a) for a in self.args)})"
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    line: int = field(default=0, compare=False)
+    column: int = field(default=0, compare=False)
+
+
+@dataclass
+class Assign(Stmt):
+    """Assignment to a packet field, local variable, or register slot."""
+
+    target: Expr = None  # type: ignore[assignment]  # PacketField | LocalVar | RegisterRef
+    value: Expr = None  # type: ignore[assignment]
+
+    def __str__(self) -> str:
+        return f"{self.target} = {self.value};"
+
+
+@dataclass
+class LocalDecl(Stmt):
+    """Declaration of a local variable: ``int tmp = <expr>;``."""
+
+    name: str = ""
+    value: Expr = None  # type: ignore[assignment]
+
+    def __str__(self) -> str:
+        return f"int {self.name} = {self.value};"
+
+
+@dataclass
+class If(Stmt):
+    condition: Expr = None  # type: ignore[assignment]
+    then_body: List[Stmt] = field(default_factory=list)
+    else_body: List[Stmt] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        text = f"if ({self.condition}) {{ ... }}"
+        if self.else_body:
+            text += " else { ... }"
+        return text
+
+
+# ----------------------------------------------------------------------
+# Top-level declarations
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class PacketStruct:
+    """The ``struct Packet`` declaration: ordered header field names."""
+
+    name: str
+    fields: List[str]
+    line: int = 0
+
+
+@dataclass
+class RegisterDecl:
+    """A global register declaration.
+
+    ``size == 1`` with ``is_scalar`` marks a scalar register (``int c = 0``).
+    ``initial`` always has exactly ``size`` entries: a ``{0}`` initializer
+    broadcasts per C array semantics used in the paper's examples.
+    """
+
+    name: str
+    size: int
+    initial: Tuple[int, ...]
+    is_scalar: bool = False
+    line: int = 0
+
+
+@dataclass
+class Program:
+    """A complete parsed Domino program."""
+
+    packet_struct: PacketStruct
+    registers: List[RegisterDecl]
+    body: List[Stmt]
+    func_name: str = "func"
+    packet_param: str = "p"
+    source_name: str = "<domino>"
+
+    def register_named(self, name: str) -> RegisterDecl:
+        for reg in self.registers:
+            if reg.name == name:
+                return reg
+        raise KeyError(name)
+
+    @property
+    def register_names(self) -> List[str]:
+        return [reg.name for reg in self.registers]

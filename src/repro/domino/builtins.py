@@ -1,0 +1,64 @@
+"""Builtin functions available in Domino expressions.
+
+Hash builtins model the hardware hash units of an RMT pipeline: they are
+deterministic, stateless, and cheap. We use a Knuth-style multiplicative
+mix so that distinct tuples spread well across register indexes, which is
+what the sharding experiments rely on. All arithmetic is done modulo
+2**32 to mirror 32-bit datapath semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+MASK32 = 0xFFFFFFFF
+_GOLDEN = 0x9E3779B1  # 2**32 / golden ratio, a classic Fibonacci-hash constant
+
+
+def _mix(state: int, value: int) -> int:
+    state = (state ^ (value & MASK32)) & MASK32
+    state = (state * _GOLDEN) & MASK32
+    state ^= state >> 15
+    return state & MASK32
+
+
+def hash_tuple(values: Sequence[int]) -> int:
+    """Deterministic hash of an integer tuple.
+
+    The result is masked to 31 bits so it stays non-negative under the
+    32-bit two's-complement datapath semantics — hardware hash units feed
+    address lines and never produce "negative" indexes.
+    """
+    state = 0x811C9DC5
+    for value in values:
+        state = _mix(state, value)
+    return state & 0x7FFFFFFF
+
+
+def hash2(a: int, b: int) -> int:
+    return hash_tuple((a, b))
+
+
+def hash3(a: int, b: int, c: int) -> int:
+    return hash_tuple((a, b, c))
+
+
+def hash5(a: int, b: int, c: int, d: int, e: int) -> int:
+    return hash_tuple((a, b, c, d, e))
+
+
+def builtin_min(a: int, b: int) -> int:
+    return a if a < b else b
+
+
+def builtin_max(a: int, b: int) -> int:
+    return a if a > b else b
+
+
+BUILTINS: Dict[str, Callable[..., int]] = {
+    "hash2": hash2,
+    "hash3": hash3,
+    "hash5": hash5,
+    "min": builtin_min,
+    "max": builtin_max,
+}

@@ -1,0 +1,133 @@
+"""Hand-written lexer for the Domino language subset.
+
+The lexer produces a flat list of :class:`~repro.domino.tokens.Token`
+objects, skipping whitespace and both ``//`` line comments and
+``/* ... */`` block comments.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import DominoSyntaxError
+from .tokens import (
+    KEYWORDS,
+    ONE_CHAR_OPERATORS,
+    TWO_CHAR_OPERATORS,
+    Token,
+    TokenType,
+)
+
+
+class Lexer:
+    """Converts Domino source text into a token stream."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def tokenize(self) -> List[Token]:
+        """Lex the entire input, returning tokens ending with EOF."""
+        tokens: List[Token] = []
+        while True:
+            self._skip_whitespace_and_comments()
+            if self.pos >= len(self.source):
+                break
+            tokens.append(self._next_token())
+        tokens.append(Token(TokenType.EOF, "", self.line, self.column))
+        return tokens
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index >= len(self.source):
+            return ""
+        return self.source[index]
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source) and self.source[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.pos < len(self.source):
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                start_line, start_col = self.line, self.column
+                self._advance(2)
+                while self.pos < len(self.source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise DominoSyntaxError(
+                        "unterminated block comment", start_line, start_col
+                    )
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        char = self._peek()
+        line, column = self.line, self.column
+
+        if char.isdigit():
+            return self._lex_number(line, column)
+        if char.isalpha() or char == "_":
+            return self._lex_identifier(line, column)
+
+        two = self.source[self.pos : self.pos + 2]
+        if two in TWO_CHAR_OPERATORS:
+            self._advance(2)
+            return Token(TWO_CHAR_OPERATORS[two], two, line, column)
+        if char in ONE_CHAR_OPERATORS:
+            self._advance()
+            return Token(ONE_CHAR_OPERATORS[char], char, line, column)
+
+        raise DominoSyntaxError(f"unexpected character {char!r}", line, column)
+
+    def _lex_number(self, line: int, column: int) -> Token:
+        start = self.pos
+        # Hex literals: 0x1F.
+        if self._peek() == "0" and self._peek(1) in "xX":
+            self._advance(2)
+            if not self._peek().isalnum():
+                raise DominoSyntaxError("malformed hex literal", line, column)
+            while self._peek().isalnum():
+                self._advance()
+        else:
+            while self._peek().isdigit():
+                self._advance()
+        text = self.source[start : self.pos]
+        try:
+            int(text, 0)
+        except ValueError:
+            raise DominoSyntaxError(f"malformed number {text!r}", line, column)
+        return Token(TokenType.INT_LITERAL, text, line, column)
+
+    def _lex_identifier(self, line: int, column: int) -> Token:
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[start : self.pos]
+        token_type = KEYWORDS.get(text, TokenType.IDENT)
+        return Token(token_type, text, line, column)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convenience wrapper: lex ``source`` into a token list."""
+    return Lexer(source).tokenize()

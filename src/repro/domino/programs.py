@@ -1,0 +1,523 @@
+"""Library of Domino programs used throughout the reproduction.
+
+Contains the paper's running example (Figure 3), the two motivating
+examples from §2.3.1, the four real applications evaluated in Figure 8
+(flowlet switching, CONGA, WFQ/STFQ priority computation, network
+sequencer — re-implemented after the public domino-examples repository),
+and a few synthetic programs that exercise specific compiler paths
+(stateful predicates, stateful index computation, multi-array stages).
+
+Each entry is plain Domino source text; use :func:`get_program` to parse
+and semantically check one by name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .ast_nodes import Program
+from .parser import parse
+from .semantic import analyze
+
+# ----------------------------------------------------------------------
+# Paper examples
+# ----------------------------------------------------------------------
+
+# Figure 3 of the paper, verbatim modulo syntax normalization.
+FIGURE3 = """
+struct Packet {
+    int h1;
+    int h2;
+    int h3;
+    int val;
+    int mux;
+};
+
+int reg1[4] = {2, 4, 8, 16};
+int reg2[4] = {1, 3, 5, 7};
+int reg3[4] = {0};
+
+void func(struct Packet p) {
+    p.val = (p.mux == 1) ? reg1[p.h1 % 4] : reg2[p.h2 % 4];
+    reg3[p.h3 % 4] = (p.mux == 1)
+        ? reg3[p.h3 % 4] * p.val
+        : reg3[p.h3 % 4] + p.val;
+}
+"""
+
+# Example 1 (§2.3.1): a global packet counter.
+PACKET_COUNTER = """
+struct Packet {
+    int dummy;
+};
+
+int count = 0;
+
+void func(struct Packet p) {
+    count = count + 1;
+}
+"""
+
+# Example 2 (§2.3.1) / Figure 8d: a network sequencer in the style of
+# NOPaxos [22] — stamp each packet with a strictly increasing sequence
+# number held in a single scalar register.
+SEQUENCER = """
+struct Packet {
+    int seq;
+};
+
+int count = 0;
+
+void func(struct Packet p) {
+    count = count + 1;
+    p.seq = count;
+}
+"""
+
+# ----------------------------------------------------------------------
+# Real applications (Figure 8), after domino-examples
+# ----------------------------------------------------------------------
+
+# Flowlet switching [30]: pick a new next hop when the inter-packet gap
+# within a flow exceeds the flowlet threshold (IPG > 5 time units here).
+# Registers are indexed by a hash of the flow identifier, so addresses
+# are preemptively resolvable; the *predicate* reads last_time (stateful)
+# so MP5 conservatively generates phantoms for both branches (§3.3).
+FLOWLET = """
+struct Packet {
+    int sport;
+    int dport;
+    int arrival;
+    int new_hop;
+    int next_hop;
+    int id;
+};
+
+int last_time[8000] = {0};
+int saved_hop[8000] = {0};
+
+void func(struct Packet p) {
+    p.new_hop = hash3(p.sport, p.dport, p.arrival) % 10;
+    p.id = hash2(p.sport, p.dport) % 8000;
+    if (p.arrival - last_time[p.id] > 5) {
+        saved_hop[p.id] = p.new_hop;
+    }
+    last_time[p.id] = p.arrival;
+    p.next_hop = saved_hop[p.id];
+}
+"""
+
+# CONGA [1] leaf switch: track the best (least utilized) uplink path.
+# Both registers are scalars, so they are pinned to a single pipeline;
+# line rate is still reachable with realistic packet sizes (§4.4).
+CONGA = """
+struct Packet {
+    int util;
+    int path_id;
+};
+
+int best_path_util = 100;
+int best_path = 0;
+
+void func(struct Packet p) {
+    if (p.util < best_path_util) {
+        best_path_util = p.util;
+        best_path = p.path_id;
+    } else {
+        if (p.path_id == best_path) {
+            best_path_util = p.util;
+        }
+    }
+}
+"""
+
+# Weighted fair queueing via start-time fair queueing (STFQ) [32]:
+# compute each packet's virtual start time from the per-flow last finish
+# time. The register index is a flow hash (stateless), the update is a
+# classic read-modify-write.
+WFQ = """
+struct Packet {
+    int sport;
+    int dport;
+    int length;
+    int start;
+    int id;
+};
+
+int last_finish[4096] = {0};
+int virtual_time = 0;
+
+void func(struct Packet p) {
+    p.id = hash2(p.sport, p.dport) % 4096;
+    p.start = max(virtual_time, last_finish[p.id]);
+    last_finish[p.id] = p.start + p.length;
+}
+"""
+
+# ----------------------------------------------------------------------
+# Additional realistic programs
+# ----------------------------------------------------------------------
+
+# Heavy-hitter / DDoS detection sketch from the D2 discussion in §3.1:
+# per-source packet counters kept in a hashed register table.
+HEAVY_HITTER = """
+struct Packet {
+    int src_ip;
+    int hot;
+};
+
+int counts[4096] = {0};
+
+void func(struct Packet p) {
+    int idx = hash2(p.src_ip, 0) % 4096;
+    counts[idx] = counts[idx] + 1;
+    p.hot = (counts[idx] > 1000) ? 1 : 0;
+}
+"""
+
+# A stateful firewall in which only SYN packets touch state: packets in
+# an established flow pass statelessly. Exercises the mixed
+# stateless/stateful reordering discussion in §3.4.
+STATEFUL_FIREWALL = """
+struct Packet {
+    int src_ip;
+    int dst_ip;
+    int syn;
+    int allowed;
+};
+
+int established[2048] = {0};
+
+void func(struct Packet p) {
+    int idx = hash2(p.src_ip, p.dst_ip) % 2048;
+    if (p.syn == 1) {
+        established[idx] = 1;
+        p.allowed = 1;
+    } else {
+        p.allowed = established[idx];
+    }
+}
+"""
+
+# A three-way Bloom filter membership test (after domino-examples
+# learn-filter): three register arrays read in the same logical stage.
+# Exercises the compiler's multi-array serialization path (§3.3).
+BLOOM_FILTER = """
+struct Packet {
+    int key;
+    int member;
+};
+
+int filter1[1024] = {0};
+int filter2[1024] = {0};
+int filter3[1024] = {0};
+
+void func(struct Packet p) {
+    int i1 = hash2(p.key, 1) % 1024;
+    int i2 = hash2(p.key, 2) % 1024;
+    int i3 = hash2(p.key, 3) % 1024;
+    p.member = filter1[i1] + filter2[i2] + filter3[i3] == 3 ? 1 : 0;
+    filter1[i1] = 1;
+    filter2[i2] = 1;
+    filter3[i3] = 1;
+}
+"""
+
+# RCP [14]: accumulate RTT sum and packet count for rate computation.
+RCP = """
+struct Packet {
+    int rtt;
+    int size_bytes;
+};
+
+int input_traffic_bytes = 0;
+int sum_rtt = 0;
+int num_pkts_with_rtt = 0;
+
+void func(struct Packet p) {
+    input_traffic_bytes = input_traffic_bytes + p.size_bytes;
+    if (p.rtt < 30) {
+        sum_rtt = sum_rtt + p.rtt;
+        num_pkts_with_rtt = num_pkts_with_rtt + 1;
+    }
+}
+"""
+
+# Sampled NetFlow [44]: export every Nth packet (N = 64 here). A single
+# global counter decides sampling — stateful on every packet, but the
+# packet-size distribution keeps it at line rate in practice (§4.4).
+SAMPLED_NETFLOW = """
+struct Packet {
+    int sampled;
+};
+
+int count = 0;
+
+void func(struct Packet p) {
+    count = count + 1;
+    p.sampled = (count % 64 == 0) ? 1 : 0;
+}
+"""
+
+# EXPOSURE-style DNS monitoring [8]: count TTL changes per domain to
+# spot fast-flux domains. Two arrays share one (stateless) flow index;
+# the predicate reads state, so phantoms are conservative.
+DNS_TTL_CHANGE = """
+struct Packet {
+    int domain;
+    int ttl;
+    int suspicious;
+};
+
+int last_ttl[2048] = {0};
+int ttl_changes[2048] = {0};
+
+void func(struct Packet p) {
+    int idx = hash2(p.domain, 13) % 2048;
+    if (last_ttl[idx] != p.ttl) {
+        ttl_changes[idx] = ttl_changes[idx] + 1;
+    }
+    last_ttl[idx] = p.ttl;
+    p.suspicious = (ttl_changes[idx] > 16) ? 1 : 0;
+}
+"""
+
+# A per-flow token-bucket policer: refill by elapsed time, spend one
+# token per packet. Classic interdependent two-array stateful program.
+TOKEN_BUCKET = """
+struct Packet {
+    int sport;
+    int dport;
+    int now;
+    int allowed;
+};
+
+int tokens[1024] = {8};
+int last_seen[1024] = {0};
+
+void func(struct Packet p) {
+    int idx = hash2(p.sport, p.dport) % 1024;
+    int refill = tokens[idx] + (p.now - last_seen[idx]);
+    int capped = min(refill, 8);
+    if (capped > 0) {
+        p.allowed = 1;
+        tokens[idx] = capped - 1;
+    } else {
+        p.allowed = 0;
+        tokens[idx] = capped;
+    }
+    last_seen[idx] = p.now;
+}
+"""
+
+# Per-flow EWMA latency estimator (the fixed-point 7/8 filter used by
+# TCP RTT estimation): est' = est - est/8 + sample/8.
+EWMA_LATENCY = """
+struct Packet {
+    int flow;
+    int sample;
+    int estimate;
+};
+
+int ewma[1024] = {0};
+
+void func(struct Packet p) {
+    int idx = hash2(p.flow, 3) % 1024;
+    ewma[idx] = ewma[idx] - (ewma[idx] / 8) + (p.sample / 8);
+    p.estimate = ewma[idx];
+}
+"""
+
+# Adaptive virtual queue (AVQ [20]): maintain a virtual queue drained at
+# a fraction of link capacity; mark packets when it builds. Two scalar
+# registers whose updates interlock (vq needs last_update's old value) —
+# the compiler serializes them into consecutive stages.
+AVQ = """
+struct Packet {
+    int bytes;
+    int now;
+    int mark;
+};
+
+int vq = 0;
+int last_update = 0;
+
+void func(struct Packet p) {
+    int drained = (p.now - last_update) * 48;
+    int level = max(vq - drained, 0) + p.bytes;
+    vq = level;
+    last_update = p.now;
+    p.mark = (level > 30000) ? 1 : 0;
+}
+"""
+
+# DCTCP-style marking fraction [2]: per-flow EWMA of the fraction of
+# ECN-marked packets (alpha), in 1/16 fixed point.
+DCTCP_ALPHA = """
+struct Packet {
+    int flow;
+    int ecn;
+    int alpha_out;
+};
+
+int alpha[1024] = {0};
+
+void func(struct Packet p) {
+    int idx = hash2(p.flow, 17) % 1024;
+    alpha[idx] = alpha[idx] - (alpha[idx] / 16) + p.ecn;
+    p.alpha_out = alpha[idx];
+}
+"""
+
+# SYN-flood detector: per-destination balance of SYNs vs FINs/RSTs.
+SYN_FLOOD = """
+struct Packet {
+    int dst_ip;
+    int syn;
+    int fin;
+    int under_attack;
+};
+
+int balance[2048] = {0};
+
+void func(struct Packet p) {
+    int idx = hash2(p.dst_ip, 29) % 2048;
+    balance[idx] = balance[idx] + p.syn - p.fin;
+    p.under_attack = (balance[idx] > 100) ? 1 : 0;
+}
+"""
+
+# NetCache-style in-network key-value cache [47]: GETs read the cached
+# value and record the hit; PUTs install values. Per-bucket hit counters
+# feed cache-admission decisions upstream.
+NETCACHE = """
+struct Packet {
+    int key;
+    int is_read;
+    int value_in;
+    int value_out;
+    int cache_hit;
+};
+
+int values[2048] = {0};
+int valid[2048] = {0};
+int hit_count[2048] = {0};
+
+void func(struct Packet p) {
+    int idx = hash2(p.key, 5) % 2048;
+    if (p.is_read == 1) {
+        p.cache_hit = valid[idx];
+        p.value_out = values[idx];
+        hit_count[idx] = hit_count[idx] + valid[idx];
+    } else {
+        values[idx] = p.value_in;
+        valid[idx] = 1;
+    }
+}
+"""
+
+# ----------------------------------------------------------------------
+# Compiler stress programs
+# ----------------------------------------------------------------------
+
+# Register index computed from register state: reg's index depends on a
+# register read, so the array cannot be sharded (§3.3 fallback).
+STATEFUL_INDEX = """
+struct Packet {
+    int v;
+};
+
+int cursor = 0;
+int ring[16] = {0};
+
+void func(struct Packet p) {
+    ring[cursor % 16] = p.v;
+    cursor = cursor + 1;
+}
+"""
+
+# Stateful predicate guarding a register access with a *different*,
+# shardable array: phantoms must be generated for both branches.
+STATEFUL_PREDICATE = """
+struct Packet {
+    int key;
+    int out;
+};
+
+int mode = 0;
+int table_a[256] = {0};
+int table_b[256] = {0};
+
+void func(struct Packet p) {
+    int idx = hash2(p.key, 7) % 256;
+    if (mode == 0) {
+        table_a[idx] = table_a[idx] + 1;
+        p.out = table_a[idx];
+    } else {
+        table_b[idx] = table_b[idx] + 2;
+        p.out = table_b[idx];
+    }
+}
+"""
+
+# Purely stateless processing: header rewrites only. MP5 sprays these at
+# line rate (D1).
+STATELESS_REWRITE = """
+struct Packet {
+    int ttl;
+    int dscp;
+    int out;
+};
+
+void func(struct Packet p) {
+    p.ttl = p.ttl - 1;
+    p.dscp = (p.dscp & 63) | 64;
+    p.out = p.ttl * 2 + p.dscp;
+}
+"""
+
+PROGRAM_SOURCES: Dict[str, str] = {
+    "figure3": FIGURE3,
+    "packet_counter": PACKET_COUNTER,
+    "sequencer": SEQUENCER,
+    "flowlet": FLOWLET,
+    "conga": CONGA,
+    "wfq": WFQ,
+    "heavy_hitter": HEAVY_HITTER,
+    "stateful_firewall": STATEFUL_FIREWALL,
+    "bloom_filter": BLOOM_FILTER,
+    "rcp": RCP,
+    "sampled_netflow": SAMPLED_NETFLOW,
+    "avq": AVQ,
+    "dctcp_alpha": DCTCP_ALPHA,
+    "netcache": NETCACHE,
+    "dns_ttl_change": DNS_TTL_CHANGE,
+    "token_bucket": TOKEN_BUCKET,
+    "ewma_latency": EWMA_LATENCY,
+    "syn_flood": SYN_FLOOD,
+    "stateful_index": STATEFUL_INDEX,
+    "stateful_predicate": STATEFUL_PREDICATE,
+    "stateless_rewrite": STATELESS_REWRITE,
+}
+
+
+def program_names() -> List[str]:
+    """Names of every bundled Domino program."""
+    return sorted(PROGRAM_SOURCES)
+
+
+def get_source(name: str) -> str:
+    """Raw Domino source text of a bundled program."""
+    try:
+        return PROGRAM_SOURCES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown program {name!r}; available: {program_names()}"
+        ) from None
+
+
+def get_program(name: str) -> Program:
+    """Parse and semantically check a bundled program by name."""
+    program = parse(get_source(name), source_name=name)
+    analyze(program)
+    return program

@@ -1,0 +1,130 @@
+"""Token definitions for the Domino language frontend.
+
+The token set covers the C-like subset of Domino used by the paper's
+example programs (Figure 3) and by the public domino-examples repository:
+struct declarations, global register arrays, one packet-processing
+function, conditionals, ternaries, and integer arithmetic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenType(enum.Enum):
+    # Literals and identifiers.
+    INT_LITERAL = "int_literal"
+    IDENT = "ident"
+
+    # Keywords.
+    KW_STRUCT = "struct"
+    KW_INT = "int"
+    KW_VOID = "void"
+    KW_IF = "if"
+    KW_ELSE = "else"
+
+    # Punctuation.
+    LBRACE = "{"
+    RBRACE = "}"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    SEMICOLON = ";"
+    COMMA = ","
+    DOT = "."
+    QUESTION = "?"
+    COLON = ":"
+
+    # Operators.
+    ASSIGN = "="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    EQ = "=="
+    NEQ = "!="
+    LT = "<"
+    LEQ = "<="
+    GT = ">"
+    GEQ = ">="
+    AND = "&&"
+    OR = "||"
+    NOT = "!"
+    BIT_AND = "&"
+    BIT_OR = "|"
+    BIT_XOR = "^"
+    SHL = "<<"
+    SHR = ">>"
+
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "struct": TokenType.KW_STRUCT,
+    "int": TokenType.KW_INT,
+    "void": TokenType.KW_VOID,
+    "if": TokenType.KW_IF,
+    "else": TokenType.KW_ELSE,
+}
+
+# Two-character operators must be matched before their one-character
+# prefixes, so order matters here.
+TWO_CHAR_OPERATORS = {
+    "==": TokenType.EQ,
+    "!=": TokenType.NEQ,
+    "<=": TokenType.LEQ,
+    ">=": TokenType.GEQ,
+    "&&": TokenType.AND,
+    "||": TokenType.OR,
+    "<<": TokenType.SHL,
+    ">>": TokenType.SHR,
+}
+
+ONE_CHAR_OPERATORS = {
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    ";": TokenType.SEMICOLON,
+    ",": TokenType.COMMA,
+    ".": TokenType.DOT,
+    "?": TokenType.QUESTION,
+    ":": TokenType.COLON,
+    "=": TokenType.ASSIGN,
+    "+": TokenType.PLUS,
+    "-": TokenType.MINUS,
+    "*": TokenType.STAR,
+    "/": TokenType.SLASH,
+    "%": TokenType.PERCENT,
+    "<": TokenType.LT,
+    ">": TokenType.GT,
+    "!": TokenType.NOT,
+    "&": TokenType.BIT_AND,
+    "|": TokenType.BIT_OR,
+    "^": TokenType.BIT_XOR,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with source position for error messages."""
+
+    type: TokenType
+    text: str
+    line: int
+    column: int
+
+    @property
+    def value(self) -> int:
+        """Integer value of an INT_LITERAL token."""
+        if self.type is not TokenType.INT_LITERAL:
+            raise ValueError(f"token {self.type} has no integer value")
+        return int(self.text, 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.text!r}, {self.line}:{self.column})"

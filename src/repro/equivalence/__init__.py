@@ -1,0 +1,5 @@
+"""Functional-equivalence checking (§2.2.1)."""
+
+from .checker import EquivalenceReport, check_equivalence, compare_runs
+
+__all__ = ["EquivalenceReport", "check_equivalence", "compare_runs"]

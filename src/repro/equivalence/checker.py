@@ -1,0 +1,143 @@
+"""Functional-equivalence checker (§2.2.1).
+
+A multi-pipelined switch is functionally equivalent to the logical single
+pipelined switch when, starting from the same initial processing state
+and the same input packet stream:
+
+* **register state** — every register array holds identical final values;
+* **packet state** — every packet leaves with identical header contents.
+
+The checker runs the same trace through the single-Banzai reference and
+an MP5 configuration, compares both state components, and additionally
+reports C1 (state-access-order) violations, which are the *mechanism*
+behind any state divergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..banzai.pipeline import BanzaiPipeline, RunResult
+from ..compiler.codegen import CompiledProgram
+from ..errors import EquivalenceError
+from ..mp5.config import MP5Config
+from ..mp5.packet import DataPacket
+from ..mp5.stats import SwitchStats, c1_violations
+from ..mp5.switch import MP5Switch
+from ..workloads.traffic import clone_packets, reference_trace
+
+
+@dataclass
+class EquivalenceReport:
+    """Structured outcome of one equivalence check."""
+
+    register_equal: bool
+    packet_equal: bool
+    c1_violating_packets: int
+    c1_fraction: float
+    register_mismatches: Dict[str, List[Tuple[int, int, int]]] = field(
+        default_factory=dict
+    )
+    packet_mismatches: List[Tuple[int, str, int, int]] = field(default_factory=list)
+    dropped_packets: int = 0
+    mp5_stats: Optional[SwitchStats] = None
+
+    @property
+    def equivalent(self) -> bool:
+        return self.register_equal and self.packet_equal
+
+    def raise_if_violated(self) -> None:
+        if not self.equivalent:
+            raise EquivalenceError(
+                f"functional equivalence violated: "
+                f"{len(self.register_mismatches)} register arrays and "
+                f"{len(self.packet_mismatches)} packet fields differ",
+                report=self,
+            )
+
+    def summary(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"register state : {'EQUAL' if self.register_equal else 'DIFFERS'}",
+            f"packet state   : {'EQUAL' if self.packet_equal else 'DIFFERS'}",
+            f"C1 violations  : {self.c1_violating_packets} packets "
+            f"({self.c1_fraction:.1%})",
+            f"drops          : {self.dropped_packets}",
+        ]
+        for name, bad in self.register_mismatches.items():
+            lines.append(f"  {name}: {len(bad)} slots differ, e.g. {bad[:3]}")
+        for pkt_id, fld, want, got in self.packet_mismatches[:5]:
+            lines.append(f"  pkt {pkt_id}.{fld}: reference={want} mp5={got}")
+        return "\n".join(lines)
+
+
+def compare_runs(
+    program: CompiledProgram,
+    reference: RunResult,
+    mp5_switch: MP5Switch,
+    mp5_packets: List[DataPacket],
+) -> EquivalenceReport:
+    """Compare an already-executed reference run and MP5 run."""
+    ref_regs = reference.registers.snapshot()
+    reg_mismatches: Dict[str, List[Tuple[int, int, int]]] = {}
+    for name, want in ref_regs.items():
+        got = mp5_switch.registers.get(name)
+        if got is None:
+            continue
+        bad = [(i, a, b) for i, (a, b) in enumerate(zip(want, got)) if a != b]
+        if bad:
+            reg_mismatches[name] = bad
+
+    ref_headers = reference.headers_by_id()
+    pkt_mismatches: List[Tuple[int, str, int, int]] = []
+    dropped = 0
+    for pkt in mp5_packets:
+        if pkt.dropped:
+            dropped += 1
+            continue
+        want = ref_headers.get(pkt.pkt_id)
+        if want is None:
+            continue
+        for fld in program.packet_fields:
+            a = want.get(fld, 0)
+            b = pkt.headers.get(fld, 0)
+            if a != b:
+                pkt_mismatches.append((pkt.pkt_id, fld, a, b))
+
+    violations, fraction = c1_violations(
+        reference.access_order,
+        mp5_switch.stats.access_order,
+        mp5_switch.stats.offered,
+    )
+    return EquivalenceReport(
+        register_equal=not reg_mismatches,
+        packet_equal=not pkt_mismatches,
+        c1_violating_packets=violations,
+        c1_fraction=fraction,
+        register_mismatches=reg_mismatches,
+        packet_mismatches=pkt_mismatches,
+        dropped_packets=dropped,
+        mp5_stats=mp5_switch.stats,
+    )
+
+
+def check_equivalence(
+    program: CompiledProgram,
+    trace: List[DataPacket],
+    config: Optional[MP5Config] = None,
+    max_ticks: Optional[int] = None,
+) -> EquivalenceReport:
+    """Run ``trace`` through both switches and compare final state.
+
+    The reference single pipeline runs at k times the per-pipeline clock
+    (§2.2), so MP5 arrival ticks are scaled accordingly for it.
+    """
+    config = config or MP5Config()
+    reference = BanzaiPipeline(program).run(
+        reference_trace(trace, config.num_pipelines), record_access_order=True
+    )
+    packets = clone_packets(trace)
+    switch = MP5Switch(program, config)
+    switch.run(packets, max_ticks=max_ticks, record_access_order=True)
+    return compare_runs(program, reference, switch, packets)

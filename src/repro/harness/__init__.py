@@ -1,0 +1,66 @@
+"""Experiment harness: one driver per table/figure of the paper.
+
+* :mod:`repro.harness.table1` — Table 1 (area + clock + SRAM).
+* :mod:`repro.harness.sensitivity` — Figure 7a-d sweeps.
+* :mod:`repro.harness.microbench` — §4.3.2 D2/D3/D4 microbenchmarks.
+* :mod:`repro.harness.realapps` — Figure 8a-d real applications.
+"""
+
+from .microbench import (
+    D2Result,
+    D3Result,
+    D4Result,
+    MicrobenchSettings,
+    render_microbench,
+    run_d2,
+    run_d3,
+    run_d4,
+)
+from .realapps import (
+    RealAppPoint,
+    RealAppSettings,
+    render_figure8,
+    run_application,
+    run_figure8,
+)
+from .report import ascii_chart, format_table
+from .runall import run_all
+from .sensitivity import (
+    SensitivityPoint,
+    SweepSettings,
+    render_sweep,
+    sweep_packet_size,
+    sweep_pipelines,
+    sweep_register_size,
+    sweep_stateful_stages,
+)
+from .table1 import Table1Cell, render_table1, run_table1
+
+__all__ = [
+    "D2Result",
+    "D3Result",
+    "D4Result",
+    "MicrobenchSettings",
+    "RealAppPoint",
+    "RealAppSettings",
+    "SensitivityPoint",
+    "SweepSettings",
+    "Table1Cell",
+    "ascii_chart",
+    "format_table",
+    "render_figure8",
+    "render_microbench",
+    "render_sweep",
+    "render_table1",
+    "run_all",
+    "run_application",
+    "run_d2",
+    "run_d3",
+    "run_d4",
+    "run_figure8",
+    "run_table1",
+    "sweep_packet_size",
+    "sweep_pipelines",
+    "sweep_register_size",
+    "sweep_stateful_stages",
+]

@@ -1,0 +1,120 @@
+"""Figure 8 (§4.4): real applications under realistic traffic.
+
+For each of flowlet switching, CONGA, WFQ and the network sequencer:
+bimodal 200 B / 1400 B packet sizes, web-search flow sizes, and a sweep
+over the number of pipelines. The paper reports line-rate throughput for
+every application and pipeline count, with bounded per-stage queues
+(max 11 / 8 / 7 / 7 packets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..apps import FIGURE8_APPS, Application
+from ..mp5.config import MP5Config
+from ..mp5.switch import run_mp5
+from .report import format_table
+
+# Up to Tofino-2-class parallelism. Beyond k=8 the scalar-register
+# applications (CONGA, WFQ, sequencer) hit the fundamental single-state
+# processing limit of §3.5.2 once k * 64B / mean-packet-size exceeds one
+# packet per clock; tests cover that regime explicitly.
+PIPELINE_SWEEP = (1, 2, 4, 8)
+
+
+@dataclass
+class RealAppPoint:
+    app: str
+    num_pipelines: int
+    throughput: float
+    max_queue_depth: int
+    wasted_slots: int
+    dropped: int
+
+
+@dataclass
+class RealAppSettings:
+    num_packets: int = 6000
+    seeds: Sequence[int] = (0, 1)
+    num_ports: int = 64
+    max_ticks: Optional[int] = None
+    fifo_capacity: Optional[int] = None  # None = adaptive (no loss), as §4.3.1
+
+
+def run_application(
+    app: Application,
+    pipeline_counts: Sequence[int] = PIPELINE_SWEEP,
+    settings: Optional[RealAppSettings] = None,
+) -> List[RealAppPoint]:
+    """Sweep one application over pipeline counts."""
+    settings = settings or RealAppSettings()
+    program = app.compile()
+    points = []
+    for k in pipeline_counts:
+        throughputs, queue_depths, wasted, dropped = [], [], [], []
+        for seed in settings.seeds:
+            trace = app.workload(
+                settings.num_packets,
+                k,
+                seed=seed,
+                num_ports=settings.num_ports,
+            )
+            stats, _ = run_mp5(
+                program,
+                trace,
+                MP5Config(
+                    num_pipelines=k,
+                    num_ports=settings.num_ports,
+                    fifo_capacity=settings.fifo_capacity,
+                ),
+                max_ticks=settings.max_ticks,
+            )
+            throughputs.append(stats.throughput_normalized())
+            queue_depths.append(stats.max_queue_depth)
+            wasted.append(stats.wasted_slots)
+            dropped.append(stats.dropped)
+        points.append(
+            RealAppPoint(
+                app=app.name,
+                num_pipelines=k,
+                throughput=float(np.mean(throughputs)),
+                max_queue_depth=int(np.max(queue_depths)),
+                wasted_slots=int(np.max(wasted)),
+                dropped=int(np.sum(dropped)),
+            )
+        )
+    return points
+
+
+def run_figure8(
+    pipeline_counts: Sequence[int] = PIPELINE_SWEEP,
+    settings: Optional[RealAppSettings] = None,
+) -> Dict[str, List[RealAppPoint]]:
+    """All four Figure 8 panels."""
+    return {
+        app.name: run_application(app, pipeline_counts, settings)
+        for app in FIGURE8_APPS
+    }
+
+
+def render_figure8(results: Dict[str, List[RealAppPoint]]) -> str:
+    """Render one table per Figure 8 panel."""
+    sections = []
+    panel = dict(flowlet="8a", conga="8b", wfq="8c", sequencer="8d")
+    for app, points in results.items():
+        rows = [
+            (p.num_pipelines, p.throughput, p.max_queue_depth, p.dropped)
+            for p in points
+        ]
+        sections.append(
+            format_table(
+                ["pipelines", "throughput", "max queue", "drops"],
+                rows,
+                title=f"Figure {panel.get(app, '?')}: {app}",
+            )
+        )
+    return "\n\n".join(sections)

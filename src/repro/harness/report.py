@@ -1,0 +1,60 @@
+"""Plain-text table rendering for experiment results."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned ASCII table (the shape the paper's tables use)."""
+    rendered_rows: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    for row in rendered_rows:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def ascii_chart(
+    labels: Sequence[object],
+    values: Sequence[float],
+    width: int = 40,
+    title: str = "",
+    max_value: float = 1.0,
+) -> str:
+    """Render a horizontal bar chart in plain text.
+
+    Used by the CLI to sketch the Figure 7/8 curves without a plotting
+    dependency; ``max_value`` anchors the full bar (1.0 = line rate).
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    top = max(max_value, max(values, default=0.0)) or 1.0
+    label_width = max((len(str(lbl)) for lbl in labels), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar = "#" * int(round(width * value / top))
+        lines.append(f"{str(label).rjust(label_width)} |{bar.ljust(width)}| {value:.3f}")
+    return "\n".join(lines)

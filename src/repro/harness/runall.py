@@ -1,0 +1,106 @@
+"""One-shot reproduction: regenerate every table and figure into files.
+
+``run_all`` executes Table 1, the §4.3.2 microbenchmarks, all four
+Figure 7 sweeps and Figure 8, writes each rendered table to
+``<out>/<artifact>.txt`` plus a machine-readable ``results.json``, and
+returns the combined report. The CLI exposes it as
+``python -m repro reproduce [--out DIR] [--scale small|full]``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+from .microbench import MicrobenchSettings, render_microbench, run_d2, run_d3, run_d4
+from .realapps import RealAppSettings, render_figure8, run_figure8
+from .sensitivity import (
+    SweepSettings,
+    render_sweep,
+    sweep_packet_size,
+    sweep_pipelines,
+    sweep_register_size,
+    sweep_stateful_stages,
+)
+from .table1 import render_table1, run_table1
+
+SCALES = {
+    "tiny": dict(num_packets=600, seeds=(0,), micro_seeds=(0,)),  # CI smoke
+    "small": dict(num_packets=2000, seeds=(0,), micro_seeds=(0, 1)),
+    "full": dict(num_packets=5000, seeds=(0, 1), micro_seeds=tuple(range(10))),
+}
+
+
+def run_all(
+    out_dir: Optional[str] = None,
+    scale: str = "full",
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, str]:
+    """Regenerate every artifact; returns {artifact: rendered text}.
+
+    When ``out_dir`` is given, writes one ``.txt`` per artifact and a
+    ``results.json`` with the structured numbers.
+    """
+    if scale not in SCALES:
+        raise ValueError(f"scale must be one of {sorted(SCALES)}")
+    knobs = SCALES[scale]
+    say = progress or (lambda _msg: None)
+
+    sweep_settings = SweepSettings(
+        num_packets=knobs["num_packets"], seeds=knobs["seeds"]
+    )
+    micro_settings = MicrobenchSettings(
+        num_packets=knobs["num_packets"], seeds=knobs["micro_seeds"]
+    )
+    app_settings = RealAppSettings(
+        num_packets=knobs["num_packets"], seeds=knobs["seeds"]
+    )
+
+    artifacts: Dict[str, str] = {}
+    structured: Dict[str, object] = {"scale": scale}
+
+    say("Table 1 (area/clock/SRAM)")
+    cells = run_table1()
+    artifacts["table1"] = render_table1(cells)
+    structured["table1"] = [asdict(c) for c in cells]
+
+    say("§4.3.2 microbenchmarks (D2/D3/D4)")
+    started = time.time()
+    d2 = run_d2(micro_settings)
+    d4 = run_d4(micro_settings)
+    d3 = run_d3(micro_settings)
+    artifacts["microbench"] = render_microbench(d2, d4, d3)
+    structured["d2"] = [asdict(r) for r in d2]
+    structured["d3"] = asdict(d3)
+    structured["d4"] = asdict(d4)
+    say(f"  done in {time.time() - started:.0f}s")
+
+    for panel, runner in (
+        ("fig7a", sweep_pipelines),
+        ("fig7b", sweep_stateful_stages),
+        ("fig7c", sweep_register_size),
+        ("fig7d", sweep_packet_size),
+    ):
+        say(f"Figure {panel[-2:]}")
+        points = runner(sweep_settings)
+        artifacts[panel] = render_sweep(points, panel[-2:])
+        structured[panel] = [asdict(p) for p in points]
+
+    say("Figure 8 (real applications)")
+    fig8 = run_figure8(settings=app_settings)
+    artifacts["fig8"] = render_figure8(fig8)
+    structured["fig8"] = {
+        app: [asdict(p) for p in points] for app, points in fig8.items()
+    }
+
+    if out_dir is not None:
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        for name, text in artifacts.items():
+            (out / f"{name}.txt").write_text(text + "\n")
+        (out / "results.json").write_text(json.dumps(structured, indent=2))
+        say(f"wrote {len(artifacts)} artifacts to {out}/")
+    return artifacts

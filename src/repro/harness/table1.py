@@ -1,0 +1,72 @@
+"""Regenerate Table 1 (§4.2): chip area and clock speed vs (k, s)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..asic import (
+    PAPER_TABLE1,
+    chip_area_mm2,
+    sram_overhead_paper_example,
+    timing_report,
+)
+from .report import format_table
+
+PIPELINE_COUNTS = (2, 4, 8)
+STAGE_COUNTS = (4, 8, 12, 16)
+
+
+@dataclass
+class Table1Cell:
+    pipelines: int
+    stages: int
+    area_mm2: float
+    frequency_ghz: float
+    meets_1ghz: bool
+    paper_area_mm2: float
+
+
+def run_table1() -> List[Table1Cell]:
+    cells = []
+    for k in PIPELINE_COUNTS:
+        for s in STAGE_COUNTS:
+            timing = timing_report(k, s)
+            cells.append(
+                Table1Cell(
+                    pipelines=k,
+                    stages=s,
+                    area_mm2=round(chip_area_mm2(k, s), 3),
+                    frequency_ghz=timing.frequency_ghz,
+                    meets_1ghz=timing.meets_1ghz,
+                    paper_area_mm2=PAPER_TABLE1[(k, s)],
+                )
+            )
+    return cells
+
+
+def render_table1(cells: List[Table1Cell] = None) -> str:
+    """Render Table 1 (with the paper's values alongside)."""
+    cells = cells or run_table1()
+    rows = [
+        (
+            f"k={c.pipelines}",
+            f"s={c.stages}",
+            c.area_mm2,
+            c.paper_area_mm2,
+            f"{c.frequency_ghz:.2f} GHz",
+            ">= 1 GHz" if c.meets_1ghz else "< 1 GHz",
+        )
+        for c in cells
+    ]
+    sram = sram_overhead_paper_example()
+    table = format_table(
+        ["pipelines", "stages", "area (model)", "area (paper)", "clock", "target"],
+        rows,
+        title="Table 1: chip area and clock speed vs pipelines (k) and stages (s)",
+    )
+    return (
+        table
+        + f"\nSRAM overhead (10 stateful stages x 1000 entries, 30 b/index): "
+        + f"{sram.kilobytes:.1f} KB per pipeline"
+    )

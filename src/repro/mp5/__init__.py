@@ -1,0 +1,41 @@
+"""MP5 core: the multi-pipelined programmable switch (architecture + runtime).
+
+Public surface::
+
+    from repro.mp5 import MP5Switch, MP5Config, run_mp5
+
+    program = compile_program("flowlet")
+    stats, registers = run_mp5(program, trace, MP5Config(num_pipelines=4))
+"""
+
+from .config import MP5Config
+from .crossbar import CrossbarTelemetry
+from .fifo import IdealOrderBuffer, Slot, StageFifoGroup
+from .packet import DataPacket, PhantomPacket, StateAccess
+from .partition import LogicalPartition, PartitionedMP5, PartitionResult
+from .sharding import ShardedArray, ShardingRuntime
+from .stats import C1Report, SwitchStats, c1_metrics, c1_violations
+from .switch import FLOW_ORDER_ARRAY, MP5Switch, run_mp5
+
+__all__ = [
+    "CrossbarTelemetry",
+    "DataPacket",
+    "FLOW_ORDER_ARRAY",
+    "IdealOrderBuffer",
+    "LogicalPartition",
+    "PartitionResult",
+    "PartitionedMP5",
+    "MP5Config",
+    "MP5Switch",
+    "PhantomPacket",
+    "ShardedArray",
+    "ShardingRuntime",
+    "Slot",
+    "StageFifoGroup",
+    "StateAccess",
+    "C1Report",
+    "SwitchStats",
+    "c1_metrics",
+    "c1_violations",
+    "run_mp5",
+]

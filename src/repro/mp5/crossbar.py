@@ -1,0 +1,105 @@
+"""Explicit crossbar model between consecutive pipeline stages (D3).
+
+The switch engine's movement phase *is* the crossbar semantically; this
+module makes the hardware structure explicit so its constraints can be
+asserted and its utilization measured — the crossbar dominates MP5's
+chip area (§4.2), so knowing how loaded it actually runs matters.
+
+A k x k crossbar at one stage boundary can, per tick:
+
+* deliver at most one packet from each input (each stage emits <= 1);
+* deliver up to k packets into one stage input — which is exactly why
+  each stage input has k FIFOs (§3.2): simultaneous arrivals from
+  different source pipelines land in different ring buffers.
+
+:class:`CrossbarTelemetry` validates both per tick and accumulates the
+distribution of crossing patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..errors import SimulationError
+
+
+@dataclass
+class CrossbarTelemetry:
+    """Per-boundary crossbar accounting for one simulation run."""
+
+    num_pipelines: int
+    # boundary (stage index of the *destination*) -> counters
+    crossings: Dict[int, int] = field(default_factory=dict)  # src != dst
+    straight: Dict[int, int] = field(default_factory=dict)  # src == dst
+    # histogram of simultaneous arrivals into one (dst, stage) per tick
+    fan_in_histogram: Dict[int, int] = field(default_factory=dict)
+    _tick_inputs: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    _tick_sources: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
+    def begin_tick(self) -> None:
+        self._tick_inputs.clear()
+        self._tick_sources.clear()
+
+    def record(self, source: int, dest: int, boundary: int) -> None:
+        """One packet traverses the crossbar at ``boundary`` this tick."""
+        if not (0 <= source < self.num_pipelines):
+            raise SimulationError(f"bad crossbar source {source}")
+        if not (0 <= dest < self.num_pipelines):
+            raise SimulationError(f"bad crossbar destination {dest}")
+        if source == dest:
+            self.straight[boundary] = self.straight.get(boundary, 0) + 1
+        else:
+            self.crossings[boundary] = self.crossings.get(boundary, 0) + 1
+        # Each input port carries at most one packet per tick.
+        src_key = (source, boundary)
+        used = self._tick_sources.get(src_key, 0)
+        if used:
+            raise SimulationError(
+                f"crossbar input ({source}, boundary {boundary}) carried two "
+                f"packets in one tick — a stage emitted more than one packet"
+            )
+        self._tick_sources[src_key] = 1
+        dst_key = (dest, boundary)
+        self._tick_inputs[dst_key] = self._tick_inputs.get(dst_key, 0) + 1
+        if self._tick_inputs[dst_key] > self.num_pipelines:
+            raise SimulationError(
+                f"stage input ({dest}, {boundary}) received more than k "
+                f"packets in one tick"
+            )
+
+    def end_tick(self) -> None:
+        for count in self._tick_inputs.values():
+            self.fan_in_histogram[count] = self.fan_in_histogram.get(count, 0) + 1
+
+    # ------------------------------------------------------------------
+
+    @property
+    def total_crossings(self) -> int:
+        return sum(self.crossings.values())
+
+    @property
+    def total_straight(self) -> int:
+        return sum(self.straight.values())
+
+    def crossing_fraction(self) -> float:
+        total = self.total_crossings + self.total_straight
+        return self.total_crossings / total if total else 0.0
+
+    def max_fan_in(self) -> int:
+        return max(self.fan_in_histogram, default=0)
+
+    def busiest_boundary(self) -> Tuple[int, int]:
+        """(boundary, crossings) of the most-used crossbar."""
+        if not self.crossings:
+            return (0, 0)
+        boundary = max(self.crossings, key=self.crossings.get)
+        return boundary, self.crossings[boundary]
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "crossings": self.total_crossings,
+            "straight": self.total_straight,
+            "crossing_fraction": self.crossing_fraction(),
+            "max_fan_in": self.max_fan_in(),
+        }

@@ -1,0 +1,266 @@
+"""Per-stage FIFOs implementing MP5's three queue operations (§3.2).
+
+Each stateful stage input has *k* FIFOs, one per source pipeline, so that
+up to *k* packets can enter the stage in the same clock cycle without
+contention. Physically each FIFO is a ring buffer; logically the k FIFOs
+behave as a single FIFO offering:
+
+* ``push(pkt, fifo_id)``  — append (data or phantom) to a ring buffer's
+  tail, timestamping it; full buffer => drop. Phantom positions are
+  recorded in a directory keyed by packet id.
+* ``insert(pkt, fifo_id)`` — replace the packet's phantom, *in place*,
+  with the data packet (the data packet inherits the phantom's position
+  and timestamp, i.e. its order). Missing directory entry => drop.
+* ``pop()`` — look at the k ring-buffer heads, take the entry with the
+  smallest timestamp. A phantom head blocks the pop entirely: packets
+  that arrived later must wait for the placeholder's data packet — this
+  is the D4 ordering enforcement (and the head-of-line blocking noted as
+  practical limitation (2) in §3.5.2).
+
+An :class:`IdealOrderBuffer` variant keeps one virtual FIFO per register
+index, removing head-of-line blocking across indexes; it is the queue
+model of the "ideal MP5" baseline in §4.3.3.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple, Union
+
+from ..errors import ConfigError
+from .packet import DataPacket, PhantomPacket
+
+_seq_counter = itertools.count()
+
+Timestamp = Tuple[int, int]  # (tick, global sequence) — unique and ordered
+
+
+@dataclass
+class Slot:
+    """One ring-buffer entry. ``payload`` flips from phantom to data when
+    ``insert`` replaces the placeholder."""
+
+    timestamp: Timestamp
+    payload: Union[DataPacket, PhantomPacket]
+    consumed: bool = False
+
+    @property
+    def is_phantom(self) -> bool:
+        return isinstance(self.payload, PhantomPacket)
+
+
+class StageFifoGroup:
+    """The k ring buffers at one (pipeline, stage) input."""
+
+    def __init__(self, num_pipelines: int, capacity: Optional[int] = None):
+        if num_pipelines < 1:
+            raise ConfigError("need at least one pipeline FIFO")
+        if capacity is not None and capacity < 1:
+            raise ConfigError("FIFO capacity must be positive (or None)")
+        self.num_pipelines = num_pipelines
+        self.capacity = capacity
+        self.buffers: List[Deque[Slot]] = [deque() for _ in range(num_pipelines)]
+        # Directory: packet id -> slot holding its phantom. The paper's
+        # directory is indexed by packet id; one outstanding phantom per
+        # (packet, stage) holds because a packet accesses at most one
+        # array per stage after the MP5 transform.
+        self.directory: Dict[int, Slot] = {}
+        self.drops_full = 0
+        self.drops_no_phantom = 0
+        self.peak_occupancy = 0
+
+    # ------------------------------------------------------------------
+
+    def _stamp(self, tick: int) -> Timestamp:
+        return (tick, next(_seq_counter))
+
+    def _note_occupancy(self) -> None:
+        total = sum(len(b) for b in self.buffers)
+        if total > self.peak_occupancy:
+            self.peak_occupancy = total
+
+    def occupancy(self) -> int:
+        return sum(len(b) for b in self.buffers)
+
+    def data_occupancy(self) -> int:
+        return sum(
+            1 for b in self.buffers for s in b if not s.is_phantom and not s.consumed
+        )
+
+    # ------------------------------------------------------------------
+    # The three §3.2 operations
+    # ------------------------------------------------------------------
+
+    def push(
+        self, pkt: Union[DataPacket, PhantomPacket], fifo_id: int, tick: int
+    ) -> bool:
+        """Append to the tail of ring buffer ``fifo_id``. Returns False
+        (packet dropped) when the buffer is full."""
+        buffer = self.buffers[fifo_id]
+        if self.capacity is not None and len(buffer) >= self.capacity:
+            self.drops_full += 1
+            return False
+        slot = Slot(timestamp=self._stamp(tick), payload=pkt)
+        buffer.append(slot)
+        if isinstance(pkt, PhantomPacket):
+            self.directory[pkt.pkt_id] = slot
+        self._note_occupancy()
+        return True
+
+    def insert(self, pkt: DataPacket, tick: int) -> bool:
+        """Replace the packet's phantom with the data packet, in place.
+
+        Returns False when no phantom is present (it was dropped on a
+        full FIFO), in which case the data packet must be dropped too.
+        """
+        slot = self.directory.pop(pkt.pkt_id, None)
+        if slot is None or slot.consumed:
+            self.drops_no_phantom += 1
+            return False
+        slot.payload = pkt
+        return True
+
+    def pop(self) -> Optional[DataPacket]:
+        """Remove and return the oldest head if it is a data packet.
+
+        A phantom at the oldest head blocks the whole logical FIFO (no
+        action taken), enforcing arrival-order state access.
+        """
+        self._drop_consumed_heads()
+        best: Optional[Deque[Slot]] = None
+        best_slot: Optional[Slot] = None
+        for buffer in self.buffers:
+            if not buffer:
+                continue
+            head = buffer[0]
+            if best_slot is None or head.timestamp < best_slot.timestamp:
+                best_slot = head
+                best = buffer
+        if best_slot is None:
+            return None
+        if best_slot.is_phantom:
+            return None  # blocked: placeholder awaits its data packet
+        best.popleft()
+        return best_slot.payload  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+
+    def _drop_consumed_heads(self) -> None:
+        for buffer in self.buffers:
+            while buffer and buffer[0].consumed:
+                buffer.popleft()
+
+    def head_data_age(self, tick: int) -> Optional[int]:
+        """Age (in ticks) of the oldest head if it is a data packet."""
+        self._drop_consumed_heads()
+        best_slot: Optional[Slot] = None
+        for buffer in self.buffers:
+            if buffer and (
+                best_slot is None or buffer[0].timestamp < best_slot.timestamp
+            ):
+                best_slot = buffer[0]
+        if best_slot is None or best_slot.is_phantom:
+            return None
+        return tick - best_slot.timestamp[0]
+
+    def expire_phantom(self, pkt_id: int) -> bool:
+        """Retire a phantom whose data packet will never come (used when a
+        data packet is dropped upstream). Marks the slot consumed so it
+        no longer blocks the queue."""
+        slot = self.directory.pop(pkt_id, None)
+        if slot is None:
+            return False
+        slot.consumed = True
+        return True
+
+
+class IdealOrderBuffer:
+    """Queue model of the ideal MP5 baseline: one virtual FIFO per
+    register index, so a blocked index never blocks others.
+
+    Exposes the same push/insert/pop surface as :class:`StageFifoGroup`
+    (capacity is unbounded — the ideal design has no practical limits).
+    """
+
+    def __init__(self, num_pipelines: int, capacity: Optional[int] = None):
+        self.num_pipelines = num_pipelines
+        self.capacity = capacity  # accepted for interface parity; unused
+        self.queues: Dict[Tuple[str, Optional[int]], Deque[Slot]] = {}
+        self.directory: Dict[int, Tuple[Slot, Tuple[str, Optional[int]]]] = {}
+        self.drops_full = 0
+        self.drops_no_phantom = 0
+        self.peak_occupancy = 0
+
+    def _stamp(self, tick: int) -> Timestamp:
+        return (tick, next(_seq_counter))
+
+    def _note_occupancy(self) -> None:
+        total = sum(len(q) for q in self.queues.values())
+        if total > self.peak_occupancy:
+            self.peak_occupancy = total
+
+    def occupancy(self) -> int:
+        return sum(len(q) for q in self.queues.values())
+
+    def data_occupancy(self) -> int:
+        return sum(
+            1
+            for q in self.queues.values()
+            for s in q
+            if not s.is_phantom and not s.consumed
+        )
+
+    def push(
+        self, pkt: Union[DataPacket, PhantomPacket], fifo_id: int, tick: int
+    ) -> bool:
+        if not isinstance(pkt, PhantomPacket):
+            raise ConfigError("IdealOrderBuffer queues via phantoms only")
+        key = (pkt.array, pkt.index)
+        slot = Slot(timestamp=self._stamp(tick), payload=pkt)
+        self.queues.setdefault(key, deque()).append(slot)
+        self.directory[pkt.pkt_id] = (slot, key)
+        self._note_occupancy()
+        return True
+
+    def insert(self, pkt: DataPacket, tick: int) -> bool:
+        entry = self.directory.pop(pkt.pkt_id, None)
+        if entry is None or entry[0].consumed:
+            self.drops_no_phantom += 1
+            return False
+        entry[0].payload = pkt
+        return True
+
+    def pop(self) -> Optional[DataPacket]:
+        best_key = None
+        best_slot: Optional[Slot] = None
+        for key, queue in self.queues.items():
+            while queue and queue[0].consumed:
+                queue.popleft()
+            if not queue:
+                continue
+            head = queue[0]
+            if head.is_phantom:
+                continue  # this index waits; others may proceed
+            if best_slot is None or head.timestamp < best_slot.timestamp:
+                best_slot = head
+                best_key = key
+        if best_slot is None:
+            return None
+        self.queues[best_key].popleft()
+        return best_slot.payload  # type: ignore[return-value]
+
+    def head_data_age(self, tick: int) -> Optional[int]:
+        ages = []
+        for queue in self.queues.values():
+            if queue and not queue[0].is_phantom and not queue[0].consumed:
+                ages.append(tick - queue[0].timestamp[0])
+        return max(ages) if ages else None
+
+    def expire_phantom(self, pkt_id: int) -> bool:
+        entry = self.directory.pop(pkt_id, None)
+        if entry is None:
+            return False
+        entry[0].consumed = True
+        return True

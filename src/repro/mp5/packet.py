@@ -1,0 +1,83 @@
+"""Packet types flowing through an MP5 switch.
+
+Two kinds of traffic exist (§3.2): **data packets** on the data channel,
+and **phantom packets** on the physically separate phantom channel. A
+phantom is a small (48-bit in the paper) placeholder carrying
+``<pkt id, register, index, pipeline, stage>`` that reserves its data
+packet's position in the destination stage's FIFO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..compiler.tac import Temp
+
+
+@dataclass
+class StateAccess:
+    """One planned register access, resolved at the address-resolution
+    stage and carried in the packet's metadata (§3.3).
+
+    ``index`` is None for arrays whose index computation is stateful —
+    ordering then falls back to array-level phantoms. ``pipeline`` is the
+    destination pipeline at resolution time (the index-to-pipeline map
+    lookup). ``conservative`` marks accesses whose guard could not be
+    evaluated preemptively: the phantom is always generated and a false
+    guard wastes the slot.
+    """
+
+    array: str
+    stage: int
+    pipeline: int
+    index: Optional[int] = None
+    conservative: bool = False
+    completed: bool = False
+
+
+@dataclass
+class DataPacket:
+    """A data packet and its PHV (headers + carried temporaries)."""
+
+    pkt_id: int
+    arrival: float
+    port: int
+    headers: Dict[str, int]
+    size_bytes: int = 64
+    flow_id: Optional[int] = None
+    env: Dict[Temp, int] = field(default_factory=dict)
+    accesses: List[StateAccess] = field(default_factory=list)
+    entry_pipeline: int = -1
+    entry_tick: int = -1
+    egress_tick: Optional[int] = None
+    dropped: bool = False
+    drop_reason: str = ""
+    ecn_marked: bool = False
+
+    def access_at_stage(self, stage: int) -> Optional[StateAccess]:
+        for access in self.accesses:
+            if access.stage == stage and not access.completed:
+                return access
+        return None
+
+    @property
+    def is_stateful(self) -> bool:
+        return bool(self.accesses)
+
+    @property
+    def done(self) -> bool:
+        return self.dropped or self.egress_tick is not None
+
+
+@dataclass
+class PhantomPacket:
+    """Placeholder traveling the phantom channel (48 bits of content in
+    hardware: packet id, register, index, destination pipeline+stage)."""
+
+    pkt_id: int
+    array: str
+    index: Optional[int]
+    pipeline: int
+    stage: int
+    created_tick: int

@@ -1,0 +1,122 @@
+"""Logical MP5 partitioning (§3.1, footnote 1).
+
+MP5's compiler can program a *subset* m of the k physical pipelines with
+one program and the remaining pipelines with others, "creating multiple
+independent logical MP5, each with varying number of parallel
+pipelines". Because pipelines in different partitions share no state,
+no crossbar paths and no FIFOs, each logical switch behaves exactly like
+a standalone MP5 of its own width — which is how we model it: one
+:class:`~repro.mp5.switch.MP5Switch` per partition over disjoint
+pipeline ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..compiler.codegen import CompiledProgram
+from ..errors import ConfigError
+from .config import MP5Config
+from .stats import SwitchStats
+from .switch import MP5Switch
+
+
+@dataclass
+class LogicalPartition:
+    """One logical MP5: a program and the pipelines dedicated to it."""
+
+    program: CompiledProgram
+    num_pipelines: int
+    name: str = ""
+
+    def __post_init__(self):
+        if self.num_pipelines < 1:
+            raise ConfigError("a partition needs at least one pipeline")
+        if not self.name:
+            self.name = self.program.name
+
+
+@dataclass
+class PartitionResult:
+    """Per-partition outcome of a partitioned run."""
+
+    name: str
+    pipelines: Tuple[int, int]  # [first, last] physical pipeline ids
+    stats: SwitchStats
+    registers: Dict[str, List[int]]
+
+
+class PartitionedMP5:
+    """A physical switch whose pipelines are split among logical MP5s.
+
+    Example: on an 8-pipeline switch, run flowlet switching on 6
+    pipelines and a heavy-hitter sketch on the remaining 2::
+
+        switch = PartitionedMP5(
+            total_pipelines=8,
+            partitions=[
+                LogicalPartition(flowlet_program, 6),
+                LogicalPartition(sketch_program, 2),
+            ],
+        )
+        results = switch.run([flowlet_trace, sketch_trace])
+    """
+
+    def __init__(
+        self,
+        total_pipelines: int,
+        partitions: Sequence[LogicalPartition],
+        base_config: Optional[MP5Config] = None,
+    ):
+        if not partitions:
+            raise ConfigError("need at least one partition")
+        used = sum(p.num_pipelines for p in partitions)
+        if used > total_pipelines:
+            raise ConfigError(
+                f"partitions need {used} pipelines but the switch has "
+                f"{total_pipelines}"
+            )
+        self.total_pipelines = total_pipelines
+        self.partitions = list(partitions)
+        base_config = base_config or MP5Config()
+        self.switches: List[MP5Switch] = []
+        self.ranges: List[Tuple[int, int]] = []
+        first = 0
+        for part in self.partitions:
+            config = replace(base_config, num_pipelines=part.num_pipelines)
+            self.switches.append(MP5Switch(part.program, config))
+            self.ranges.append((first, first + part.num_pipelines - 1))
+            first += part.num_pipelines
+
+    @property
+    def spare_pipelines(self) -> int:
+        return self.total_pipelines - sum(p.num_pipelines for p in self.partitions)
+
+    def run(
+        self,
+        traces: Sequence[Iterable],
+        max_ticks: Optional[int] = None,
+        record_access_order: bool = False,
+    ) -> List[PartitionResult]:
+        """Run one trace per partition; partitions are independent."""
+        if len(traces) != len(self.partitions):
+            raise ConfigError(
+                f"got {len(traces)} traces for {len(self.partitions)} partitions"
+            )
+        results = []
+        for part, switch, pipes, trace in zip(
+            self.partitions, self.switches, self.ranges, traces
+        ):
+            stats = switch.run(
+                trace, max_ticks=max_ticks, record_access_order=record_access_order
+            )
+            results.append(
+                PartitionResult(
+                    name=part.name,
+                    pipelines=pipes,
+                    stats=stats,
+                    registers=dict(switch.registers),
+                )
+            )
+        return results

@@ -1,0 +1,205 @@
+"""Statistics collected during an MP5 simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class SwitchStats:
+    """Counters and distributions gathered by the switch engine."""
+
+    offered: int = 0
+    egressed: int = 0
+    dropped: int = 0
+    drops_fifo_full: int = 0
+    drops_no_phantom: int = 0
+    drops_starvation: int = 0
+    wasted_slots: int = 0  # conservative phantoms whose guard was false
+    steering_moves: int = 0  # crossbar moves to a different pipeline
+    phantoms_generated: int = 0
+    remap_moves: int = 0
+    ticks: int = 0
+    max_queue_depth: int = 0
+    ecn_marked: int = 0  # packets marked by the §3.4 queue-threshold scheme
+    # Per-packet pipeline latency (egress tick - arrival tick).
+    latencies: List[float] = field(default_factory=list)
+    # Egress timestamps for windowed throughput computation.
+    egress_ticks: List[int] = field(default_factory=list)
+    arrival_ticks: List[float] = field(default_factory=list)
+    # Observed access order per state: (array, index) -> [pkt ids].
+    access_order: Dict[Tuple[str, Optional[int]], List[int]] = field(
+        default_factory=dict
+    )
+    # Per-flow egress order for reordering analysis: flow -> [pkt ids].
+    flow_egress: Dict[int, List[int]] = field(default_factory=dict)
+    per_stage_peak_queue: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def delivery_ratio(self) -> float:
+        return self.egressed / self.offered if self.offered else 0.0
+
+    def throughput_normalized(self, warmup_fraction: float = 0.5) -> float:
+        """Steady-state egress rate normalized to the offered rate.
+
+        Measures both rates over the tail window starting after
+        ``warmup_fraction`` of the arrival interval, which skips pipeline
+        fill and initial sharding transients.
+        """
+        if not self.arrival_ticks or not self.egress_ticks:
+            return 0.0
+        first = min(self.arrival_ticks)
+        last = max(self.arrival_ticks)
+        if last <= first:
+            return 1.0
+        window_start = first + (last - first) * warmup_fraction
+        window = last - window_start
+        if window <= 0:
+            return 1.0
+        arrivals = sum(1 for t in self.arrival_ticks if t >= window_start)
+        egresses = sum(
+            1 for t in self.egress_ticks if window_start <= t <= last
+        )
+        if arrivals == 0:
+            return 1.0
+        return min(1.0, egresses / arrivals)
+
+    def reordered_flows(self) -> int:
+        """Number of flows whose packets egressed out of arrival order."""
+        return sum(
+            1
+            for order in self.flow_egress.values()
+            if any(b < a for a, b in zip(order, order[1:]))
+        )
+
+    def reordered_packets(self) -> int:
+        """Packets that egressed before an earlier-arrived flow-mate."""
+        count = 0
+        for order in self.flow_egress.values():
+            high = -1
+            for pkt_id in order:
+                if pkt_id < high:
+                    count += 1
+                else:
+                    high = pkt_id
+        return count
+
+    def latency_percentile(self, percentile: float) -> float:
+        """Pipeline latency percentile in ticks (0 when nothing egressed)."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        if not 0.0 <= percentile <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        rank = min(
+            len(ordered) - 1, max(0, int(round(percentile / 100 * (len(ordered) - 1))))
+        )
+        return ordered[rank]
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "offered": self.offered,
+            "egressed": self.egressed,
+            "dropped": self.dropped,
+            "throughput": self.throughput_normalized(),
+            "delivery_ratio": self.delivery_ratio,
+            "wasted_slots": self.wasted_slots,
+            "steering_moves": self.steering_moves,
+            "phantoms": self.phantoms_generated,
+            "remap_moves": self.remap_moves,
+            "max_queue_depth": self.max_queue_depth,
+            "ticks": self.ticks,
+            "mean_latency": self.mean_latency,
+            "p99_latency": self.latency_percentile(99),
+            "ecn_marked": self.ecn_marked,
+        }
+
+
+@dataclass
+class C1Report:
+    """Both readings of "fraction of packets that violate C1" (§4.3.2).
+
+    ``displaced_fraction`` counts packets whose position in some state's
+    observed access sequence differs from their arrival rank — a strict,
+    involvement-based reading. ``inversion_fraction`` counts state-access
+    events that happen out of order w.r.t. the immediately preceding
+    access of the same state — an event-density reading. Both are zero
+    exactly when C1 holds; they differ in how widely a single reordering
+    is charged.
+    """
+
+    displaced_packets: int
+    displaced_fraction: float
+    inversions: int
+    inversion_fraction: float
+
+    @property
+    def violated(self) -> bool:
+        return self.displaced_packets > 0
+
+
+def c1_metrics(
+    reference_order: Dict[Tuple[str, int], List[int]],
+    observed_order: Dict[Tuple[str, Optional[int]], List[int]],
+    total_packets: int,
+) -> C1Report:
+    """Compute both C1 violation metrics for an observed access order."""
+    violators = set()
+    inversions = 0
+    total_accesses = 0
+    for key, observed in observed_order.items():
+        total_accesses += len(observed)
+        expected = reference_order.get(key)
+        if expected is None or len(expected) != len(observed):
+            expected = sorted(observed)
+        for want, got in zip(expected, observed):
+            if want != got:
+                violators.add(got)
+        for a, b in zip(observed, observed[1:]):
+            if b < a:
+                inversions += 1
+    return C1Report(
+        displaced_packets=len(violators),
+        displaced_fraction=len(violators) / total_packets if total_packets else 0.0,
+        inversions=inversions,
+        inversion_fraction=inversions / total_accesses if total_accesses else 0.0,
+    )
+
+
+def c1_violations(
+    reference_order: Dict[Tuple[str, int], List[int]],
+    observed_order: Dict[Tuple[str, Optional[int]], List[int]],
+    total_packets: int,
+) -> Tuple[int, float]:
+    """Count packets violating condition C1 (state-access-order
+    equivalence, §3).
+
+    A packet violates C1 if, for some state, it accessed that state
+    before another packet that arrived earlier (packet ids are assigned
+    in arrival order, so id order is arrival order). Returns
+    ``(violating_packet_count, fraction)``.
+    """
+    violators = set()
+    for key, observed in observed_order.items():
+        expected = reference_order.get(key)
+        if expected is None or len(expected) != len(observed):
+            # No usable reference sequence (e.g. a drop changed the
+            # accessor set): arrival order must still hold within the
+            # observed sequence, since packet ids are arrival-ordered.
+            expected = sorted(observed)
+        for want, got in zip(expected, observed):
+            if want != got:
+                violators.add(got)
+    fraction = len(violators) / total_packets if total_packets else 0.0
+    return len(violators), fraction

@@ -1,0 +1,552 @@
+"""The MP5 multi-pipeline switch simulator (§3.2–§3.4).
+
+Architecture per Figure 4: *k* identical feed-forward pipelines, a
+crossbar between consecutive stages (D3), a physically separate phantom
+channel (D4), and per-stage groups of k FIFOs. Every pipeline runs the
+same compiled program (D1); register indexes are dynamically sharded
+across pipelines (D2) under the Figure 6 heuristic.
+
+Time model: one tick = one pipeline clock. Each pipeline starts at most
+one packet per tick, so aggregate capacity is k packets/tick — the line
+rate for minimum-size packets. Within a tick the engine:
+
+1. delivers phantom packets scheduled for this tick;
+2. injects arrivals (uniform spray across pipelines), executing the
+   address-resolution stage: indexes/guards are evaluated preemptively,
+   accesses planned, destination pipelines looked up in the
+   index-to-pipeline map, phantoms emitted (in arrival order, preserving
+   runtime Invariant 1);
+3. moves every in-flight packet one hop: egress from the last stage,
+   *insert* into the destination FIFO when the next stage holds one of
+   the packet's planned accesses (steering across the crossbar), or a
+   linear through-move otherwise — through (stateless-at-that-stage)
+   packets take priority over queued stateful packets, which preserves
+   runtime Invariant 2;
+4. pops from each stateful stage whose service slot is free — a phantom
+   at the logical FIFO head blocks the pop (order enforcement);
+5. services every newly occupied slot (executes the stage's atom);
+6. every ``remap_period`` ticks, runs the dynamic sharding remap and
+   resets the access counters.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..compiler.codegen import CompiledProgram
+from ..compiler.tac import Const, TacEvaluator
+from ..domino.builtins import hash2
+from ..errors import ConfigError
+from .config import MP5Config
+from .crossbar import CrossbarTelemetry
+from .fifo import IdealOrderBuffer, StageFifoGroup
+from .packet import DataPacket, PhantomPacket, StateAccess
+from .sharding import ShardingRuntime
+from .stats import SwitchStats
+
+FLOW_ORDER_ARRAY = "__flow_order__"
+
+TraceEntry = Union[DataPacket, Tuple[float, int, Dict[str, int]]]
+
+
+class MP5Switch:
+    """Simulates one MP5 switch running one compiled program."""
+
+    def __init__(self, program: CompiledProgram, config: Optional[MP5Config] = None):
+        self.program = program
+        self.config = config or MP5Config()
+        cfg = self.config
+
+        self.depth = max(cfg.pipeline_depth, program.stage_count)
+        self.registers: Dict[str, List[int]] = program.make_register_store()
+
+        plans = program.arrays_in_stage_order()
+        shard_specs = [(p.name, p.size, p.shardable, p.pin_key) for p in plans]
+        self._flow_order_stage: Optional[int] = None
+        if cfg.flow_order_field is not None:
+            if program.stage_count >= self.depth:
+                raise ConfigError(
+                    "flow ordering needs a free final stage; increase "
+                    "pipeline_depth beyond the program's stage count"
+                )
+            self._flow_order_stage = self.depth - 1
+            shard_specs.append(
+                (FLOW_ORDER_ARRAY, cfg.flow_order_size, True, FLOW_ORDER_ARRAY)
+            )
+            self.registers[FLOW_ORDER_ARRAY] = [0] * cfg.flow_order_size
+
+        self.sharder = ShardingRuntime(
+            shard_specs,
+            cfg.num_pipelines,
+            initial=cfg.initial_shard,
+            rng=np.random.default_rng(cfg.seed),
+        )
+
+        if cfg.phantom_latency and plans:
+            max_latency = min(p.stage for p in plans) - 1
+            if cfg.phantom_latency > max_latency:
+                raise ConfigError(
+                    f"phantom_latency {cfg.phantom_latency} exceeds the slack "
+                    f"before the first stateful stage ({max_latency}); phantoms "
+                    f"would lose the race against their data packets"
+                )
+
+        # Stateful stage locations: per (pipeline, stage) a FIFO group.
+        stateful_stages = {p.stage for p in plans}
+        if self._flow_order_stage is not None:
+            stateful_stages.add(self._flow_order_stage)
+        buffer_cls = IdealOrderBuffer if cfg.ideal_queues else StageFifoGroup
+        self.fifos: Dict[Tuple[int, int], object] = {
+            (pipe, stage): buffer_cls(cfg.num_pipelines, cfg.fifo_capacity)
+            for pipe in range(cfg.num_pipelines)
+            for stage in stateful_stages
+        }
+        self.stateful_stages = stateful_stages
+
+        # Per-pipeline service slots (None or the packet serviced this tick).
+        self.occ: List[List[Optional[DataPacket]]] = [
+            [None] * self.depth for _ in range(cfg.num_pipelines)
+        ]
+        self._phantom_mail: Dict[int, List[Tuple[PhantomPacket, int]]] = {}
+        self._fault_rng = (
+            np.random.default_rng(cfg.seed + 0x5EED)
+            if cfg.phantom_loss_rate > 0
+            else None
+        )
+        self._spray_next = 0
+        self.crossbar = (
+            CrossbarTelemetry(cfg.num_pipelines) if cfg.record_crossbar else None
+        )
+        self.stats = SwitchStats()
+        self.tick = 0
+        self._live = 0  # packets injected and not yet egressed/dropped
+        self._record_access_order = False
+
+        # Plans grouped by stage for resolution-time access planning.
+        self._plans_by_stage: List[Tuple[int, List]] = []
+        by_stage: Dict[int, List] = {}
+        for plan in plans:
+            by_stage.setdefault(plan.stage, []).append(plan)
+        self._plans_by_stage = sorted(by_stage.items())
+
+        self._stage_instrs = [
+            stage.instrs if idx < program.stage_count else []
+            for idx, stage in enumerate(program.stages)
+        ] + [[] for _ in range(self.depth - program.stage_count)]
+        if cfg.jit:
+            compiled = program.jit_stage_functions()
+            self._stage_fns = list(compiled) + [None] * (
+                self.depth - len(compiled)
+            )
+        else:
+            self._stage_fns = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        trace: Iterable[TraceEntry],
+        max_ticks: Optional[int] = None,
+        record_access_order: bool = False,
+    ) -> SwitchStats:
+        """Drive a packet trace to completion and return run statistics.
+
+        ``trace`` entries are :class:`DataPacket` objects or
+        ``(arrival_tick, port, headers)`` tuples. Arrival ticks are in
+        MP5 pipeline clocks; at minimum packet size the line rate is
+        ``num_pipelines`` packets per tick.
+        """
+        self._record_access_order = record_access_order
+        packets = [self._coerce(i, entry) for i, entry in enumerate(trace)]
+        packets.sort(key=lambda p: (p.arrival, p.port, p.pkt_id))
+        for seq, pkt in enumerate(packets):
+            pkt.pkt_id = seq  # arrival-ordered ids, the C1 reference order
+        self.stats.offered = len(packets)
+        self.stats.arrival_ticks = [p.arrival for p in packets]
+
+        pending = deque(packets)
+        while pending or self._live > 0:
+            if max_ticks is not None and self.tick >= max_ticks:
+                break
+            self._step(pending)
+        self.stats.ticks = self.tick
+        return self.stats
+
+    # ------------------------------------------------------------------
+    # One tick
+    # ------------------------------------------------------------------
+
+    def _step(self, pending: Deque[DataPacket]) -> None:
+        cfg = self.config
+        tick = self.tick
+
+        # (1) Phantom deliveries scheduled for this tick.
+        for phantom, fifo_id in self._phantom_mail.pop(tick, ()):  # noqa: B020
+            self._deliver_phantom(phantom, fifo_id)
+
+        # (2) Injections: spray arrivals across pipelines. Packets enter
+        # strictly in arrival order (ties broken by port id, §2.2.1) so
+        # that phantom generation order equals arrival order — the
+        # property Invariant 1 turns into per-state FIFO order.
+        injected = 0
+        while (
+            pending
+            and pending[0].arrival <= tick
+            and injected < cfg.num_pipelines
+        ):
+            pipe = self._choose_entry_pipe(pending[0])
+            # All stage-0 slots vacate every tick, but guard anyway.
+            probed = 0
+            while self.occ[pipe][0] is not None and probed < cfg.num_pipelines:
+                pipe = (pipe + 1) % cfg.num_pipelines
+                probed += 1
+            if self.occ[pipe][0] is not None:
+                break
+            self._inject(pending.popleft(), pipe)
+            self._spray_next = (pipe + 1) % cfg.num_pipelines
+            injected += 1
+
+        # (3) Movement using the current occupancy snapshot.
+        new_occ: List[List[Optional[DataPacket]]] = [
+            [None] * self.depth for _ in range(cfg.num_pipelines)
+        ]
+        last = self.depth - 1
+        if self.crossbar is not None:
+            self.crossbar.begin_tick()
+        for pipe in range(cfg.num_pipelines):
+            row = self.occ[pipe]
+            for stage in range(self.depth):
+                pkt = row[stage]
+                if pkt is None:
+                    continue
+                if stage == last:
+                    self._egress(pkt)
+                    continue
+                access = pkt.access_at_stage(stage + 1)
+                if access is None:
+                    if self.crossbar is not None:
+                        self.crossbar.record(pipe, pipe, stage + 1)
+                    new_occ[pipe][stage + 1] = pkt
+                    continue
+                dest = access.pipeline
+                if self.crossbar is not None:
+                    self.crossbar.record(pipe, dest, stage + 1)
+                if dest != pipe:
+                    self.stats.steering_moves += 1
+                if cfg.enable_phantoms:
+                    fifo = self.fifos[(dest, stage + 1)]
+                    if (
+                        cfg.ecn_threshold is not None
+                        and not pkt.ecn_marked
+                        and fifo.data_occupancy() >= cfg.ecn_threshold
+                    ):
+                        # §3.4: mark packets once the queue crosses the
+                        # threshold, giving senders early backpressure.
+                        pkt.ecn_marked = True
+                        self.stats.ecn_marked += 1
+                    ok = fifo.insert(pkt, tick)
+                    if not ok:
+                        self._drop(pkt, "no_phantom")
+                else:
+                    ok = self.fifos[(dest, stage + 1)].push(pkt, pipe, tick)
+                    if not ok:
+                        self._drop(pkt, "fifo_full")
+
+        if self.crossbar is not None:
+            self.crossbar.end_tick()
+
+        # (4) Pops: fill free slots of stateful stages; through packets
+        # keep priority unless a queued packet is starving.
+        for (pipe, stage), fifo in self.fifos.items():
+            slot = new_occ[pipe][stage]
+            if slot is not None:
+                if cfg.starvation_threshold is not None:
+                    age = fifo.head_data_age(tick)
+                    if age is not None and age > cfg.starvation_threshold:
+                        # Drop the stateless through packet in favor of the
+                        # starving stateful one (§3.4) — stateless packets
+                        # are dropped, never queued, so Invariant 2 holds.
+                        self._drop(slot, "starvation_preemption")
+                        self.stats.drops_starvation += 1
+                        new_occ[pipe][stage] = None
+                    else:
+                        continue
+                else:
+                    continue
+            popped = fifo.pop()
+            if popped is not None:
+                new_occ[pipe][stage] = popped
+
+        # (5) Service every newly occupied slot (stage 0 was serviced at
+        # injection time — it runs the resolution logic).
+        for pipe in range(cfg.num_pipelines):
+            row = new_occ[pipe]
+            for stage in range(1, self.depth):
+                pkt = row[stage]
+                if pkt is not None:
+                    self._service(pkt, stage)
+
+        self.occ = new_occ
+
+        # (6) Background dynamic sharding.
+        if (
+            cfg.remap_algorithm != "none"
+            and tick
+            and tick % cfg.remap_period == 0
+        ):
+            self.stats.remap_moves += self.sharder.end_epoch(cfg.remap_algorithm)
+
+        # Queue-depth telemetry (data packets only, matching §4.4's
+        # "maximum number of packets queued in any pipeline stage").
+        for key, fifo in self.fifos.items():
+            depth = fifo.data_occupancy()
+            if depth > self.stats.max_queue_depth:
+                self.stats.max_queue_depth = depth
+            prev = self.stats.per_stage_peak_queue.get(key, 0)
+            if depth > prev:
+                self.stats.per_stage_peak_queue[key] = depth
+
+        self.tick += 1
+
+    # ------------------------------------------------------------------
+    # Packet lifecycle
+    # ------------------------------------------------------------------
+
+    def _coerce(self, i: int, entry: TraceEntry) -> DataPacket:
+        if isinstance(entry, DataPacket):
+            return entry
+        arrival, port, headers = entry
+        return DataPacket(pkt_id=i, arrival=arrival, port=port, headers=dict(headers))
+
+    def _run_resolution(self, headers, registers, env):
+        """Execute the stage-0 (address resolution) program against the
+        given state and return an operand-value reader."""
+        if self._stage_fns is not None:
+            fn = self._stage_fns[0]
+            if fn is not None:
+                fn(headers, registers, env, None)
+
+            def value(operand):
+                if isinstance(operand, Const):
+                    return operand.value
+                return env[operand.name]
+
+            return value
+        evaluator = TacEvaluator(headers, registers, env)
+        evaluator.run(self._stage_instrs[0])
+        return evaluator.value
+
+    def _choose_entry_pipe(self, pkt: DataPacket) -> int:
+        """Entry pipeline per the spray policy (§3.1 D1 or the affinity
+        extension). Affinity peeks at the resolution result: the ingress
+        can evaluate the same stateless logic before the demux."""
+        if self.config.spray_policy != "affinity":
+            return self._spray_next
+        value = self._run_resolution(
+            dict(pkt.headers), self.registers, dict(pkt.env)
+        )
+        for _stage, plans in self._plans_by_stage:
+            plan = plans[0]
+            if len(plans) == 1:
+                if plan.guard_operand is not None and plan.guard_resolvable:
+                    if not value(plan.guard_operand):
+                        continue
+                if plan.index_operand is not None and plan.shardable:
+                    index = value(plan.index_operand) % plan.size
+                else:
+                    index = None
+            else:
+                index = None
+            return self.sharder.lookup(plan.name, index)
+        return self._spray_next
+
+    def _inject(self, pkt: DataPacket, pipe: int) -> None:
+        """Address-resolution stage: plan accesses, emit phantoms."""
+        cfg = self.config
+        pkt.entry_pipeline = pipe
+        pkt.entry_tick = self.tick
+        self.occ[pipe][0] = pkt
+        self._live += 1
+
+        value = self._run_resolution(pkt.headers, self.registers, pkt.env)
+
+        accesses: List[StateAccess] = []
+        for stage, plans in self._plans_by_stage:
+            if len(plans) == 1:
+                plan = plans[0]
+                if plan.guard_operand is not None and plan.guard_resolvable:
+                    if not value(plan.guard_operand):
+                        continue  # resolved: this packet never touches it
+                if plan.index_operand is not None and plan.shardable:
+                    index = value(plan.index_operand) % plan.size
+                else:
+                    index = None
+                dest = self.sharder.note_resolved(plan.name, index)
+                accesses.append(
+                    StateAccess(
+                        array=plan.name,
+                        stage=stage,
+                        pipeline=dest,
+                        index=index,
+                        conservative=plan.conservative_phantom,
+                    )
+                )
+            else:
+                # Co-staged (fused or budget-pinned) arrays share one
+                # pipeline; one stage-level access/phantom covers them.
+                dest = self.sharder.note_resolved(plans[0].name, None)
+                accesses.append(
+                    StateAccess(
+                        array="+".join(p.name for p in plans),
+                        stage=stage,
+                        pipeline=dest,
+                        index=None,
+                        conservative=any(p.conservative_phantom for p in plans),
+                    )
+                )
+        if self._flow_order_stage is not None:
+            flow_key = pkt.headers.get(cfg.flow_order_field, 0)
+            if pkt.flow_id is None:
+                pkt.flow_id = flow_key
+            index = hash2(flow_key, 0x5F0E) % cfg.flow_order_size
+            dest = self.sharder.note_resolved(FLOW_ORDER_ARRAY, index)
+            accesses.append(
+                StateAccess(
+                    array=FLOW_ORDER_ARRAY,
+                    stage=self._flow_order_stage,
+                    pipeline=dest,
+                    index=index,
+                )
+            )
+        pkt.accesses = accesses
+
+        if cfg.enable_phantoms:
+            for access in accesses:
+                phantom = PhantomPacket(
+                    pkt_id=pkt.pkt_id,
+                    array=access.array,
+                    index=access.index,
+                    pipeline=access.pipeline,
+                    stage=access.stage,
+                    created_tick=self.tick,
+                )
+                self.stats.phantoms_generated += 1
+                if cfg.phantom_latency == 0:
+                    if not self._deliver_phantom(phantom, pipe):
+                        self._drop(pkt, "phantom_fifo_full")
+                        self.occ[pipe][0] = None
+                        return
+                else:
+                    self._phantom_mail.setdefault(
+                        self.tick + cfg.phantom_latency, []
+                    ).append((phantom, pipe))
+
+    def _deliver_phantom(self, phantom: PhantomPacket, fifo_id: int) -> bool:
+        if (
+            self._fault_rng is not None
+            and self._fault_rng.random() < self.config.phantom_loss_rate
+        ):
+            # Fault injection (§3.5.1): the phantom never arrives, so the
+            # data packet will find no placeholder and be dropped — the
+            # exact packet-loss mode whose equivalence consequences the
+            # paper analyzes.
+            self.stats.drops_fifo_full += 1
+            return True  # generation succeeded; the channel lost it
+        fifo = self.fifos[(phantom.pipeline, phantom.stage)]
+        ok = fifo.push(phantom, fifo_id, self.tick)
+        if not ok:
+            self.stats.drops_fifo_full += 1
+        return ok
+
+    def _service(self, pkt: DataPacket, stage: int) -> None:
+        """Execute stage ``stage`` for ``pkt`` (it occupies the slot now)."""
+        instrs = self._stage_instrs[stage]
+        accessed_arrays: List[str] = []
+        if self._record_access_order:
+            pkt_id = pkt.pkt_id
+
+            def logger(reg, idx, kind, _pid=pkt_id):
+                accessed_arrays.append(reg)
+                order = self.stats.access_order.setdefault((reg, idx), [])
+                if not order or order[-1] != _pid:
+                    order.append(_pid)
+
+        else:
+
+            def logger(reg, idx, kind):
+                accessed_arrays.append(reg)
+
+        if instrs:
+            if self._stage_fns is not None:
+                fn = self._stage_fns[stage]
+                if fn is not None:
+                    fn(pkt.headers, self.registers, pkt.env, logger)
+            else:
+                evaluator = TacEvaluator(
+                    pkt.headers, self.registers, pkt.env, on_access=logger
+                )
+                evaluator.run(instrs)
+
+        access = pkt.access_at_stage(stage)
+        if access is not None:
+            access.completed = True
+            if access.array != FLOW_ORDER_ARRAY and "+" not in access.array:
+                self.sharder.note_completed(access.array, access.index)
+                if access.conservative and access.array not in accessed_arrays:
+                    # The preemptively generated phantom was for a branch
+                    # not taken: one wasted slot (§3.3).
+                    self.stats.wasted_slots += 1
+
+    def _egress(self, pkt: DataPacket) -> None:
+        pkt.egress_tick = self.tick
+        self._live -= 1
+        self.stats.egressed += 1
+        self.stats.egress_ticks.append(self.tick)
+        self.stats.latencies.append(self.tick - pkt.arrival)
+        if pkt.flow_id is not None:
+            self.stats.flow_egress.setdefault(pkt.flow_id, []).append(pkt.pkt_id)
+
+    def _drop(self, pkt: DataPacket, reason: str) -> None:
+        pkt.dropped = True
+        pkt.drop_reason = reason
+        self._live -= 1
+        self.stats.dropped += 1
+        if reason == "no_phantom":
+            self.stats.drops_no_phantom += 1
+        # Retire this packet's outstanding phantoms so they stop blocking
+        # their FIFOs, and release the in-flight counters.
+        for access in pkt.accesses:
+            if access.completed:
+                continue
+            access.completed = True
+            fifo = self.fifos.get((access.pipeline, access.stage))
+            if fifo is not None:
+                fifo.expire_phantom(pkt.pkt_id)
+            if access.array != FLOW_ORDER_ARRAY and "+" not in access.array:
+                self.sharder.note_completed(access.array, access.index)
+
+
+def run_mp5(
+    program: CompiledProgram,
+    trace: Iterable[TraceEntry],
+    config: Optional[MP5Config] = None,
+    max_ticks: Optional[int] = None,
+    record_access_order: bool = False,
+) -> Tuple[SwitchStats, Dict[str, List[int]]]:
+    """Convenience: run a trace through a fresh switch; returns the run
+    statistics and the final register state."""
+    switch = MP5Switch(program, config)
+    stats = switch.run(
+        trace, max_ticks=max_ticks, record_access_order=record_access_order
+    )
+    registers = {
+        name: values
+        for name, values in switch.registers.items()
+        if name != FLOW_ORDER_ARRAY
+    }
+    return stats, registers

@@ -1,0 +1,114 @@
+"""Trace and result serialization.
+
+Experiments become reproducible artifacts: packet traces round-trip
+through JSON (or JSON-lines for large traces) and run statistics export
+to a flat JSON document. The format is deliberately simple — one object
+per packet with its arrival time, port, size, flow and headers — so
+external tools (or a future hardware harness) can produce compatible
+traces.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Union
+
+from ..errors import ConfigError
+from ..mp5.packet import DataPacket
+from ..mp5.stats import SwitchStats
+
+TRACE_FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def packet_to_dict(pkt: DataPacket) -> Dict:
+    record = {
+        "id": pkt.pkt_id,
+        "arrival": pkt.arrival,
+        "port": pkt.port,
+        "size": pkt.size_bytes,
+        "headers": dict(pkt.headers),
+    }
+    if pkt.flow_id is not None:
+        record["flow"] = pkt.flow_id
+    return record
+
+
+def packet_from_dict(record: Dict) -> DataPacket:
+    try:
+        return DataPacket(
+            pkt_id=int(record["id"]),
+            arrival=float(record["arrival"]),
+            port=int(record["port"]),
+            headers={str(k): int(v) for k, v in record["headers"].items()},
+            size_bytes=int(record.get("size", 64)),
+            flow_id=record.get("flow"),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigError(f"malformed trace record {record!r}: {exc}") from exc
+
+
+def save_trace(packets: Iterable[DataPacket], path: PathLike) -> int:
+    """Write a trace as JSON lines; returns the packet count.
+
+    The first line is a header object carrying the format version.
+    """
+    path = Path(path)
+    count = 0
+    with path.open("w") as fh:
+        fh.write(json.dumps({"format": "mp5-trace", "version": TRACE_FORMAT_VERSION}))
+        fh.write("\n")
+        for pkt in packets:
+            fh.write(json.dumps(packet_to_dict(pkt)))
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def load_trace(path: PathLike) -> List[DataPacket]:
+    """Read a trace written by :func:`save_trace`."""
+    path = Path(path)
+    packets: List[DataPacket] = []
+    with path.open() as fh:
+        header_line = fh.readline()
+        if not header_line:
+            raise ConfigError(f"{path}: empty trace file")
+        header = json.loads(header_line)
+        if header.get("format") != "mp5-trace":
+            raise ConfigError(f"{path}: not an mp5-trace file")
+        if header.get("version") != TRACE_FORMAT_VERSION:
+            raise ConfigError(
+                f"{path}: unsupported trace version {header.get('version')}"
+            )
+        for line in fh:
+            line = line.strip()
+            if line:
+                packets.append(packet_from_dict(json.loads(line)))
+    return packets
+
+
+def stats_to_dict(stats: SwitchStats, include_distributions: bool = False) -> Dict:
+    """Flatten run statistics for export. Distributions (latencies,
+    egress times) are large; opt in via ``include_distributions``."""
+    record = dict(stats.summary())
+    record["drops_fifo_full"] = stats.drops_fifo_full
+    record["drops_no_phantom"] = stats.drops_no_phantom
+    record["drops_starvation"] = stats.drops_starvation
+    if include_distributions:
+        record["latencies"] = list(stats.latencies)
+        record["egress_ticks"] = list(stats.egress_ticks)
+    return record
+
+
+def save_stats(
+    stats: SwitchStats, path: PathLike, include_distributions: bool = False
+) -> None:
+    Path(path).write_text(
+        json.dumps(stats_to_dict(stats, include_distributions), indent=2)
+    )
+
+
+def load_stats(path: PathLike) -> Dict:
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,209 @@
+"""Traffic generation: line-rate packet traces for the simulators.
+
+Time base: one tick is one MP5 pipeline clock, and a k-pipeline switch
+serves at most k packets per tick. Minimum-size (64 B) packets arriving
+at line rate therefore arrive k per tick; a packet of ``size`` bytes
+contributes an inter-arrival gap of ``size / (64 * k)`` ticks. The paper
+"ensures input packets always arrive at line rate" for the sensitivity
+study and uses realistic size/flow distributions for the application
+study — both are generators here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..mp5.packet import DataPacket
+from .distributions import BimodalPacketSizes, EmpiricalCDF, web_search_flow_sizes
+
+HeaderGen = Callable[[np.random.Generator, int], Dict[str, int]]
+
+MIN_PACKET_BYTES = 64
+
+
+def line_rate_trace(
+    num_packets: int,
+    num_pipelines: int,
+    header_gen: HeaderGen,
+    packet_size: int = MIN_PACKET_BYTES,
+    num_ports: int = 64,
+    seed: int = 0,
+    utilization: float = 1.0,
+) -> List[DataPacket]:
+    """Fixed-size packets arriving at ``utilization`` of line rate.
+
+    At 64 B and utilization 1.0 the aggregate arrival rate equals the
+    switch's peak service rate (``num_pipelines`` packets/tick) — the
+    worst case §4.3.1 stresses.
+    """
+    if num_packets < 1:
+        raise ConfigError("num_packets must be >= 1")
+    if packet_size < MIN_PACKET_BYTES:
+        raise ConfigError(f"packet_size must be >= {MIN_PACKET_BYTES}")
+    if not 0.0 < utilization <= 1.0:
+        raise ConfigError("utilization must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    gap = packet_size / (MIN_PACKET_BYTES * num_pipelines * utilization)
+    packets = []
+    now = 0.0
+    for i in range(num_packets):
+        packets.append(
+            DataPacket(
+                pkt_id=i,
+                arrival=now,
+                port=i % num_ports,
+                headers=header_gen(rng, i),
+                size_bytes=packet_size,
+            )
+        )
+        now += gap
+    return packets
+
+
+def variable_size_trace(
+    num_packets: int,
+    num_pipelines: int,
+    header_gen: HeaderGen,
+    sizes: Optional[BimodalPacketSizes] = None,
+    num_ports: int = 64,
+    seed: int = 0,
+    utilization: float = 1.0,
+) -> List[DataPacket]:
+    """Line-rate trace with per-packet sizes from a bimodal distribution."""
+    rng = np.random.default_rng(seed)
+    sizes = sizes or BimodalPacketSizes()
+    packets = []
+    now = 0.0
+    for i in range(num_packets):
+        size = sizes.sample(rng)
+        packets.append(
+            DataPacket(
+                pkt_id=i,
+                arrival=now,
+                port=i % num_ports,
+                headers=header_gen(rng, i),
+                size_bytes=size,
+            )
+        )
+        now += size / (MIN_PACKET_BYTES * num_pipelines * utilization)
+    return packets
+
+
+# ----------------------------------------------------------------------
+# Flow-structured traffic (web-search workload, §4.4)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Flow:
+    """A five-tuple flow with a byte budget drawn from the flow-size CDF."""
+
+    flow_id: int
+    sport: int
+    dport: int
+    remaining_bytes: int
+    sent_packets: int = 0
+
+
+@dataclass
+class FlowWorkload:
+    """Interleaves packets of concurrently active heavy-tailed flows.
+
+    Models the §4.4 setup: flow sizes from the web-search CDF, packet
+    sizes bimodal, a bounded number of concurrently active flows (one
+    per port by default). Every generated packet carries ``sport`` /
+    ``dport`` fields; callers layer application-specific fields on top
+    via ``extra_fields``.
+    """
+
+    num_pipelines: int
+    num_ports: int = 64
+    active_flows: int = 64
+    sizes: BimodalPacketSizes = field(default_factory=BimodalPacketSizes)
+    flow_cdf: EmpiricalCDF = field(default_factory=web_search_flow_sizes)
+    seed: int = 0
+    utilization: float = 1.0
+    extra_fields: Optional[Callable[[np.random.Generator, DataPacket], Dict[str, int]]] = None
+
+    def generate(self, num_packets: int) -> List[DataPacket]:
+        """Produce ``num_packets`` flow-structured packets."""
+        rng = np.random.default_rng(self.seed)
+        flows: List[Flow] = []
+        next_flow_id = 0
+
+        def new_flow() -> Flow:
+            nonlocal next_flow_id
+            flow = Flow(
+                flow_id=next_flow_id,
+                sport=int(rng.integers(1024, 65536)),
+                dport=int(rng.integers(1, 1024)),
+                remaining_bytes=max(
+                    MIN_PACKET_BYTES, int(self.flow_cdf.sample(rng))
+                ),
+            )
+            next_flow_id += 1
+            return flow
+
+        while len(flows) < self.active_flows:
+            flows.append(new_flow())
+
+        packets: List[DataPacket] = []
+        now = 0.0
+        for i in range(num_packets):
+            slot = int(rng.integers(0, len(flows)))
+            flow = flows[slot]
+            size = min(self.sizes.sample(rng), max(flow.remaining_bytes, MIN_PACKET_BYTES))
+            size = max(size, MIN_PACKET_BYTES)
+            headers = {
+                "sport": flow.sport,
+                "dport": flow.dport,
+            }
+            pkt = DataPacket(
+                pkt_id=i,
+                arrival=now,
+                port=flow.flow_id % self.num_ports,
+                headers=headers,
+                size_bytes=size,
+                flow_id=flow.flow_id,
+            )
+            if self.extra_fields is not None:
+                pkt.headers.update(self.extra_fields(rng, pkt))
+            packets.append(pkt)
+            now += size / (MIN_PACKET_BYTES * self.num_pipelines * self.utilization)
+            flow.remaining_bytes -= size
+            flow.sent_packets += 1
+            if flow.remaining_bytes <= 0:
+                flows[slot] = new_flow()
+        return packets
+
+
+def reference_trace(packets: List[DataPacket], num_pipelines: int):
+    """Convert an MP5 trace to the single-pipeline reference time base.
+
+    The logical single pipeline runs at k times the per-pipeline clock,
+    so its cycle count for the same wall-clock interval is k times the
+    MP5 tick count.
+    """
+    return [
+        (pkt.arrival * num_pipelines, pkt.port, dict(pkt.headers))
+        for pkt in packets
+    ]
+
+
+def clone_packets(packets: List[DataPacket]) -> List[DataPacket]:
+    """Deep-enough copy for feeding the same trace to a second simulator."""
+    return [
+        DataPacket(
+            pkt_id=p.pkt_id,
+            arrival=p.arrival,
+            port=p.port,
+            headers=dict(p.headers),
+            size_bytes=p.size_bytes,
+            flow_id=p.flow_id,
+        )
+        for p in packets
+    ]

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_program
+from repro.workloads import line_rate_trace
+
+
+@pytest.fixture(scope="session")
+def figure3_program():
+    return compile_program("figure3")
+
+
+@pytest.fixture(scope="session")
+def heavy_hitter_program():
+    return compile_program("heavy_hitter")
+
+
+@pytest.fixture(scope="session")
+def sequencer_program():
+    return compile_program("sequencer")
+
+
+@pytest.fixture(scope="session")
+def flowlet_program():
+    return compile_program("flowlet")
+
+
+def figure3_headers(rng: np.random.Generator, _i: int) -> dict:
+    return {
+        "h1": int(rng.integers(0, 4)),
+        "h2": int(rng.integers(0, 4)),
+        "h3": int(rng.integers(0, 4)),
+        "mux": int(rng.integers(0, 2)),
+        "val": 0,
+    }
+
+
+def heavy_hitter_headers(rng: np.random.Generator, _i: int) -> dict:
+    return {"src_ip": int(rng.integers(0, 256)), "hot": 0}
+
+
+@pytest.fixture
+def figure3_trace():
+    return line_rate_trace(600, 2, figure3_headers, seed=5)
+
+
+@pytest.fixture
+def heavy_hitter_trace():
+    return line_rate_trace(800, 4, heavy_hitter_headers, seed=9)

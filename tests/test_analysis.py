@@ -1,0 +1,131 @@
+"""Tests for the analytical models, cross-validated against simulation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    array_throughput_bound,
+    fundamental_limit,
+    md1_mean_in_system,
+    md1_mean_queue,
+    md1_mean_wait,
+    program_throughput_bound,
+    scalar_state_limit,
+)
+from repro.compiler import compile_program
+from repro.errors import ConfigError
+from repro.mp5 import MP5Config, run_mp5
+from repro.workloads import line_rate_trace, make_sensitivity_program, sensitivity_trace
+
+
+class TestMD1Formulas:
+    def test_zero_load_zero_queue(self):
+        assert md1_mean_queue(0.0) == 0.0
+        assert md1_mean_wait(0.0) == 0.0
+
+    def test_queue_grows_convexly(self):
+        q = [md1_mean_queue(r) for r in (0.2, 0.5, 0.8, 0.95)]
+        assert q == sorted(q)
+        assert q[3] > 5 * q[2] / 2  # convex blow-up near saturation
+
+    def test_known_value(self):
+        assert md1_mean_queue(0.5) == pytest.approx(0.25)
+        assert md1_mean_wait(0.8) == pytest.approx(2.0)
+
+    def test_in_system_adds_service(self):
+        assert md1_mean_in_system(0.5) == pytest.approx(0.75)
+
+    def test_unstable_load_rejected(self):
+        with pytest.raises(ConfigError):
+            md1_mean_queue(1.0)
+        with pytest.raises(ConfigError):
+            md1_mean_wait(-0.1)
+
+
+class TestFundamentalBounds:
+    def test_scalar_limit_matches_pinned_bound(self):
+        assert scalar_state_limit(4) == array_throughput_bound(
+            1, False, 4
+        )
+
+    def test_sequencer_bound_at_64b(self):
+        program = compile_program("sequencer")
+        assert fundamental_limit(program, 4) == pytest.approx(0.25)
+
+    def test_sequencer_bound_realistic_packets(self):
+        program = compile_program("sequencer")
+        assert fundamental_limit(program, 16, mean_packet_bytes=740) == (
+            pytest.approx(740 / 1024)
+        )
+
+    def test_stateless_program_unbounded(self):
+        program = compile_program("stateless_rewrite")
+        assert fundamental_limit(program, 8) == 1.0
+
+    def test_large_shardable_array_unbounded(self):
+        program = compile_program("heavy_hitter")
+        assert fundamental_limit(program, 4) == 1.0
+
+    def test_small_array_partial_bound(self):
+        # size-2 shardable array on 4 pipelines: 2 servers for k load.
+        assert array_throughput_bound(2, True, 4) == pytest.approx(0.5)
+
+    def test_per_array_bounds_listed(self):
+        program = compile_program("wfq")
+        bounds = {b.array: b for b in program_throughput_bound(program, 4)}
+        assert bounds["virtual_time"].serving_pipelines == 1
+        assert bounds["virtual_time"].bound == pytest.approx(0.25)
+        assert bounds["last_finish"].bound == 1.0
+
+    def test_access_probability_relaxes_bound(self):
+        program = compile_program("wfq")
+        relaxed = program_throughput_bound(
+            program, 4, access_probabilities={"virtual_time": 0.1}
+        )
+        bound = {b.array: b.bound for b in relaxed}["virtual_time"]
+        assert bound == 1.0
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigError):
+            array_throughput_bound(0, True, 4)
+        with pytest.raises(ConfigError):
+            array_throughput_bound(4, True, 4, utilization=0)
+        with pytest.raises(ConfigError):
+            array_throughput_bound(4, True, 4, access_probability=2)
+
+
+class TestSimulatorAgreesWithTheory:
+    def test_sequencer_hits_its_bound_exactly(self):
+        program = compile_program("sequencer")
+        trace = line_rate_trace(2000, 4, lambda r, i: {"seq": 0}, seed=0)
+        stats, _ = run_mp5(program, trace, MP5Config(num_pipelines=4))
+        limit = fundamental_limit(program, 4)
+        assert stats.throughput_normalized() == pytest.approx(limit, abs=0.03)
+
+    def test_small_register_hits_partial_bound(self):
+        program = make_sensitivity_program(1, 2)
+        trace = sensitivity_trace(2000, 4, 1, 2, pattern="uniform", seed=0)
+        stats, _ = run_mp5(program, trace, MP5Config(num_pipelines=4))
+        limit = fundamental_limit(program, 4)  # 0.5
+        assert stats.throughput_normalized() == pytest.approx(limit, abs=0.06)
+
+    def test_md1_predicts_moderate_load_queues(self):
+        # One register array, uniform random indexes, 70% utilization:
+        # arrivals into each pipeline's stateful stage are approximately
+        # Poisson with rho=0.7, service is deterministic 1 tick. The
+        # simulator's mean in-system occupancy should sit near the M/D/1
+        # value (within generous modeling slack: arrivals are binomial,
+        # not Poisson, which *reduces* queueing).
+        rho = 0.7
+        program = make_sensitivity_program(1, 4096)
+        trace = sensitivity_trace(6000, 4, 1, 4096, pattern="uniform", seed=1)
+        for pkt in trace:
+            pkt.arrival = pkt.arrival / rho
+        stats, _ = run_mp5(program, trace, MP5Config(num_pipelines=4))
+        predicted = md1_mean_in_system(rho)
+        # Use mean latency excess over the pipeline transit as the
+        # in-system time at the single stateful stage (Little's law).
+        measured_wait = stats.mean_latency - 16
+        assert measured_wait >= 0
+        assert measured_wait < 4 * predicted
+        assert stats.throughput_normalized() > 0.99  # stable at rho<1

@@ -1,0 +1,105 @@
+"""Tests for the analytic ASIC cost models (Table 1, §4.2)."""
+
+import pytest
+
+from repro.asic import (
+    BITS_PER_INDEX,
+    PAPER_TABLE1,
+    TARGET_FREQUENCY_GHZ,
+    achievable_frequency_ghz,
+    area_table,
+    chip_area,
+    chip_area_mm2,
+    max_pipelines_at_1ghz,
+    model_error_vs_paper,
+    sram_overhead,
+    sram_overhead_paper_example,
+    timing_report,
+)
+from repro.errors import ConfigError
+
+
+class TestAreaModel:
+    def test_matches_paper_within_five_percent(self):
+        errors = model_error_vs_paper()
+        assert max(errors.values()) < 0.05
+
+    def test_linear_in_stages(self):
+        a4 = chip_area_mm2(4, 4)
+        a8 = chip_area_mm2(4, 8)
+        a16 = chip_area_mm2(4, 16)
+        assert a8 == pytest.approx(2 * a4)
+        assert a16 == pytest.approx(4 * a4)
+
+    def test_superlinear_in_pipelines(self):
+        # Doubling pipelines should roughly quadruple area (crossbar
+        # dominated), definitely more than double it.
+        a2 = chip_area_mm2(2, 8)
+        a4 = chip_area_mm2(4, 8)
+        a8 = chip_area_mm2(8, 8)
+        assert a4 / a2 > 3.0
+        assert a8 / a4 > 3.0
+
+    def test_crossbar_dominates(self):
+        breakdown = chip_area(8, 16)
+        assert breakdown.crossbar_mm2 > breakdown.fifo_mm2 + breakdown.logic_mm2
+
+    def test_overhead_small_vs_commercial_asic(self):
+        # §4.2: 4 pipelines x 16 stages is 0.5-1% of a 300-700 mm^2 ASIC.
+        breakdown = chip_area(4, 16)
+        assert breakdown.overhead_fraction(300) < 0.012
+        assert breakdown.overhead_fraction(700) > 0.004
+
+    def test_area_table_covers_all_cells(self):
+        table = area_table()
+        assert set(table) == set(PAPER_TABLE1)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigError):
+            chip_area_mm2(0, 4)
+        with pytest.raises(ConfigError):
+            chip_area_mm2(4, 0)
+
+
+class TestTimingModel:
+    def test_all_table1_configs_meet_1ghz(self):
+        for (k, s) in PAPER_TABLE1:
+            assert timing_report(k, s).meets_1ghz, (k, s)
+
+    def test_frequency_decreases_with_pipelines(self):
+        freqs = [achievable_frequency_ghz(k, 16) for k in (2, 4, 8, 16, 32)]
+        assert freqs == sorted(freqs, reverse=True)
+
+    def test_scalability_limit_exists(self):
+        # §3.5.3: crossbars eventually limit scaling.
+        limit = max_pipelines_at_1ghz(stages=16)
+        assert 8 <= limit < 1024
+
+    def test_target_constant(self):
+        assert TARGET_FREQUENCY_GHZ == 1.0
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigError):
+            achievable_frequency_ghz(0, 4)
+
+
+class TestSramModel:
+    def test_bits_per_index(self):
+        assert BITS_PER_INDEX == 30  # 6 map + 16 counter + 8 in-flight
+
+    def test_paper_example_about_35kb(self):
+        report = sram_overhead_paper_example()
+        assert 33 <= report.kilobytes <= 38
+
+    def test_overhead_nominal_vs_switch_sram(self):
+        report = sram_overhead_paper_example()
+        assert report.fraction_of_switch_sram() < 0.001
+
+    def test_custom_register_sizes(self):
+        report = sram_overhead([512, 512])
+        assert report.total_indexes == 1024
+        assert report.bits == 1024 * 30
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ConfigError):
+            sram_overhead([0])

@@ -1,0 +1,45 @@
+"""Tests for Domino builtin functions."""
+
+from repro.domino import hash2, hash3, hash5, hash_tuple
+from repro.domino.builtins import BUILTINS, builtin_max, builtin_min
+
+
+class TestHashes:
+    def test_deterministic(self):
+        assert hash2(1, 2) == hash2(1, 2)
+        assert hash5(1, 2, 3, 4, 5) == hash5(1, 2, 3, 4, 5)
+
+    def test_order_sensitive(self):
+        assert hash2(1, 2) != hash2(2, 1)
+
+    def test_non_negative(self):
+        for a in range(-50, 50, 7):
+            assert hash_tuple((a, a * 3)) >= 0
+
+    def test_fits_31_bits(self):
+        for a in range(100):
+            assert hash2(a, a) < 2**31
+
+    def test_spread_over_buckets(self):
+        buckets = [hash2(i, 0) % 16 for i in range(1600)]
+        counts = [buckets.count(b) for b in range(16)]
+        # A sane hash keeps every bucket within 2x of the mean.
+        assert min(counts) > 50
+        assert max(counts) < 200
+
+    def test_hash3_differs_from_hash2_extension(self):
+        assert hash3(1, 2, 0) != hash2(1, 2)
+
+
+class TestMinMax:
+    def test_min(self):
+        assert builtin_min(3, 5) == 3
+        assert builtin_min(5, 3) == 3
+        assert builtin_min(-1, 1) == -1
+
+    def test_max(self):
+        assert builtin_max(3, 5) == 5
+        assert builtin_max(-4, -9) == -4
+
+    def test_registry_complete(self):
+        assert set(BUILTINS) == {"hash2", "hash3", "hash5", "min", "max"}

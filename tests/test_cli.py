@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.domino import program_names
+
+
+class TestCli:
+    def test_programs_lists_catalog(self, capsys):
+        assert main(["programs"]) == 0
+        out = capsys.readouterr().out.split()
+        assert out == program_names()
+
+    def test_compile_shows_layout(self, capsys):
+        assert main(["compile", "figure3"]) == 0
+        out = capsys.readouterr().out
+        assert "resolution" in out
+        assert "reg3" in out
+
+    def test_tac_shows_instructions(self, capsys):
+        assert main(["tac", "packet_counter"]) == 0
+        out = capsys.readouterr().out
+        assert "count[0]" in out
+
+    def test_compile_from_file(self, tmp_path, capsys):
+        source = tmp_path / "prog.domino"
+        source.write_text(
+            "struct Packet { int x; };\nint c = 0;\n"
+            "void func(struct Packet p) { c = c + p.x; }"
+        )
+        assert main(["compile", str(source)]) == 0
+        assert "prog" in capsys.readouterr().out
+
+    def test_run_prints_summary(self, capsys):
+        assert main(["run", "heavy_hitter", "--packets", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "egressed" in out
+
+    def test_equiv_exit_code_zero_on_success(self, capsys):
+        code = main(
+            ["equiv", "sequencer", "--packets", "300", "--pipelines", "2"]
+        )
+        assert code == 0
+        assert "EQUAL" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "1 GHz" in capsys.readouterr().out
+
+    def test_micro_d4(self, capsys):
+        code = main(["micro", "d4", "--packets", "800", "--seeds", "1"])
+        assert code == 0
+        assert "MP5 0.000" in capsys.readouterr().out
+
+    def test_unknown_program_raises(self):
+        with pytest.raises(KeyError):
+            main(["compile", "definitely_not_a_program"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

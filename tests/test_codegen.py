@@ -1,0 +1,133 @@
+"""Tests for code generation and the compile driver."""
+
+import pytest
+
+from repro.compiler import BanzaiTarget, compile_program, generate, preprocess, transform
+from repro.domino import get_program
+from repro.errors import ResourceError
+
+
+class TestTarget:
+    def test_default_target(self):
+        target = BanzaiTarget()
+        assert target.num_stages == 16
+
+    def test_too_few_stages_rejected(self):
+        with pytest.raises(ResourceError):
+            BanzaiTarget(num_stages=1)
+
+    def test_zero_atom_budget_rejected(self):
+        with pytest.raises(ResourceError):
+            BanzaiTarget(max_atoms_per_stage=0)
+
+
+class TestGenerate:
+    def test_stage_budget_enforced(self):
+        transformed = transform(preprocess(get_program("bloom_filter")))
+        with pytest.raises(ResourceError, match="stages"):
+            generate(transformed, BanzaiTarget(num_stages=3))
+
+    def test_atom_budget_enforced(self):
+        transformed = transform(preprocess(get_program("flowlet")))
+        with pytest.raises(ResourceError, match="atoms"):
+            generate(transformed, BanzaiTarget(max_atoms_per_stage=1))
+
+    def test_fits_default_target(self):
+        compiled = compile_program("flowlet")
+        assert compiled.stage_count <= compiled.target.num_stages
+
+
+class TestCompiledProgram:
+    def test_stage_zero_is_resolution(self):
+        compiled = compile_program("heavy_hitter")
+        assert compiled.resolution.index == 0
+        assert not compiled.resolution.is_stateful
+
+    def test_stateful_stage_indexes(self):
+        compiled = compile_program("bloom_filter")
+        assert len(compiled.stateful_stage_indexes) == 3
+
+    def test_is_stateless_flag(self):
+        assert compile_program("stateless_rewrite").is_stateless
+        assert not compile_program("heavy_hitter").is_stateless
+
+    def test_register_store_is_fresh_each_time(self):
+        compiled = compile_program("figure3")
+        a = compiled.make_register_store()
+        b = compiled.make_register_store()
+        a["reg1"][0] = 999
+        assert b["reg1"][0] == 2
+
+    def test_execute_packet_mutates_and_returns(self):
+        compiled = compile_program("sequencer")
+        regs = compiled.make_register_store()
+        out = compiled.execute_packet({"seq": 0}, regs)
+        assert out["seq"] == 1
+        assert regs["count"][0] == 1
+
+    def test_describe_mentions_every_array(self):
+        compiled = compile_program("figure3")
+        text = compiled.describe()
+        for reg in ("reg1", "reg2", "reg3"):
+            assert reg in text
+
+
+class TestCompileDriver:
+    def test_compile_by_name(self):
+        assert compile_program("figure3").name == "figure3"
+
+    def test_compile_raw_source(self):
+        source = (
+            "struct Packet { int x; };\nint c = 0;\n"
+            "void func(struct Packet p) { c = c + p.x; }"
+        )
+        compiled = compile_program(source, name="adder")
+        assert compiled.name == "adder"
+        assert "c" in compiled.arrays
+
+    def test_compile_parsed_program(self):
+        compiled = compile_program(get_program("wfq"))
+        assert compiled.name == "wfq"
+
+    def test_fallback_pins_costaged_arrays(self):
+        # bloom_filter needs 8 serialized stages; one fewer forces the
+        # compiler to co-stage arrays and pin them.
+        compiled = compile_program(
+            "bloom_filter", target=BanzaiTarget(num_stages=7)
+        )
+        pinned = [p for p in compiled.arrays.values() if not p.shardable]
+        assert pinned
+        # Co-staged arrays share a pin key.
+        by_stage = {}
+        for plan in compiled.arrays.values():
+            by_stage.setdefault(plan.stage, []).append(plan)
+        for plans in by_stage.values():
+            if len(plans) > 1:
+                assert len({p.pin_key for p in plans}) == 1
+
+    def test_conga_costaged_arrays_share_pin_key(self):
+        compiled = compile_program("conga")
+        keys = {p.pin_key for p in compiled.arrays.values()}
+        assert len(keys) == 1
+
+    def test_impossible_program_raises(self):
+        with pytest.raises(ResourceError):
+            compile_program("bloom_filter", target=BanzaiTarget(num_stages=2))
+
+
+class TestCompilerDeterminism:
+    def test_compile_twice_identical_layout(self):
+        a = compile_program("flowlet")
+        b = compile_program("flowlet")
+        assert a.describe() == b.describe()
+        assert [str(i) for s in a.stages for i in s.instrs] == [
+            str(i) for s in b.stages for i in s.instrs
+        ]
+
+    def test_all_programs_compile_deterministically(self):
+        from repro.domino import program_names
+
+        for name in program_names():
+            first = compile_program(name).describe()
+            second = compile_program(name).describe()
+            assert first == second, name

@@ -1,0 +1,104 @@
+"""Tests for the control plane (§2.2.1's pre-runtime assumption)."""
+
+import pytest
+
+from repro.banzai import ControlPlane, deploy_wildcard_control
+from repro.errors import ConfigError
+
+
+class TestLifecycle:
+    def test_create_install_commit(self):
+        plane = ControlPlane()
+        plane.create_table("acl")
+        plane.install("acl", {"dport": 22}, action="drop", priority=10)
+        plane.install_wildcard("acl", action="allow")
+        plane.commit()
+        assert plane.committed
+        table = plane.table("acl")
+        assert table.lookup({"dport": 22}).action == "drop"
+        assert table.lookup({"dport": 80}).action == "allow"
+
+    def test_no_updates_after_commit(self):
+        plane = ControlPlane()
+        plane.create_table("acl")
+        plane.commit()
+        with pytest.raises(ConfigError, match="committed"):
+            plane.install("acl", {"x": 1})
+        with pytest.raises(ConfigError, match="committed"):
+            plane.create_table("late")
+
+    def test_tables_sealed_on_commit(self):
+        plane = ControlPlane()
+        table = plane.create_table("t")
+        plane.commit()
+        assert table.sealed
+
+    def test_duplicate_table_rejected(self):
+        plane = ControlPlane()
+        plane.create_table("t")
+        with pytest.raises(ConfigError, match="exists"):
+            plane.create_table("t")
+
+    def test_unknown_table_rejected(self):
+        plane = ControlPlane()
+        with pytest.raises(ConfigError, match="unknown"):
+            plane.install("ghost", {})
+
+    def test_audit_log_records_operations(self):
+        plane = ControlPlane()
+        plane.create_table("t")
+        plane.install("t", {"a": 1})
+        plane.commit()
+        ops = [r.operation for r in plane.audit_log()]
+        assert ops == ["create", "install", "commit"]
+
+
+class TestEquivalencePrecondition:
+    def test_identical_planes_equivalent(self):
+        def build():
+            plane = ControlPlane()
+            plane.create_table("t")
+            plane.install("t", {"a": 1}, action="x")
+            plane.commit()
+            return plane
+
+        assert build().equivalent_to(build())
+
+    def test_diverged_planes_not_equivalent(self):
+        a = ControlPlane()
+        a.create_table("t")
+        a.install("t", {"a": 1})
+        b = ControlPlane()
+        b.create_table("t")
+        b.install("t", {"a": 2})
+        assert not a.equivalent_to(b)
+
+    def test_wildcard_deployment(self):
+        plane = deploy_wildcard_control(4)
+        assert plane.committed
+        assert plane.tables() == ["stage0", "stage1", "stage2", "stage3"]
+        for name in plane.tables():
+            assert plane.table(name).lookup({"anything": 1}) is not None
+
+
+class TestReportChart:
+    def test_ascii_chart_shape(self):
+        from repro.harness import ascii_chart
+
+        chart = ascii_chart(["a", "bb"], [1.0, 0.5], width=10)
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_ascii_chart_mismatched_lengths(self):
+        from repro.harness import ascii_chart
+
+        with pytest.raises(ValueError):
+            ascii_chart(["a"], [1.0, 2.0])
+
+    def test_ascii_chart_scales_above_max(self):
+        from repro.harness import ascii_chart
+
+        chart = ascii_chart([1], [2.0], width=10, max_value=1.0)
+        assert chart.count("#") == 10  # clamped to the widest bar

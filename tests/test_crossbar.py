@@ -1,0 +1,101 @@
+"""Tests for the explicit crossbar model (D3)."""
+
+import pytest
+
+from repro.compiler import compile_program
+from repro.errors import SimulationError
+from repro.mp5 import MP5Config, MP5Switch
+from repro.mp5.crossbar import CrossbarTelemetry
+from repro.workloads import line_rate_trace
+
+from .conftest import heavy_hitter_headers
+
+
+class TestTelemetryUnit:
+    def test_straight_vs_crossing(self):
+        telemetry = CrossbarTelemetry(num_pipelines=4)
+        telemetry.begin_tick()
+        telemetry.record(0, 0, boundary=1)
+        telemetry.record(1, 2, boundary=1)
+        telemetry.end_tick()
+        assert telemetry.total_straight == 1
+        assert telemetry.total_crossings == 1
+        assert telemetry.crossing_fraction() == 0.5
+
+    def test_input_port_double_use_rejected(self):
+        telemetry = CrossbarTelemetry(num_pipelines=2)
+        telemetry.begin_tick()
+        telemetry.record(0, 0, boundary=1)
+        with pytest.raises(SimulationError, match="two"):
+            telemetry.record(0, 1, boundary=1)
+
+    def test_same_source_different_boundary_fine(self):
+        telemetry = CrossbarTelemetry(num_pipelines=2)
+        telemetry.begin_tick()
+        telemetry.record(0, 0, boundary=1)
+        telemetry.record(0, 1, boundary=2)
+
+    def test_fan_in_histogram(self):
+        telemetry = CrossbarTelemetry(num_pipelines=4)
+        telemetry.begin_tick()
+        for src in range(4):
+            telemetry.record(src, 0, boundary=3)
+        telemetry.end_tick()
+        assert telemetry.max_fan_in() == 4
+        assert telemetry.fan_in_histogram[4] == 1
+
+    def test_bad_port_rejected(self):
+        telemetry = CrossbarTelemetry(num_pipelines=2)
+        telemetry.begin_tick()
+        with pytest.raises(SimulationError):
+            telemetry.record(5, 0, boundary=1)
+        with pytest.raises(SimulationError):
+            telemetry.record(0, 5, boundary=1)
+
+    def test_empty_summary(self):
+        telemetry = CrossbarTelemetry(num_pipelines=2)
+        assert telemetry.crossing_fraction() == 0.0
+        assert telemetry.busiest_boundary() == (0, 0)
+
+
+class TestTelemetryInEngine:
+    def test_disabled_by_default(self, heavy_hitter_program):
+        switch = MP5Switch(heavy_hitter_program, MP5Config(num_pipelines=2))
+        assert switch.crossbar is None
+
+    def test_constraints_hold_during_real_run(self, heavy_hitter_program):
+        # The engine must never violate the hardware constraints the
+        # telemetry asserts (one packet per input port per tick, fan-in
+        # bounded by k).
+        trace = line_rate_trace(600, 4, heavy_hitter_headers, seed=1)
+        switch = MP5Switch(
+            heavy_hitter_program, MP5Config(num_pipelines=4, record_crossbar=True)
+        )
+        switch.run(trace)  # SimulationError would fail the test
+        assert switch.crossbar.max_fan_in() <= 4
+
+    def test_crossings_match_steering_moves(self, heavy_hitter_program):
+        trace = line_rate_trace(500, 4, heavy_hitter_headers, seed=2)
+        switch = MP5Switch(
+            heavy_hitter_program, MP5Config(num_pipelines=4, record_crossbar=True)
+        )
+        stats = switch.run(trace)
+        assert switch.crossbar.total_crossings == stats.steering_moves
+
+    def test_single_pipeline_never_crosses(self, heavy_hitter_program):
+        trace = line_rate_trace(200, 1, heavy_hitter_headers, seed=0)
+        switch = MP5Switch(
+            heavy_hitter_program, MP5Config(num_pipelines=1, record_crossbar=True)
+        )
+        switch.run(trace)
+        assert switch.crossbar.total_crossings == 0
+
+    def test_busiest_boundary_is_before_stateful_stage(self):
+        program = compile_program("heavy_hitter")
+        trace = line_rate_trace(500, 4, heavy_hitter_headers, seed=3)
+        switch = MP5Switch(
+            program, MP5Config(num_pipelines=4, record_crossbar=True)
+        )
+        switch.run(trace)
+        boundary, _count = switch.crossbar.busiest_boundary()
+        assert boundary == program.arrays["counts"].stage

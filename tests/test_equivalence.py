@@ -1,0 +1,77 @@
+"""Tests for the functional-equivalence checker (§2.2.1)."""
+
+import pytest
+
+from repro.compiler import compile_program
+from repro.equivalence import check_equivalence
+from repro.errors import EquivalenceError
+from repro.mp5 import MP5Config
+from repro.workloads import line_rate_trace
+
+from .conftest import figure3_headers, heavy_hitter_headers
+
+
+class TestChecker:
+    def test_equivalent_run(self, heavy_hitter_program):
+        trace = line_rate_trace(400, 4, heavy_hitter_headers, seed=0)
+        report = check_equivalence(
+            heavy_hitter_program, trace, MP5Config(num_pipelines=4)
+        )
+        assert report.equivalent
+        assert report.register_equal
+        assert report.packet_equal
+        assert report.c1_violating_packets == 0
+        report.raise_if_violated()  # no exception
+
+    def test_figure3_equivalent(self, figure3_program):
+        trace = line_rate_trace(300, 2, figure3_headers, seed=1)
+        report = check_equivalence(figure3_program, trace, MP5Config(num_pipelines=2))
+        assert report.equivalent
+
+    def test_packet_state_checked(self, sequencer_program):
+        trace = line_rate_trace(150, 2, lambda r, i: {"seq": 0}, seed=0)
+        report = check_equivalence(sequencer_program, trace, MP5Config(num_pipelines=2))
+        assert report.packet_equal
+
+    def test_summary_rendering(self, heavy_hitter_program):
+        trace = line_rate_trace(100, 2, heavy_hitter_headers, seed=0)
+        report = check_equivalence(heavy_hitter_program, trace, MP5Config(num_pipelines=2))
+        text = report.summary()
+        assert "register state" in text
+        assert "EQUAL" in text
+
+    def test_mp5_stats_attached(self, heavy_hitter_program):
+        trace = line_rate_trace(100, 2, heavy_hitter_headers, seed=0)
+        report = check_equivalence(heavy_hitter_program, trace, MP5Config(num_pipelines=2))
+        assert report.mp5_stats is not None
+        assert report.mp5_stats.offered == 100
+
+    def test_truncated_run_reports_divergence(self, sequencer_program):
+        # Cutting the MP5 run short leaves register state behind the
+        # reference: the checker must flag it rather than pass silently.
+        trace = line_rate_trace(400, 4, lambda r, i: {"seq": 0}, seed=0)
+        report = check_equivalence(
+            sequencer_program, trace, MP5Config(num_pipelines=4), max_ticks=30
+        )
+        assert not report.register_equal
+        with pytest.raises(EquivalenceError) as exc:
+            report.raise_if_violated()
+        assert exc.value.report is report
+
+    def test_no_d4_ablation_violates_c1_but_checker_sees_it(self):
+        from repro.baselines import no_phantom_config
+        from repro.workloads import make_sensitivity_program, sensitivity_trace
+
+        program = make_sensitivity_program(4, 32)
+        trace = sensitivity_trace(800, 4, 4, 32, pattern="skewed", seed=0)
+        report = check_equivalence(program, trace, no_phantom_config(num_pipelines=4))
+        assert report.c1_violating_packets > 0
+
+    def test_register_mismatch_details(self, sequencer_program):
+        trace = line_rate_trace(300, 4, lambda r, i: {"seq": 0}, seed=0)
+        report = check_equivalence(
+            sequencer_program, trace, MP5Config(num_pipelines=4), max_ticks=20
+        )
+        assert "count" in report.register_mismatches
+        index, _want, _got = report.register_mismatches["count"][0]
+        assert index == 0

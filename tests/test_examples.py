@@ -1,0 +1,42 @@
+"""Smoke tests: every example script imports and the fast ones run."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+def load_module(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {p.stem for p in EXAMPLES}
+        assert {
+            "quickstart",
+            "compiler_tour",
+            "heavy_hitter_detection",
+            "network_sequencer",
+            "flowlet_load_balancing",
+            "partitioned_switch",
+        } <= names
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+    def test_example_imports_and_has_main(self, path):
+        module = load_module(path)
+        assert callable(getattr(module, "main", None)), path.stem
+
+    def test_compiler_tour_runs(self, capsys):
+        module = load_module(
+            Path(__file__).parent.parent / "examples" / "compiler_tour.py"
+        )
+        module.main()
+        out = capsys.readouterr().out
+        assert "preemptive address resolution" in out.lower() or "stage 0" in out

@@ -1,0 +1,144 @@
+"""Tests for the §3.4 extension mechanisms: ECN marking and latency
+telemetry, plus the extra application programs."""
+
+import pytest
+
+from repro.compiler import compile_program
+from repro.equivalence import check_equivalence
+from repro.mp5 import MP5Config, MP5Switch, run_mp5
+from repro.workloads import line_rate_trace
+
+
+class TestEcnMarking:
+    def test_marks_when_queue_builds(self, sequencer_program):
+        # A global counter at 64 B line rate on 4 pipelines builds deep
+        # queues: packets crossing the threshold get marked.
+        trace = line_rate_trace(800, 4, lambda r, i: {"seq": 0}, seed=0)
+        cfg = MP5Config(num_pipelines=4, ecn_threshold=8)
+        stats, _ = run_mp5(sequencer_program, trace, cfg)
+        assert stats.ecn_marked > 0
+        assert stats.ecn_marked <= stats.offered
+
+    def test_no_marks_below_threshold(self, heavy_hitter_program):
+        from .conftest import heavy_hitter_headers
+
+        trace = line_rate_trace(400, 4, heavy_hitter_headers, seed=0)
+        cfg = MP5Config(num_pipelines=4, ecn_threshold=1000)
+        stats, _ = run_mp5(heavy_hitter_program, trace, cfg)
+        assert stats.ecn_marked == 0
+
+    def test_disabled_by_default(self, sequencer_program):
+        trace = line_rate_trace(400, 4, lambda r, i: {"seq": 0}, seed=0)
+        stats, _ = run_mp5(sequencer_program, trace, MP5Config(num_pipelines=4))
+        assert stats.ecn_marked == 0
+
+    def test_marking_does_not_change_function(self, sequencer_program):
+        trace = line_rate_trace(300, 4, lambda r, i: {"seq": 0}, seed=0)
+        report = check_equivalence(
+            sequencer_program, trace, MP5Config(num_pipelines=4, ecn_threshold=4)
+        )
+        assert report.equivalent
+
+    def test_invalid_threshold_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            MP5Config(ecn_threshold=0)
+
+
+class TestLatencyTelemetry:
+    def test_uncontended_latency_is_pipeline_depth(self):
+        program = compile_program("stateless_rewrite")
+        trace = line_rate_trace(
+            100, 4, lambda r, i: {"ttl": 64, "dscp": 0, "out": 0}, seed=0
+        )
+        switch = MP5Switch(program, MP5Config(num_pipelines=4))
+        stats = switch.run(trace)
+        # Stateless packets traverse depth stages, one per tick.
+        assert stats.mean_latency == pytest.approx(switch.depth, abs=1.5)
+
+    def test_contention_raises_tail_latency(self, sequencer_program):
+        trace = line_rate_trace(600, 4, lambda r, i: {"seq": 0}, seed=0)
+        switch = MP5Switch(sequencer_program, MP5Config(num_pipelines=4))
+        stats = switch.run(trace)
+        assert stats.latency_percentile(99) > stats.latency_percentile(50)
+        assert stats.latency_percentile(99) > switch.depth * 2
+
+    def test_percentile_bounds_checked(self):
+        from repro.mp5 import SwitchStats
+
+        stats = SwitchStats()
+        stats.latencies = [1.0, 2.0, 3.0]
+        assert stats.latency_percentile(0) == 1.0
+        assert stats.latency_percentile(100) == 3.0
+        with pytest.raises(ValueError):
+            stats.latency_percentile(101)
+
+    def test_summary_includes_latency(self, sequencer_program):
+        trace = line_rate_trace(100, 2, lambda r, i: {"seq": 0}, seed=0)
+        stats, _ = run_mp5(sequencer_program, trace, MP5Config(num_pipelines=2))
+        assert stats.summary()["mean_latency"] > 0
+
+
+class TestExtraPrograms:
+    def test_sampled_netflow_samples_every_nth(self):
+        program = compile_program("sampled_netflow")
+        regs = program.make_register_store()
+        sampled = []
+        for _ in range(128):
+            out = program.execute_packet({"sampled": 0}, regs)
+            sampled.append(out["sampled"])
+        assert sum(sampled) == 2  # packets 64 and 128
+        assert sampled[63] == 1 and sampled[127] == 1
+
+    def test_token_bucket_polices_bursts(self):
+        program = compile_program("token_bucket")
+        regs = program.make_register_store()
+        headers = {"sport": 1, "dport": 2, "now": 0, "allowed": 0}
+        allowed = [
+            program.execute_packet(dict(headers), regs)["allowed"]
+            for _ in range(12)
+        ]
+        # Initial burst of 8 tokens, then the bucket runs dry at now=0.
+        assert sum(allowed) == 8
+        assert allowed[:8] == [1] * 8
+        # Time passes: tokens refill.
+        headers["now"] = 100
+        assert program.execute_packet(dict(headers), regs)["allowed"] == 1
+
+    def test_ewma_converges_toward_samples(self):
+        program = compile_program("ewma_latency")
+        regs = program.make_register_store()
+        estimate = 0
+        for _ in range(60):
+            out = program.execute_packet(
+                {"flow": 7, "sample": 800, "estimate": 0}, regs
+            )
+            estimate = out["estimate"]
+        assert 600 <= estimate <= 800
+
+    def test_syn_flood_flags_attack(self):
+        program = compile_program("syn_flood")
+        regs = program.make_register_store()
+        out = {}
+        for _ in range(150):
+            out = program.execute_packet(
+                {"dst_ip": 9, "syn": 1, "fin": 0, "under_attack": 0}, regs
+            )
+        assert out["under_attack"] == 1
+        # Balanced traffic clears the flag for another destination.
+        for _ in range(10):
+            out = program.execute_packet(
+                {"dst_ip": 10, "syn": 1, "fin": 1, "under_attack": 0}, regs
+            )
+        assert out["under_attack"] == 0
+
+    def test_dns_ttl_change_counts_flux(self):
+        program = compile_program("dns_ttl_change")
+        regs = program.make_register_store()
+        out = {}
+        for i in range(40):
+            out = program.execute_packet(
+                {"domain": 5, "ttl": i % 2, "suspicious": 0}, regs
+            )
+        assert out["suspicious"] == 1

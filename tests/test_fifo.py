@@ -1,0 +1,193 @@
+"""Tests for the per-stage FIFO groups (push/insert/pop, §3.2)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mp5 import DataPacket, IdealOrderBuffer, PhantomPacket, StageFifoGroup
+
+
+def data(pkt_id):
+    return DataPacket(pkt_id=pkt_id, arrival=0.0, port=0, headers={})
+
+
+def phantom(pkt_id, array="r", index=0):
+    return PhantomPacket(
+        pkt_id=pkt_id, array=array, index=index, pipeline=0, stage=1, created_tick=0
+    )
+
+
+class TestPush:
+    def test_push_and_pop_data(self):
+        fifo = StageFifoGroup(num_pipelines=2)
+        fifo.push(data(1), fifo_id=0, tick=0)
+        popped = fifo.pop()
+        assert popped.pkt_id == 1
+
+    def test_pop_empty_returns_none(self):
+        fifo = StageFifoGroup(num_pipelines=2)
+        assert fifo.pop() is None
+
+    def test_capacity_drop(self):
+        fifo = StageFifoGroup(num_pipelines=1, capacity=2)
+        assert fifo.push(data(1), 0, 0)
+        assert fifo.push(data(2), 0, 0)
+        assert not fifo.push(data(3), 0, 0)
+        assert fifo.drops_full == 1
+
+    def test_capacity_per_ring_buffer(self):
+        fifo = StageFifoGroup(num_pipelines=2, capacity=1)
+        assert fifo.push(data(1), 0, 0)
+        assert fifo.push(data(2), 1, 0)  # different ring buffer
+        assert not fifo.push(data(3), 0, 0)
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigError):
+            StageFifoGroup(num_pipelines=0)
+        with pytest.raises(ConfigError):
+            StageFifoGroup(num_pipelines=1, capacity=0)
+
+    def test_occupancy_tracking(self):
+        fifo = StageFifoGroup(num_pipelines=2)
+        fifo.push(data(1), 0, 0)
+        fifo.push(data(2), 1, 0)
+        assert fifo.occupancy() == 2
+        assert fifo.peak_occupancy == 2
+        fifo.pop()
+        assert fifo.occupancy() == 1
+        assert fifo.peak_occupancy == 2
+
+
+class TestLogicalFifoOrder:
+    def test_pop_takes_oldest_across_buffers(self):
+        fifo = StageFifoGroup(num_pipelines=2)
+        fifo.push(data(1), 1, 0)  # pushed first -> older timestamp
+        fifo.push(data(2), 0, 0)
+        assert fifo.pop().pkt_id == 1
+        assert fifo.pop().pkt_id == 2
+
+    def test_fifo_order_within_buffer(self):
+        fifo = StageFifoGroup(num_pipelines=1)
+        for i in range(5):
+            fifo.push(data(i), 0, i)
+        assert [fifo.pop().pkt_id for _ in range(5)] == [0, 1, 2, 3, 4]
+
+
+class TestPhantomProtocol:
+    def test_phantom_head_blocks_pop(self):
+        fifo = StageFifoGroup(num_pipelines=1)
+        fifo.push(phantom(1), 0, 0)
+        fifo.push(data(2), 0, 1)
+        assert fifo.pop() is None  # blocked by the placeholder
+
+    def test_insert_replaces_phantom_in_place(self):
+        fifo = StageFifoGroup(num_pipelines=1)
+        fifo.push(phantom(1), 0, 0)
+        fifo.push(data(2), 0, 1)
+        assert fifo.insert(data(1), tick=2)
+        first = fifo.pop()
+        assert first.pkt_id == 1  # data packet took the phantom's position
+        assert fifo.pop().pkt_id == 2
+
+    def test_insert_without_phantom_drops(self):
+        fifo = StageFifoGroup(num_pipelines=1)
+        assert not fifo.insert(data(9), tick=0)
+        assert fifo.drops_no_phantom == 1
+
+    def test_phantom_blocking_across_buffers(self):
+        fifo = StageFifoGroup(num_pipelines=2)
+        fifo.push(phantom(1), 0, 0)  # oldest overall
+        fifo.push(data(2), 1, 1)
+        assert fifo.pop() is None
+        fifo.insert(data(1), tick=2)
+        assert fifo.pop().pkt_id == 1
+        assert fifo.pop().pkt_id == 2
+
+    def test_ordering_preserved_through_replacement(self):
+        # Phantoms pushed in arrival order; data packets arrive out of
+        # order but pops follow phantom (arrival) order.
+        fifo = StageFifoGroup(num_pipelines=1)
+        for i in range(3):
+            fifo.push(phantom(i), 0, i)
+        fifo.insert(data(2), tick=10)
+        fifo.insert(data(0), tick=11)
+        fifo.insert(data(1), tick=12)
+        assert [fifo.pop().pkt_id for _ in range(3)] == [0, 1, 2]
+
+    def test_expire_phantom_unblocks(self):
+        fifo = StageFifoGroup(num_pipelines=1)
+        fifo.push(phantom(1), 0, 0)
+        fifo.push(data(2), 0, 1)
+        assert fifo.expire_phantom(1)
+        assert fifo.pop().pkt_id == 2
+
+    def test_expire_missing_phantom_false(self):
+        fifo = StageFifoGroup(num_pipelines=1)
+        assert not fifo.expire_phantom(42)
+
+    def test_head_data_age(self):
+        fifo = StageFifoGroup(num_pipelines=1)
+        fifo.push(data(1), 0, 5)
+        assert fifo.head_data_age(tick=9) == 4
+
+    def test_head_data_age_none_for_phantom(self):
+        fifo = StageFifoGroup(num_pipelines=1)
+        fifo.push(phantom(1), 0, 0)
+        assert fifo.head_data_age(tick=3) is None
+
+    def test_data_occupancy_excludes_phantoms(self):
+        fifo = StageFifoGroup(num_pipelines=1)
+        fifo.push(phantom(1), 0, 0)
+        fifo.push(data(2), 0, 0)
+        assert fifo.data_occupancy() == 1
+
+
+class TestIdealOrderBuffer:
+    def test_no_hol_blocking_across_indexes(self):
+        buf = IdealOrderBuffer(num_pipelines=2)
+        buf.push(phantom(1, index=0), 0, 0)  # index 0 waits for its data
+        buf.push(phantom(2, index=1), 0, 1)
+        buf.insert(data(2), tick=2)
+        popped = buf.pop()
+        assert popped.pkt_id == 2  # index 1 proceeds despite index 0
+
+    def test_per_index_order_enforced(self):
+        buf = IdealOrderBuffer(num_pipelines=1)
+        buf.push(phantom(1, index=0), 0, 0)
+        buf.push(phantom(2, index=0), 0, 1)
+        buf.insert(data(2), tick=2)
+        assert buf.pop() is None  # same index: packet 2 must wait for 1
+        buf.insert(data(1), tick=3)
+        assert buf.pop().pkt_id == 1
+        assert buf.pop().pkt_id == 2
+
+    def test_oldest_ready_index_wins(self):
+        buf = IdealOrderBuffer(num_pipelines=1)
+        buf.push(phantom(1, index=0), 0, 0)
+        buf.push(phantom(2, index=1), 0, 1)
+        buf.insert(data(1), tick=2)
+        buf.insert(data(2), tick=2)
+        assert buf.pop().pkt_id == 1
+
+    def test_data_push_rejected(self):
+        buf = IdealOrderBuffer(num_pipelines=1)
+        with pytest.raises(ConfigError):
+            buf.push(data(1), 0, 0)
+
+    def test_expire_phantom(self):
+        buf = IdealOrderBuffer(num_pipelines=1)
+        buf.push(phantom(1, index=0), 0, 0)
+        buf.push(phantom(2, index=0), 0, 1)
+        buf.expire_phantom(1)
+        buf.insert(data(2), tick=2)
+        assert buf.pop().pkt_id == 2
+
+    def test_insert_without_phantom_drops(self):
+        buf = IdealOrderBuffer(num_pipelines=1)
+        assert not buf.insert(data(5), tick=0)
+        assert buf.drops_no_phantom == 1
+
+    def test_occupancy(self):
+        buf = IdealOrderBuffer(num_pipelines=1)
+        buf.push(phantom(1, index=0), 0, 0)
+        assert buf.occupancy() == 1
+        assert buf.data_occupancy() == 0

@@ -1,0 +1,136 @@
+"""Program fuzzing: random Domino programs stay functionally equivalent.
+
+Generates small random — but valid — Domino programs (random register
+arrays, guarded read-modify-writes with hashed stateless indexes, header
+rewrites), compiles each through the full toolchain, and checks §2.2.1
+equivalence on random line-rate traffic. This is the broadest statement
+of the paper's correctness claim: equivalence holds for *all* programs,
+not just the curated catalog.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_program
+from repro.equivalence import check_equivalence
+from repro.mp5 import MP5Config
+from repro.workloads import line_rate_trace
+
+FIELDS = ["f0", "f1", "f2", "f3"]
+# Index expressions may only use fields the program never writes —
+# otherwise a later access would legitimately compute a different index,
+# which the single-index-per-array rule (correctly) rejects.
+KEY_FIELDS = ["f0", "f1"]
+MUT_FIELDS = ["f2", "f3"]
+
+# Statement patterns; {r} = register, {idx} = that register's index
+# expression, {a}/{b} = packet fields, {c} = small constant.
+UPDATE_PATTERNS = [
+    "{r}[{idx}] = {r}[{idx}] + p.{a};",
+    "{r}[{idx}] = {r}[{idx}] + {c};",
+    "{r}[{idx}] = p.{a} + {c};",
+    "{r}[{idx}] = ({r}[{idx}] > {c}) ? p.{a} : {r}[{idx}] + 1;",
+    "if (p.{a} % 2 == 0) {{ {r}[{idx}] = {r}[{idx}] + {c}; }}",
+    "if (p.{a} > p.{b}) {{ {r}[{idx}] = p.{b}; }} else {{ {r}[{idx}] = {r}[{idx}] + 1; }}",
+    "p.{b} = {r}[{idx}];",
+    "p.{b} = {r}[{idx}] + p.{a};",
+]
+
+STATELESS_PATTERNS = [
+    "p.{b} = p.{a} + {c};",
+    "p.{b} = (p.{a} > {c}) ? 1 : 0;",
+    "p.{b} = p.{a} ^ p.{b};",
+]
+
+
+def random_program(rng: np.random.Generator) -> str:
+    num_regs = int(rng.integers(1, 4))
+    sizes = [int(rng.integers(1, 65)) for _ in range(num_regs)]
+    regs = [f"r{i}" for i in range(num_regs)]
+    decls = [
+        f"int {name}[{size}] = {{{int(rng.integers(0, 5))}}};"
+        for name, size in zip(regs, sizes)
+    ]
+    # One fixed index expression per array (the Banzai single-index rule).
+    index_exprs = {}
+    for name, size in zip(regs, sizes):
+        field = KEY_FIELDS[int(rng.integers(0, len(KEY_FIELDS)))]
+        salt = int(rng.integers(0, 100))
+        index_exprs[name] = f"hash2(p.{field}, {salt}) % {size}"
+
+    statements = []
+    for _ in range(int(rng.integers(2, 7))):
+        if rng.random() < 0.75:
+            pattern = UPDATE_PATTERNS[int(rng.integers(0, len(UPDATE_PATTERNS)))]
+            reg = regs[int(rng.integers(0, num_regs))]
+            statements.append(
+                pattern.format(
+                    r=reg,
+                    idx=index_exprs[reg],
+                    a=FIELDS[int(rng.integers(0, len(FIELDS)))],
+                    b=MUT_FIELDS[int(rng.integers(0, len(MUT_FIELDS)))],
+                    c=int(rng.integers(1, 10)),
+                )
+            )
+        else:
+            pattern = STATELESS_PATTERNS[
+                int(rng.integers(0, len(STATELESS_PATTERNS)))
+            ]
+            statements.append(
+                pattern.format(
+                    a=FIELDS[int(rng.integers(0, len(FIELDS)))],
+                    b=MUT_FIELDS[int(rng.integers(0, len(MUT_FIELDS)))],
+                    c=int(rng.integers(1, 10)),
+                )
+            )
+
+    fields_decl = "\n".join(f"    int {f};" for f in FIELDS)
+    body = "\n".join(f"    {s}" for s in statements)
+    return (
+        "struct Packet {\n"
+        + fields_decl
+        + "\n};\n\n"
+        + "\n".join(decls)
+        + "\n\nvoid func(struct Packet p) {\n"
+        + body
+        + "\n}\n"
+    )
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_random_program_equivalence(seed):
+    rng = np.random.default_rng(seed)
+    source = random_program(rng)
+    try:
+        program = compile_program(source, name=f"fuzz{seed}")
+    except Exception as exc:  # pragma: no cover - generator bug guard
+        pytest.fail(f"generated program failed to compile: {exc}\n{source}")
+
+    k = int(rng.integers(1, 5))
+    trace = line_rate_trace(
+        250,
+        k,
+        lambda r, i: {f: int(r.integers(0, 32)) for f in FIELDS},
+        seed=seed,
+    )
+    report = check_equivalence(program, trace, MP5Config(num_pipelines=k))
+    assert report.equivalent, (
+        f"seed {seed} (k={k}) diverged:\n{report.summary()}\n--- source ---\n"
+        f"{source}"
+    )
+    assert report.c1_violating_packets == 0
+
+
+@pytest.mark.parametrize("seed", range(30, 40))
+def test_random_program_equivalence_under_ideal_config(seed):
+    rng = np.random.default_rng(seed)
+    source = random_program(rng)
+    program = compile_program(source, name=f"fuzz{seed}")
+    trace = line_rate_trace(
+        200,
+        4,
+        lambda r, i: {f: int(r.integers(0, 32)) for f in FIELDS},
+        seed=seed,
+    )
+    report = check_equivalence(program, trace, MP5Config.ideal(num_pipelines=4))
+    assert report.equivalent, f"seed {seed}:\n{report.summary()}\n{source}"

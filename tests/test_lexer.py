@@ -1,0 +1,159 @@
+"""Tests for the Domino lexer."""
+
+import pytest
+
+from repro.domino import Token, TokenType, tokenize
+from repro.errors import DominoSyntaxError
+
+
+def types(source):
+    return [t.type for t in tokenize(source)][:-1]  # strip EOF
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)][:-1]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_whitespace_only_yields_only_eof(self):
+        assert len(tokenize("  \n\t  \r\n")) == 1
+
+    def test_integer_literal(self):
+        (tok,) = tokenize("42")[:-1]
+        assert tok.type is TokenType.INT_LITERAL
+        assert tok.value == 42
+
+    def test_hex_literal(self):
+        (tok,) = tokenize("0x1F")[:-1]
+        assert tok.value == 31
+
+    def test_identifier(self):
+        (tok,) = tokenize("counter_1")[:-1]
+        assert tok.type is TokenType.IDENT
+        assert tok.text == "counter_1"
+
+    def test_identifier_with_leading_underscore(self):
+        (tok,) = tokenize("_tmp")[:-1]
+        assert tok.type is TokenType.IDENT
+
+    def test_keywords_not_identifiers(self):
+        assert types("struct int void if else") == [
+            TokenType.KW_STRUCT,
+            TokenType.KW_INT,
+            TokenType.KW_VOID,
+            TokenType.KW_IF,
+            TokenType.KW_ELSE,
+        ]
+
+    def test_keyword_prefix_is_identifier(self):
+        (tok,) = tokenize("iffy")[:-1]
+        assert tok.type is TokenType.IDENT
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("==", TokenType.EQ),
+            ("!=", TokenType.NEQ),
+            ("<=", TokenType.LEQ),
+            (">=", TokenType.GEQ),
+            ("&&", TokenType.AND),
+            ("||", TokenType.OR),
+            ("<<", TokenType.SHL),
+            (">>", TokenType.SHR),
+        ],
+    )
+    def test_two_char_operators(self, text, expected):
+        (tok,) = tokenize(text)[:-1]
+        assert tok.type is expected
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("=", TokenType.ASSIGN),
+            ("+", TokenType.PLUS),
+            ("%", TokenType.PERCENT),
+            ("?", TokenType.QUESTION),
+            (":", TokenType.COLON),
+            ("^", TokenType.BIT_XOR),
+        ],
+    )
+    def test_one_char_operators(self, text, expected):
+        (tok,) = tokenize(text)[:-1]
+        assert tok.type is expected
+
+    def test_two_char_preferred_over_one_char(self):
+        # "<=" must not lex as "<" then "="
+        assert types("a<=b") == [TokenType.IDENT, TokenType.LEQ, TokenType.IDENT]
+
+    def test_adjacent_equals(self):
+        # "===" lexes as "==" then "="
+        assert types("===") == [TokenType.EQ, TokenType.ASSIGN]
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert texts("a // comment here\nb") == ["a", "b"]
+
+    def test_line_comment_at_eof(self):
+        assert texts("a // trailing") == ["a"]
+
+    def test_block_comment_skipped(self):
+        assert texts("a /* x y z */ b") == ["a", "b"]
+
+    def test_multiline_block_comment(self):
+        assert texts("a /* line1\nline2\n*/ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(DominoSyntaxError, match="unterminated"):
+            tokenize("a /* never closed")
+
+    def test_slash_alone_is_division(self):
+        assert types("a / b") == [TokenType.IDENT, TokenType.SLASH, TokenType.IDENT]
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_column_resets_after_newline(self):
+        tokens = tokenize("aa bb\ncc")
+        assert tokens[2].line == 2
+        assert tokens[2].column == 1
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(DominoSyntaxError, match="unexpected character"):
+            tokenize("a @ b")
+
+    def test_error_carries_position(self):
+        with pytest.raises(DominoSyntaxError) as exc:
+            tokenize("ab\n  $")
+        assert exc.value.line == 2
+        assert exc.value.column == 3
+
+    def test_malformed_hex(self):
+        with pytest.raises(DominoSyntaxError):
+            tokenize("0x")
+
+
+class TestTokenValue:
+    def test_value_of_non_literal_raises(self):
+        tok = Token(TokenType.IDENT, "x", 1, 1)
+        with pytest.raises(ValueError):
+            _ = tok.value
+
+    def test_realistic_program_token_count(self):
+        source = "struct P { int a; };\nvoid f(struct P p) { p.a = 1; }"
+        tokens = tokenize(source)
+        assert tokens[-1].type is TokenType.EOF
+        assert len(tokens) > 15

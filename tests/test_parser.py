@@ -1,0 +1,222 @@
+"""Tests for the Domino parser."""
+
+import pytest
+
+from repro.domino import (
+    Assign,
+    BinaryExpr,
+    CallExpr,
+    If,
+    IntLiteral,
+    LocalDecl,
+    LocalVar,
+    PacketField,
+    RegisterRef,
+    TernaryExpr,
+    UnaryExpr,
+    parse,
+)
+from repro.errors import DominoSyntaxError
+
+MINIMAL = """
+struct Packet { int a; };
+void func(struct Packet p) { p.a = 1; }
+"""
+
+
+def wrap(body: str, regs: str = "", fields: str = "int a; int b;") -> str:
+    return (
+        f"struct Packet {{ {fields} }};\n{regs}\n"
+        f"void func(struct Packet p) {{ {body} }}"
+    )
+
+
+class TestTopLevel:
+    def test_minimal_program(self):
+        program = parse(MINIMAL)
+        assert program.packet_struct.name == "Packet"
+        assert program.packet_struct.fields == ["a"]
+        assert program.func_name == "func"
+        assert program.packet_param == "p"
+
+    def test_multiple_fields_in_order(self):
+        program = parse(wrap("p.a = 1;", fields="int x; int y; int z;"))
+        assert program.packet_struct.fields == ["x", "y", "z"]
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(DominoSyntaxError, match="duplicate"):
+            parse(wrap("p.a = 1;", fields="int a; int a;"))
+
+    def test_empty_struct_rejected(self):
+        with pytest.raises(DominoSyntaxError):
+            parse("struct P { };\nvoid f(struct P p) { }")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(DominoSyntaxError):
+            parse(MINIMAL + "\nint stray;")
+
+
+class TestRegisterDecls:
+    def test_scalar_register(self):
+        program = parse(wrap("p.a = 1;", regs="int count = 7;"))
+        reg = program.register_named("count")
+        assert reg.is_scalar
+        assert reg.size == 1
+        assert reg.initial == (7,)
+
+    def test_scalar_default_zero(self):
+        program = parse(wrap("p.a = 1;", regs="int count;"))
+        assert program.register_named("count").initial == (0,)
+
+    def test_array_register_with_full_initializer(self):
+        program = parse(wrap("p.a = 1;", regs="int r[4] = {2, 4, 8, 16};"))
+        reg = program.register_named("r")
+        assert not reg.is_scalar
+        assert reg.initial == (2, 4, 8, 16)
+
+    def test_array_broadcast_initializer(self):
+        program = parse(wrap("p.a = 1;", regs="int r[3] = {5};"))
+        assert program.register_named("r").initial == (5, 5, 5)
+
+    def test_array_uninitialized_defaults_zero(self):
+        program = parse(wrap("p.a = 1;", regs="int r[3];"))
+        assert program.register_named("r").initial == (0, 0, 0)
+
+    def test_negative_initializer(self):
+        program = parse(wrap("p.a = 1;", regs="int r = -3;"))
+        assert program.register_named("r").initial == (-3,)
+
+    def test_wrong_initializer_length_rejected(self):
+        with pytest.raises(DominoSyntaxError, match="initializer"):
+            parse(wrap("p.a = 1;", regs="int r[4] = {1, 2};"))
+
+    def test_zero_size_array_rejected(self):
+        with pytest.raises(DominoSyntaxError, match="positive"):
+            parse(wrap("p.a = 1;", regs="int r[0];"))
+
+    def test_register_names_listed(self):
+        program = parse(wrap("p.a = 1;", regs="int x; int y[2];"))
+        assert program.register_names == ["x", "y"]
+
+
+class TestStatements:
+    def test_packet_field_assign(self):
+        program = parse(wrap("p.a = p.b + 1;"))
+        stmt = program.body[0]
+        assert isinstance(stmt, Assign)
+        assert isinstance(stmt.target, PacketField)
+        assert stmt.target.field_name == "a"
+
+    def test_register_array_assign(self):
+        program = parse(wrap("r[p.a] = 1;", regs="int r[4];"))
+        stmt = program.body[0]
+        assert isinstance(stmt.target, RegisterRef)
+        assert stmt.target.register == "r"
+
+    def test_local_decl(self):
+        program = parse(wrap("int tmp = p.a * 2; p.b = tmp;"))
+        assert isinstance(program.body[0], LocalDecl)
+        assert program.body[0].name == "tmp"
+
+    def test_local_decl_requires_initializer(self):
+        with pytest.raises(DominoSyntaxError, match="initialized"):
+            parse(wrap("int tmp; p.a = 1;"))
+
+    def test_if_without_else(self):
+        program = parse(wrap("if (p.a > 0) { p.b = 1; }"))
+        stmt = program.body[0]
+        assert isinstance(stmt, If)
+        assert stmt.else_body == []
+
+    def test_if_with_else(self):
+        program = parse(wrap("if (p.a > 0) { p.b = 1; } else { p.b = 2; }"))
+        assert len(program.body[0].else_body) == 1
+
+    def test_else_if_chain(self):
+        program = parse(
+            wrap("if (p.a == 1) { p.b = 1; } else if (p.a == 2) { p.b = 2; }")
+        )
+        nested = program.body[0].else_body[0]
+        assert isinstance(nested, If)
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(DominoSyntaxError):
+            parse(wrap("p.a = 1"))
+
+
+class TestExpressions:
+    def expr_of(self, source_expr, regs=""):
+        program = parse(wrap(f"p.a = {source_expr};", regs=regs))
+        return program.body[0].value
+
+    def test_precedence_mul_over_add(self):
+        expr = self.expr_of("1 + 2 * 3")
+        assert isinstance(expr, BinaryExpr)
+        assert expr.op == "+"
+        assert isinstance(expr.right, BinaryExpr)
+        assert expr.right.op == "*"
+
+    def test_parentheses_override_precedence(self):
+        expr = self.expr_of("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert isinstance(expr.left, BinaryExpr)
+
+    def test_comparison_precedence(self):
+        expr = self.expr_of("p.a + 1 < p.b")
+        assert expr.op == "<"
+
+    def test_logical_and_or_precedence(self):
+        expr = self.expr_of("p.a == 1 || p.b == 2 && p.a == 3")
+        assert expr.op == "||"  # && binds tighter
+
+    def test_ternary(self):
+        expr = self.expr_of("p.a ? 1 : 2")
+        assert isinstance(expr, TernaryExpr)
+
+    def test_nested_ternary_right_associative(self):
+        expr = self.expr_of("p.a ? 1 : p.b ? 2 : 3")
+        assert isinstance(expr.if_false, TernaryExpr)
+
+    def test_unary_not(self):
+        expr = self.expr_of("!p.a")
+        assert isinstance(expr, UnaryExpr)
+        assert expr.op == "!"
+
+    def test_unary_minus(self):
+        expr = self.expr_of("-p.a")
+        assert isinstance(expr, UnaryExpr)
+
+    def test_builtin_call(self):
+        expr = self.expr_of("hash2(p.a, p.b)")
+        assert isinstance(expr, CallExpr)
+        assert expr.func == "hash2"
+        assert len(expr.args) == 2
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(DominoSyntaxError, match="unknown function"):
+            self.expr_of("foo(p.a)")
+
+    def test_register_read_in_expression(self):
+        expr = self.expr_of("r[p.a] + 1", regs="int r[4];")
+        assert isinstance(expr.left, RegisterRef)
+
+    def test_bare_identifier_is_localvar_node(self):
+        # Disambiguation (local vs scalar register) happens in semantics.
+        expr = self.expr_of("count", regs="int count;")
+        assert isinstance(expr, LocalVar)
+
+    def test_modulo_chain(self):
+        expr = self.expr_of("p.a % 4")
+        assert expr.op == "%"
+        assert isinstance(expr.right, IntLiteral)
+
+    def test_shift_operators(self):
+        expr = self.expr_of("p.a << 2")
+        assert expr.op == "<<"
+
+    def test_figure3_source_parses(self):
+        from repro.domino import get_source
+
+        program = parse(get_source("figure3"))
+        assert program.register_names == ["reg1", "reg2", "reg3"]
+        assert len(program.body) == 2

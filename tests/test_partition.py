@@ -1,0 +1,88 @@
+"""Tests for logical MP5 partitioning (§3.1 footnote 1)."""
+
+import pytest
+
+from repro.compiler import compile_program
+from repro.errors import ConfigError
+from repro.mp5 import LogicalPartition, MP5Config, PartitionedMP5
+from repro.workloads import line_rate_trace
+
+from .conftest import heavy_hitter_headers
+
+
+@pytest.fixture(scope="module")
+def programs():
+    return (
+        compile_program("heavy_hitter"),
+        compile_program("sequencer"),
+    )
+
+
+class TestPartitioning:
+    def test_disjoint_pipeline_ranges(self, programs):
+        hh, seq = programs
+        switch = PartitionedMP5(
+            total_pipelines=8,
+            partitions=[LogicalPartition(hh, 6), LogicalPartition(seq, 2)],
+        )
+        assert switch.ranges == [(0, 5), (6, 7)]
+        assert switch.spare_pipelines == 0
+
+    def test_spare_pipelines_allowed(self, programs):
+        hh, _ = programs
+        switch = PartitionedMP5(
+            total_pipelines=8, partitions=[LogicalPartition(hh, 3)]
+        )
+        assert switch.spare_pipelines == 5
+
+    def test_oversubscription_rejected(self, programs):
+        hh, seq = programs
+        with pytest.raises(ConfigError, match="pipelines"):
+            PartitionedMP5(
+                total_pipelines=4,
+                partitions=[LogicalPartition(hh, 3), LogicalPartition(seq, 2)],
+            )
+
+    def test_empty_partitions_rejected(self):
+        with pytest.raises(ConfigError):
+            PartitionedMP5(total_pipelines=4, partitions=[])
+
+    def test_zero_width_partition_rejected(self, programs):
+        hh, _ = programs
+        with pytest.raises(ConfigError):
+            LogicalPartition(hh, 0)
+
+    def test_trace_count_must_match(self, programs):
+        hh, seq = programs
+        switch = PartitionedMP5(
+            total_pipelines=4,
+            partitions=[LogicalPartition(hh, 2), LogicalPartition(seq, 2)],
+        )
+        with pytest.raises(ConfigError, match="traces"):
+            switch.run([[]])
+
+    def test_independent_execution(self, programs):
+        hh, seq = programs
+        switch = PartitionedMP5(
+            total_pipelines=4,
+            partitions=[LogicalPartition(hh, 2), LogicalPartition(seq, 2)],
+        )
+        hh_trace = line_rate_trace(300, 2, heavy_hitter_headers, seed=0)
+        seq_trace = line_rate_trace(300, 2, lambda r, i: {"seq": 0}, seed=0)
+        results = switch.run([hh_trace, seq_trace])
+        assert [r.name for r in results] == ["heavy_hitter", "sequencer"]
+        # Each logical switch behaves like a standalone MP5 of its width.
+        assert results[0].stats.egressed == 300
+        assert results[1].registers["count"][0] == 300
+
+    def test_partition_width_matches_standalone_throughput(self, programs):
+        # A 2-pipeline logical sequencer inside an 8-pipeline switch has
+        # the same 1/2 normalized throughput as a standalone 2-pipeline
+        # MP5 — partitioning neither helps nor hurts other partitions.
+        _, seq = programs
+        switch = PartitionedMP5(
+            total_pipelines=8, partitions=[LogicalPartition(seq, 2)]
+        )
+        trace = line_rate_trace(800, 2, lambda r, i: {"seq": 0}, seed=0)
+        (result,) = switch.run([trace])
+        assert result.stats.throughput_normalized() == pytest.approx(0.5, abs=0.05)

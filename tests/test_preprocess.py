@@ -1,0 +1,201 @@
+"""Tests for the AST-to-TAC lowering (preprocessing phase)."""
+
+import pytest
+
+from repro.compiler import OpKind, preprocess
+from repro.compiler.tac import TacEvaluator
+from repro.domino import analyze, parse
+from repro.errors import CompilerError
+
+
+def lower(body: str, regs: str = "", fields: str = "int a; int b; int c;"):
+    program = parse(
+        f"struct Packet {{ {fields} }};\n{regs}\n"
+        f"void func(struct Packet p) {{ {body} }}"
+    )
+    analyze(program)
+    return preprocess(program)
+
+
+def execute(tac, headers, registers=None):
+    regs = registers if registers is not None else {
+        name: list(init) for name, (_s, init) in tac.registers.items()
+    }
+    ev = TacEvaluator(headers, regs)
+    ev.run(tac.instrs)
+    return headers, regs
+
+
+def kinds(tac):
+    return [i.kind for i in tac.instrs]
+
+
+class TestBasicLowering:
+    def test_field_copy(self):
+        tac = lower("p.a = p.b;")
+        headers, _ = execute(tac, {"a": 0, "b": 42})
+        assert headers["a"] == 42
+
+    def test_arithmetic(self):
+        tac = lower("p.a = p.b * 2 + 1;")
+        headers, _ = execute(tac, {"b": 5})
+        assert headers["a"] == 11
+
+    def test_local_variable(self):
+        tac = lower("int tmp = p.b + 1; p.a = tmp * tmp;")
+        headers, _ = execute(tac, {"b": 3})
+        assert headers["a"] == 16
+
+    def test_constant_folding(self):
+        tac = lower("p.a = 2 + 3 * 4;")
+        # All-constant arithmetic folds away: no BINARY instruction remains.
+        assert OpKind.BINARY not in kinds(tac)
+        headers, _ = execute(tac, {})
+        assert headers["a"] == 14
+
+    def test_value_numbering_shares_subexpressions(self):
+        tac = lower("p.a = p.c % 4; p.b = p.c % 4;")
+        mods = [i for i in tac.instrs if i.kind is OpKind.BINARY and i.op == "%"]
+        assert len(mods) == 1
+
+    def test_field_not_written_not_emitted(self):
+        tac = lower("p.a = p.b;")
+        written = [i.field_name for i in tac.instrs if i.kind is OpKind.WRITE_FIELD]
+        assert written == ["a"]
+
+    def test_validates_ssa(self):
+        # preprocess() runs validate(); reaching here means it passed.
+        lower("int x = 1; p.a = x;")
+
+
+class TestBranchFlattening:
+    def test_if_becomes_select(self):
+        tac = lower("if (p.b > 0) { p.a = 1; } else { p.a = 2; }")
+        assert OpKind.SELECT in kinds(tac)
+        headers, _ = execute(tac, {"b": 5})
+        assert headers["a"] == 1
+        headers, _ = execute(tac, {"b": -5})
+        assert headers["a"] == 2
+
+    def test_if_without_else_keeps_old_value(self):
+        tac = lower("if (p.b > 0) { p.a = 9; }")
+        headers, _ = execute(tac, {"a": 4, "b": -1})
+        assert headers["a"] == 4
+
+    def test_nested_if(self):
+        tac = lower(
+            "if (p.b > 0) { if (p.c > 0) { p.a = 1; } else { p.a = 2; } }"
+        )
+        headers, _ = execute(tac, {"a": 0, "b": 1, "c": 0})
+        assert headers["a"] == 2
+        headers, _ = execute(tac, {"a": 0, "b": 0, "c": 0})
+        assert headers["a"] == 0
+
+    def test_ternary(self):
+        tac = lower("p.a = p.b ? 10 : 20;")
+        headers, _ = execute(tac, {"b": 1})
+        assert headers["a"] == 10
+
+    def test_local_conditional_reassign(self):
+        tac = lower("int x = 0; if (p.b) { x = 5; } p.a = x;")
+        headers, _ = execute(tac, {"b": 1})
+        assert headers["a"] == 5
+
+    def test_conditional_assign_before_unconditional_rejected(self):
+        with pytest.raises(Exception):
+            lower("if (p.b) { x = 5; } p.a = x;")
+
+
+class TestRegisterTransactions:
+    def test_single_read(self):
+        tac = lower("p.a = r[p.b % 4];", regs="int r[4] = {1, 2, 3, 4};")
+        reads = [i for i in tac.instrs if i.kind is OpKind.REG_READ]
+        assert len(reads) == 1
+        headers, _ = execute(tac, {"b": 2})
+        assert headers["a"] == 3
+
+    def test_read_modify_write(self):
+        tac = lower("r[0] = r[0] + 1;", regs="int r[1];")
+        headers, regs = execute(tac, {})
+        assert regs["r"][0] == 1
+        # Exactly one read and one write per array per packet.
+        assert kinds(tac).count(OpKind.REG_READ) == 1
+        assert kinds(tac).count(OpKind.REG_WRITE) == 1
+
+    def test_read_after_write_sees_new_value(self):
+        tac = lower(
+            "r[0] = r[0] + 5; p.a = r[0];", regs="int r[1] = {10};"
+        )
+        headers, regs = execute(tac, {})
+        assert headers["a"] == 15
+        assert regs["r"][0] == 15
+
+    def test_guarded_write_keeps_old_value(self):
+        tac = lower(
+            "if (p.b > 0) { r[0] = 99; } p.a = r[0];", regs="int r[1] = {7};"
+        )
+        headers, regs = execute(tac, {"b": 0})
+        assert regs["r"][0] == 7
+        assert headers["a"] == 7
+
+    def test_guarded_read_has_guard(self):
+        tac = lower(
+            "p.a = p.b ? r1[0] : r2[0];", regs="int r1[1] = {1}; int r2[1] = {2};"
+        )
+        reads = {i.reg: i for i in tac.instrs if i.kind is OpKind.REG_READ}
+        assert reads["r1"].guard is not None
+        assert reads["r2"].guard is not None
+
+    def test_unconditional_access_has_no_guard(self):
+        tac = lower("r[0] = r[0] + 1;", regs="int r[1];")
+        read = next(i for i in tac.instrs if i.kind is OpKind.REG_READ)
+        assert read.guard is None
+
+    def test_multi_index_same_array_rejected(self):
+        with pytest.raises(CompilerError, match="two different index"):
+            lower("p.a = r[p.b % 4] + r[p.c % 4];", regs="int r[4];")
+
+    def test_same_index_expression_allowed(self):
+        tac = lower(
+            "p.a = r[p.b % 4]; r[p.b % 4] = p.a + 1;", regs="int r[4];"
+        )
+        assert kinds(tac).count(OpKind.REG_READ) == 1
+
+    def test_figure3_semantics(self):
+        from repro.domino import get_program
+
+        tac = preprocess(get_program("figure3"))
+        regs = {n: list(init) for n, (_s, init) in tac.registers.items()}
+        for _ in range(4):
+            execute(
+                tac, {"h1": 1, "h2": 1, "h3": 2, "mux": 1, "val": 0}, regs
+            )
+        execute(tac, {"h1": 1, "h2": 3, "h3": 2, "mux": 0, "val": 0}, regs)
+        # reg3[2] starts at 0: multiplied 4 times (stays 0), then +7.
+        assert regs["reg3"][2] == 7
+
+    def test_guarded_access_pattern_preserved(self):
+        # A packet with mux==1 must not access reg2 at all.
+        from repro.domino import get_program
+
+        tac = preprocess(get_program("figure3"))
+        regs = {n: list(init) for n, (_s, init) in tac.registers.items()}
+        seen = []
+        ev = TacEvaluator(
+            {"h1": 1, "h2": 1, "h3": 2, "mux": 1, "val": 0},
+            regs,
+            on_access=lambda reg, idx, kind: seen.append(reg),
+        )
+        ev.run(tac.instrs)
+        assert "reg1" in seen
+        assert "reg2" not in seen
+
+    def test_access_guard_union_of_branches(self):
+        # Access under both branches of the same array merges into one
+        # transaction whose guard covers both.
+        tac = lower(
+            "if (p.b) { r[0] = 1; } else { r[0] = 2; }", regs="int r[1];"
+        )
+        assert kinds(tac).count(OpKind.REG_WRITE) == 1
+        headers, regs = execute(tac, {"b": 0})
+        assert regs["r"][0] == 2

@@ -1,0 +1,63 @@
+"""Tests for the one-shot reproduction orchestrator."""
+
+import json
+
+import pytest
+
+from repro.harness import run_all
+from repro.harness.runall import SCALES
+
+
+class TestRunAll:
+    @pytest.fixture(scope="class")
+    def artifacts(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("results")
+        messages = []
+        artifacts = run_all(
+            out_dir=str(out), scale="tiny", progress=messages.append
+        )
+        return out, artifacts, messages
+
+    def test_all_artifacts_present(self, artifacts):
+        _out, rendered, _messages = artifacts
+        assert set(rendered) == {
+            "table1",
+            "microbench",
+            "fig7a",
+            "fig7b",
+            "fig7c",
+            "fig7d",
+            "fig8",
+        }
+
+    def test_files_written(self, artifacts):
+        out, rendered, _messages = artifacts
+        for name in rendered:
+            assert (out / f"{name}.txt").exists()
+        assert (out / "results.json").exists()
+
+    def test_structured_results_parse(self, artifacts):
+        out, _rendered, _messages = artifacts
+        data = json.loads((out / "results.json").read_text())
+        assert data["scale"] == "tiny"
+        assert len(data["table1"]) == 12
+        assert len(data["fig7a"]) == 5
+        assert set(data["fig8"]) == {"flowlet", "conga", "wfq", "sequencer"}
+
+    def test_progress_reported(self, artifacts):
+        _out, _rendered, messages = artifacts
+        assert any("Table 1" in m for m in messages)
+        assert any("Figure 8" in m for m in messages)
+
+    def test_rendered_tables_contain_numbers(self, artifacts):
+        _out, rendered, _messages = artifacts
+        assert "1 GHz" in rendered["table1"]
+        assert "pipelines" in rendered["fig7a"]
+        assert "D4" in rendered["microbench"]
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            run_all(scale="huge")
+
+    def test_scales_defined(self):
+        assert set(SCALES) == {"tiny", "small", "full"}

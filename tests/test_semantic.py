@@ -1,0 +1,137 @@
+"""Tests for Domino semantic analysis."""
+
+import pytest
+
+from repro.domino import (
+    IntLiteral,
+    RegisterRef,
+    analyze,
+    expr_reads_register,
+    parse,
+)
+from repro.errors import DominoSemanticError
+
+
+def check(body: str, regs: str = "", fields: str = "int a; int b;"):
+    program = parse(
+        f"struct Packet {{ {fields} }};\n{regs}\n"
+        f"void func(struct Packet p) {{ {body} }}"
+    )
+    info = analyze(program)
+    return program, info
+
+
+class TestNameResolution:
+    def test_scalar_register_read_normalized(self):
+        program, _info = check("p.a = count;", regs="int count;")
+        expr = program.body[0].value
+        assert isinstance(expr, RegisterRef)
+        assert expr.register == "count"
+        assert isinstance(expr.index, IntLiteral)
+
+    def test_scalar_register_write_normalized(self):
+        program, _info = check("count = count + 1;", regs="int count;")
+        target = program.body[0].target
+        assert isinstance(target, RegisterRef)
+
+    def test_local_variable_resolution(self):
+        _program, info = check("int tmp = p.a; p.b = tmp;")
+        assert "tmp" in info.local_names
+
+    def test_undeclared_name_rejected(self):
+        with pytest.raises(DominoSemanticError, match="undeclared"):
+            check("p.a = ghost;")
+
+    def test_unknown_packet_field_rejected(self):
+        with pytest.raises(DominoSemanticError, match="unknown packet field"):
+            check("p.nope = 1;")
+
+    def test_unknown_register_rejected(self):
+        with pytest.raises(DominoSemanticError, match="unknown register"):
+            check("ghost[0] = 1;")
+
+    def test_local_shadowing_register_rejected(self):
+        with pytest.raises(DominoSemanticError, match="shadows"):
+            check("int count = 1; p.a = count;", regs="int count;")
+
+    def test_local_redeclaration_rejected(self):
+        with pytest.raises(DominoSemanticError, match="redeclared"):
+            check("int t = 1; int t = 2;")
+
+    def test_array_read_without_index_rejected(self):
+        with pytest.raises(DominoSemanticError, match="without index"):
+            check("p.a = r;", regs="int r[4];")
+
+    def test_array_write_without_index_rejected(self):
+        with pytest.raises(DominoSemanticError, match="without index"):
+            check("r = 1;", regs="int r[4];")
+
+    def test_assignment_to_undeclared_rejected(self):
+        with pytest.raises(DominoSemanticError, match="undeclared"):
+            check("tmp = 1;")
+
+
+class TestBranchRules:
+    def test_local_decl_in_branch_rejected(self):
+        with pytest.raises(DominoSemanticError, match="not allowed inside"):
+            check("if (p.a) { int t = 1; }")
+
+    def test_local_decl_in_else_rejected(self):
+        with pytest.raises(DominoSemanticError, match="not allowed inside"):
+            check("if (p.a) { p.b = 1; } else { int t = 1; }")
+
+    def test_assignment_in_branch_allowed(self):
+        check("int t = 0; if (p.a) { t = 1; } p.b = t;")
+
+
+class TestFactGathering:
+    def test_registers_used_collected(self):
+        _program, info = check(
+            "p.a = r1[0] + 1; r2[1] = 2;", regs="int r1[2]; int r2[2];"
+        )
+        assert info.registers_used == {"r1", "r2"}
+
+    def test_fields_written_collected(self):
+        _program, info = check("p.a = 1; p.b = 2;")
+        assert info.fields_written == {"a", "b"}
+
+    def test_stateful_index_detected(self):
+        _program, info = check(
+            "r1[r2[0] % 4] = 1;", regs="int r1[4]; int r2[1];"
+        )
+        assert "r1" in info.stateful_index_registers
+        assert "r2" not in info.stateful_index_registers
+
+    def test_stateless_index_not_flagged(self):
+        _program, info = check("r[p.a % 4] = 1;", regs="int r[4];")
+        assert info.stateful_index_registers == set()
+
+    def test_builtin_arity_checked(self):
+        with pytest.raises(DominoSemanticError, match="takes 2 arguments"):
+            check("p.a = hash2(p.a);")
+
+    def test_division_by_constant_zero_rejected(self):
+        with pytest.raises(DominoSemanticError, match="zero"):
+            check("p.a = p.b / 0;")
+
+    def test_duplicate_register_rejected(self):
+        with pytest.raises(DominoSemanticError, match="duplicate register"):
+            check("p.a = 1;", regs="int r; int r;")
+
+
+class TestExprReadsRegister:
+    def test_plain_field_does_not_read(self):
+        program, _ = check("p.a = p.b;")
+        assert not expr_reads_register(program.body[0].value)
+
+    def test_register_ref_reads(self):
+        program, _ = check("p.a = r[0];", regs="int r[2];")
+        assert expr_reads_register(program.body[0].value)
+
+    def test_nested_read_detected(self):
+        program, _ = check("p.a = (p.b + r[0]) * 2;", regs="int r[2];")
+        assert expr_reads_register(program.body[0].value)
+
+    def test_call_argument_read_detected(self):
+        program, _ = check("p.a = hash2(r[0], 1);", regs="int r[2];")
+        assert expr_reads_register(program.body[0].value)

@@ -1,0 +1,105 @@
+"""Tests for run statistics and the C1 metrics."""
+
+import pytest
+
+from repro.mp5 import SwitchStats, c1_metrics, c1_violations
+from repro.mp5.stats import C1Report
+
+
+class TestThroughput:
+    def _stats(self, arrivals, egresses, offered=None):
+        stats = SwitchStats()
+        stats.arrival_ticks = arrivals
+        stats.egress_ticks = egresses
+        stats.offered = offered if offered is not None else len(arrivals)
+        stats.egressed = len(egresses)
+        return stats
+
+    def test_full_rate(self):
+        stats = self._stats(list(range(100)), list(range(2, 102)))
+        assert stats.throughput_normalized() == pytest.approx(1.0)
+
+    def test_half_rate(self):
+        # 100 arrivals over 100 ticks, but only every other one egresses
+        # in the measurement window.
+        arrivals = [float(i) for i in range(100)]
+        egresses = [float(2 * i) for i in range(50) if 2 * i <= 99]
+        stats = self._stats(arrivals, egresses)
+        assert 0.4 < stats.throughput_normalized() < 0.6
+
+    def test_empty_run(self):
+        assert SwitchStats().throughput_normalized() == 0.0
+
+    def test_delivery_ratio(self):
+        stats = self._stats([0.0, 1.0], [5.0], offered=2)
+        assert stats.delivery_ratio == 0.5
+
+    def test_summary_keys(self):
+        stats = self._stats([0.0], [1.0])
+        summary = stats.summary()
+        for key in ("offered", "egressed", "throughput", "max_queue_depth"):
+            assert key in summary
+
+
+class TestReordering:
+    def test_in_order_flows_zero(self):
+        stats = SwitchStats()
+        stats.flow_egress = {1: [0, 1, 2], 2: [3, 4]}
+        assert stats.reordered_flows() == 0
+        assert stats.reordered_packets() == 0
+
+    def test_reordered_flow_detected(self):
+        stats = SwitchStats()
+        stats.flow_egress = {1: [0, 2, 1]}
+        assert stats.reordered_flows() == 1
+        assert stats.reordered_packets() == 1
+
+    def test_multiple_reordered_packets(self):
+        stats = SwitchStats()
+        stats.flow_egress = {1: [3, 0, 1, 2]}
+        assert stats.reordered_packets() == 3
+
+
+class TestC1Metrics:
+    def test_perfect_order_zero(self):
+        ref = {("r", 0): [0, 1, 2]}
+        obs = {("r", 0): [0, 1, 2]}
+        report = c1_metrics(ref, obs, 3)
+        assert report.displaced_packets == 0
+        assert report.inversion_fraction == 0.0
+        assert not report.violated
+
+    def test_swap_detected(self):
+        ref = {("r", 0): [0, 1, 2]}
+        obs = {("r", 0): [0, 2, 1]}
+        report = c1_metrics(ref, obs, 3)
+        assert report.displaced_packets == 2  # both parties of the swap
+        assert report.inversions == 1
+        assert report.violated
+
+    def test_missing_reference_falls_back_to_sorted(self):
+        report = c1_metrics({}, {("r", 0): [2, 0, 1]}, 3)
+        assert report.displaced_packets == 3
+        assert report.inversions == 1
+
+    def test_multiple_states_union_of_violators(self):
+        ref = {("r", 0): [0, 1], ("r", 1): [2, 3]}
+        obs = {("r", 0): [1, 0], ("r", 1): [2, 3]}
+        report = c1_metrics(ref, obs, 4)
+        assert report.displaced_packets == 2
+        assert report.displaced_fraction == 0.5
+
+    def test_inversion_fraction_normalizes_by_accesses(self):
+        obs = {("r", 0): [1, 0], ("r", 1): [0, 1]}
+        report = c1_metrics({}, obs, 2)
+        assert report.inversion_fraction == pytest.approx(0.25)
+
+    def test_legacy_tuple_api(self):
+        count, fraction = c1_violations({}, {("r", 0): [1, 0]}, 2)
+        assert count == 2
+        assert fraction == 1.0
+
+    def test_empty_observation(self):
+        report = c1_metrics({}, {}, 0)
+        assert report.displaced_fraction == 0.0
+        assert report.inversion_fraction == 0.0

@@ -1,0 +1,255 @@
+"""Tests for the three-address-code IR and evaluator."""
+
+import pytest
+
+from repro.compiler import Const, OpKind, TacEvaluator, TacInstr, TacProgram, Temp
+from repro.compiler.tac import TempFactory, _to_signed32
+from repro.errors import CompilerError
+
+
+def t(name):
+    return Temp(name)
+
+
+def run(instrs, headers=None, registers=None):
+    headers = headers if headers is not None else {}
+    registers = registers if registers is not None else {}
+    ev = TacEvaluator(headers, registers)
+    ev.run(instrs)
+    return ev
+
+
+class TestWrapSemantics:
+    def test_positive_wrap(self):
+        assert _to_signed32(2**31) == -(2**31)
+
+    def test_negative_stays(self):
+        assert _to_signed32(-1 & 0xFFFFFFFF) == -1
+
+    def test_small_values_identity(self):
+        for v in (-5, 0, 5, 1000):
+            assert _to_signed32(v) == v
+
+
+class TestEvaluator:
+    def test_const(self):
+        ev = run([TacInstr(OpKind.CONST, dest=t("a"), args=[Const(7)])])
+        assert ev.env[t("a")] == 7
+
+    def test_binary_add(self):
+        ev = run(
+            [
+                TacInstr(OpKind.CONST, dest=t("a"), args=[Const(3)]),
+                TacInstr(OpKind.BINARY, dest=t("b"), op="+", args=[t("a"), Const(4)]),
+            ]
+        )
+        assert ev.env[t("b")] == 7
+
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("-", 3, 5, -2),
+            ("*", 6, 7, 42),
+            ("/", 7, 2, 3),
+            ("/", -7, 2, -3),  # C-style truncation toward zero
+            ("%", 7, 4, 3),
+            ("%", -7, 4, -3),  # C-style remainder keeps dividend sign
+            ("==", 2, 2, 1),
+            ("!=", 2, 2, 0),
+            ("<", 1, 2, 1),
+            ("<=", 2, 2, 1),
+            (">", 3, 2, 1),
+            (">=", 1, 2, 0),
+            ("&&", 1, 0, 0),
+            ("||", 0, 2, 1),
+            ("&", 6, 3, 2),
+            ("|", 6, 3, 7),
+            ("^", 6, 3, 5),
+            ("<<", 1, 4, 16),
+            (">>", 16, 2, 4),
+        ],
+    )
+    def test_binary_ops(self, op, a, b, expected):
+        ev = run(
+            [TacInstr(OpKind.BINARY, dest=t("r"), op=op, args=[Const(a), Const(b)])]
+        )
+        assert ev.env[t("r")] == expected
+
+    def test_division_by_zero_yields_zero(self):
+        # Hardware ALUs don't trap; the datapath convention is 0.
+        ev = run(
+            [TacInstr(OpKind.BINARY, dest=t("r"), op="/", args=[Const(5), Const(0)])]
+        )
+        assert ev.env[t("r")] == 0
+
+    def test_multiply_wraps_32bit(self):
+        ev = run(
+            [
+                TacInstr(
+                    OpKind.BINARY,
+                    dest=t("r"),
+                    op="*",
+                    args=[Const(2**30), Const(4)],
+                )
+            ]
+        )
+        assert ev.env[t("r")] == 0
+
+    def test_unary_ops(self):
+        ev = run(
+            [
+                TacInstr(OpKind.UNARY, dest=t("a"), op="!", args=[Const(0)]),
+                TacInstr(OpKind.UNARY, dest=t("b"), op="-", args=[Const(5)]),
+            ]
+        )
+        assert ev.env[t("a")] == 1
+        assert ev.env[t("b")] == -5
+
+    def test_select(self):
+        ev = run(
+            [
+                TacInstr(
+                    OpKind.SELECT, dest=t("r"), args=[Const(1), Const(10), Const(20)]
+                ),
+                TacInstr(
+                    OpKind.SELECT, dest=t("s"), args=[Const(0), Const(10), Const(20)]
+                ),
+            ]
+        )
+        assert ev.env[t("r")] == 10
+        assert ev.env[t("s")] == 20
+
+    def test_call_builtin(self):
+        ev = run(
+            [TacInstr(OpKind.CALL, dest=t("h"), op="max", args=[Const(3), Const(9)])]
+        )
+        assert ev.env[t("h")] == 9
+
+    def test_read_write_field(self):
+        headers = {"x": 5}
+        ev = run(
+            [
+                TacInstr(OpKind.READ_FIELD, dest=t("a"), field_name="x"),
+                TacInstr(OpKind.WRITE_FIELD, field_name="y", args=[t("a")]),
+            ],
+            headers=headers,
+        )
+        assert headers["y"] == 5
+
+    def test_read_missing_field_defaults_zero(self):
+        ev = run([TacInstr(OpKind.READ_FIELD, dest=t("a"), field_name="nope")])
+        assert ev.env[t("a")] == 0
+
+    def test_reg_read_write(self):
+        regs = {"r": [10, 20]}
+        ev = run(
+            [
+                TacInstr(OpKind.REG_READ, dest=t("v"), reg="r", args=[Const(1)]),
+                TacInstr(
+                    OpKind.BINARY, dest=t("w"), op="+", args=[t("v"), Const(1)]
+                ),
+                TacInstr(OpKind.REG_WRITE, reg="r", args=[Const(1), t("w")]),
+            ],
+            registers=regs,
+        )
+        assert regs["r"][1] == 21
+
+    def test_reg_index_wraps(self):
+        regs = {"r": [10, 20]}
+        ev = run(
+            [TacInstr(OpKind.REG_READ, dest=t("v"), reg="r", args=[Const(5)])],
+            registers=regs,
+        )
+        assert ev.env[t("v")] == 20  # 5 % 2 == 1
+
+    def test_guard_false_skips_access(self):
+        regs = {"r": [10]}
+        instrs = [
+            TacInstr(OpKind.CONST, dest=t("g"), args=[Const(0)]),
+            TacInstr(
+                OpKind.REG_WRITE, reg="r", args=[Const(0), Const(99)], guard=t("g")
+            ),
+        ]
+        run(instrs, registers=regs)
+        assert regs["r"][0] == 10
+
+    def test_guard_true_performs_access(self):
+        regs = {"r": [10]}
+        instrs = [
+            TacInstr(OpKind.CONST, dest=t("g"), args=[Const(1)]),
+            TacInstr(
+                OpKind.REG_WRITE, reg="r", args=[Const(0), Const(99)], guard=t("g")
+            ),
+        ]
+        run(instrs, registers=regs)
+        assert regs["r"][0] == 99
+
+    def test_on_access_callback_fires_only_when_guarded_true(self):
+        seen = []
+        regs = {"r": [0]}
+        ev = TacEvaluator({}, regs, on_access=lambda reg, idx, kind: seen.append(kind))
+        ev.run(
+            [
+                TacInstr(OpKind.CONST, dest=t("g0"), args=[Const(0)]),
+                TacInstr(
+                    OpKind.REG_READ, dest=t("a"), reg="r", args=[Const(0)], guard=t("g0")
+                ),
+                TacInstr(OpKind.REG_READ, dest=t("b"), reg="r", args=[Const(0)]),
+            ]
+        )
+        assert seen == ["read"]
+
+    def test_undefined_temp_raises(self):
+        with pytest.raises(CompilerError, match="no value"):
+            run([TacInstr(OpKind.BINARY, dest=t("r"), op="+", args=[t("x"), Const(1)])])
+
+
+class TestProgramValidation:
+    def test_use_before_def_rejected(self):
+        prog = TacProgram(
+            instrs=[
+                TacInstr(OpKind.BINARY, dest=t("b"), op="+", args=[t("a"), Const(1)])
+            ],
+            packet_fields=[],
+            registers={},
+        )
+        with pytest.raises(CompilerError, match="before definition"):
+            prog.validate()
+
+    def test_double_definition_rejected(self):
+        prog = TacProgram(
+            instrs=[
+                TacInstr(OpKind.CONST, dest=t("a"), args=[Const(1)]),
+                TacInstr(OpKind.CONST, dest=t("a"), args=[Const(2)]),
+            ],
+            packet_fields=[],
+            registers={},
+        )
+        with pytest.raises(CompilerError, match="twice"):
+            prog.validate()
+
+    def test_valid_program_passes(self):
+        prog = TacProgram(
+            instrs=[
+                TacInstr(OpKind.CONST, dest=t("a"), args=[Const(1)]),
+                TacInstr(OpKind.BINARY, dest=t("b"), op="+", args=[t("a"), Const(1)]),
+            ],
+            packet_fields=[],
+            registers={},
+        )
+        prog.validate()
+
+    def test_str_rendering(self):
+        instr = TacInstr(OpKind.BINARY, dest=t("x"), op="+", args=[Const(1), Const(2)])
+        assert "x = 1 + 2" in str(instr)
+
+
+class TestTempFactory:
+    def test_unique_names(self):
+        factory = TempFactory()
+        names = {factory.fresh().name for _ in range(100)}
+        assert len(names) == 100
+
+    def test_hint_embedded(self):
+        factory = TempFactory()
+        assert "idx" in factory.fresh("idx").name

@@ -1,0 +1,101 @@
+"""Tests for Banzai atom-template classification and feasibility."""
+
+import pytest
+
+from repro.banzai import (
+    AtomTemplate,
+    TEMPLATE_BY_NAME,
+    check_atom_feasibility,
+    classify_cluster,
+    classify_program,
+)
+from repro.compiler import BanzaiTarget, compile_program
+from repro.errors import ResourceError
+
+
+def requirements_of(name):
+    return classify_program(compile_program(name).stages)
+
+
+class TestClassification:
+    def test_pure_read_is_read(self):
+        (req,) = requirements_of("wfq")[:1]  # virtual_time: read-only
+        assert req.template is AtomTemplate.READ
+
+    def test_counter_is_raw(self):
+        (req,) = requirements_of("packet_counter")
+        assert req.template is AtomTemplate.RAW
+        assert req.arrays == ("count",)
+
+    def test_mux_update_is_pred_raw(self):
+        reqs = {r.arrays[0]: r for r in requirements_of("figure3")}
+        assert reqs["reg3"].template is AtomTemplate.PRED_RAW
+
+    def test_guarded_reads_are_read(self):
+        reqs = {r.arrays[0]: r for r in requirements_of("figure3")}
+        assert reqs["reg1"].template is AtomTemplate.READ
+        assert reqs["reg2"].template is AtomTemplate.READ
+
+    def test_state_comparison_is_if_else_raw(self):
+        # established[idx] written when SYN, read otherwise: two-way mux.
+        (req,) = requirements_of("stateful_firewall")
+        assert req.template in (AtomTemplate.IF_ELSE_RAW, AtomTemplate.SUB)
+
+    def test_fused_arrays_are_paired(self):
+        (req,) = requirements_of("conga")
+        assert req.template is AtomTemplate.PAIRED
+        assert set(req.arrays) == {"best_path", "best_path_util"}
+
+    def test_token_bucket_is_nested_or_sub(self):
+        reqs = {r.arrays[0]: r for r in requirements_of("token_bucket")}
+        assert reqs["tokens"].template >= AtomTemplate.SUB
+
+    def test_depth_and_alu_counts_positive_for_rmw(self):
+        (req,) = requirements_of("heavy_hitter")
+        assert req.alu_ops >= 1
+        assert req.depth >= 1
+
+    def test_stateless_stage_rejected(self):
+        program = compile_program("stateless_rewrite")
+        with pytest.raises(ResourceError):
+            classify_cluster(program.stages[1].instrs)
+
+    def test_hierarchy_is_ordered(self):
+        assert AtomTemplate.READ < AtomTemplate.RAW < AtomTemplate.NESTED
+        assert AtomTemplate.PAIRED == max(AtomTemplate)
+
+    def test_registry_names(self):
+        assert TEMPLATE_BY_NAME["raw"] is AtomTemplate.RAW
+        assert len(TEMPLATE_BY_NAME) == len(AtomTemplate)
+
+
+class TestFeasibility:
+    def test_counter_fits_raw_machine(self):
+        compile_program(
+            "packet_counter", target=BanzaiTarget(atom_template="raw")
+        )
+
+    def test_conga_needs_paired_machine(self):
+        with pytest.raises(ResourceError, match="paired"):
+            compile_program("conga", target=BanzaiTarget(atom_template="nested"))
+
+    def test_firewall_needs_more_than_raw(self):
+        with pytest.raises(ResourceError):
+            compile_program(
+                "stateful_firewall", target=BanzaiTarget(atom_template="raw")
+            )
+
+    def test_default_target_accepts_everything_bundled(self):
+        from repro.domino import program_names
+
+        for name in program_names():
+            compile_program(name)  # no ResourceError
+
+    def test_unknown_template_rejected(self):
+        with pytest.raises(ResourceError, match="unknown atom template"):
+            BanzaiTarget(atom_template="quantum")
+
+    def test_check_returns_requirements(self):
+        program = compile_program("bloom_filter")
+        reqs = check_atom_feasibility(program.stages, AtomTemplate.PAIRED)
+        assert len(reqs) == 3

@@ -1,0 +1,109 @@
+"""Tests for trace/result serialization."""
+
+import json
+
+import pytest
+
+from repro.compiler import compile_program
+from repro.errors import ConfigError
+from repro.mp5 import MP5Config, run_mp5
+from repro.workloads import (
+    FlowWorkload,
+    line_rate_trace,
+    load_stats,
+    load_trace,
+    packet_from_dict,
+    packet_to_dict,
+    save_stats,
+    save_trace,
+    stats_to_dict,
+)
+
+
+class TestTraceRoundTrip:
+    def test_round_trip_preserves_everything(self, tmp_path):
+        trace = line_rate_trace(
+            50, 4, lambda r, i: {"a": int(r.integers(0, 99)), "b": i}, seed=3
+        )
+        path = tmp_path / "trace.jsonl"
+        assert save_trace(trace, path) == 50
+        loaded = load_trace(path)
+        assert len(loaded) == 50
+        for original, restored in zip(trace, loaded):
+            assert restored.pkt_id == original.pkt_id
+            assert restored.arrival == original.arrival
+            assert restored.port == original.port
+            assert restored.size_bytes == original.size_bytes
+            assert restored.headers == original.headers
+
+    def test_flow_ids_preserved(self, tmp_path):
+        trace = FlowWorkload(num_pipelines=2, seed=1).generate(30)
+        path = tmp_path / "flows.jsonl"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert [p.flow_id for p in loaded] == [p.flow_id for p in trace]
+
+    def test_loaded_trace_runs_identically(self, tmp_path):
+        program = compile_program("heavy_hitter")
+        trace = line_rate_trace(
+            200, 4, lambda r, i: {"src_ip": int(r.integers(0, 64)), "hot": 0}, seed=4
+        )
+        path = tmp_path / "trace.jsonl"
+        save_trace(trace, path)
+        stats_a, regs_a = run_mp5(program, load_trace(path), MP5Config(num_pipelines=4))
+        stats_b, regs_b = run_mp5(program, load_trace(path), MP5Config(num_pipelines=4))
+        assert regs_a == regs_b
+        assert stats_a.egress_ticks == stats_b.egress_ticks
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ConfigError, match="empty"):
+            load_trace(path)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"format": "pcap"}\n')
+        with pytest.raises(ConfigError, match="not an mp5-trace"):
+            load_trace(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"format": "mp5-trace", "version": 99}\n')
+        with pytest.raises(ConfigError, match="version"):
+            load_trace(path)
+
+    def test_malformed_record_rejected(self):
+        with pytest.raises(ConfigError, match="malformed"):
+            packet_from_dict({"id": 1})
+
+    def test_dict_round_trip(self):
+        trace = line_rate_trace(1, 2, lambda r, i: {"x": 7}, seed=0)
+        restored = packet_from_dict(packet_to_dict(trace[0]))
+        assert restored.headers == {"x": 7}
+
+
+class TestStatsExport:
+    def _stats(self):
+        program = compile_program("sequencer")
+        trace = line_rate_trace(100, 2, lambda r, i: {"seq": 0}, seed=0)
+        stats, _ = run_mp5(program, trace, MP5Config(num_pipelines=2))
+        return stats
+
+    def test_stats_to_dict_keys(self):
+        record = stats_to_dict(self._stats())
+        assert record["offered"] == 100
+        assert "throughput" in record
+        assert "latencies" not in record
+
+    def test_distributions_opt_in(self):
+        record = stats_to_dict(self._stats(), include_distributions=True)
+        assert len(record["latencies"]) == 100
+
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "stats.json"
+        save_stats(self._stats(), path)
+        record = load_stats(path)
+        assert record["egressed"] == 100
+        # The file is plain JSON, readable by anything.
+        assert json.loads(path.read_text())["offered"] == 100

@@ -1,0 +1,144 @@
+"""Tests for the PVSM-to-PVSM transformer (preemptive address resolution)."""
+
+import pytest
+
+from repro.compiler import preprocess, transform
+from repro.compiler.tac import OpKind
+from repro.domino import analyze, get_program, parse
+
+
+def transformed_of(body, regs="", fields="int a; int b; int c;"):
+    program = parse(
+        f"struct Packet {{ {fields} }};\n{regs}\n"
+        f"void func(struct Packet p) {{ {body} }}"
+    )
+    analyze(program)
+    return transform(preprocess(program))
+
+
+class TestResolutionStage:
+    def test_stage_zero_is_stateless(self):
+        tr = transformed_of("r[p.a % 8] = r[p.a % 8] + 1;", regs="int r[8];")
+        for instr in tr.resolution_stage.instrs:
+            assert not instr.is_stateful
+
+    def test_index_computation_moved_to_stage_zero(self):
+        tr = transformed_of("r[p.a % 8] = 1;", regs="int r[8];")
+        ops_in_stage0 = {
+            (i.kind, i.op) for i in tr.resolution_stage.instrs
+        }
+        assert (OpKind.BINARY, "%") in ops_in_stage0
+
+    def test_hash_index_moved_to_stage_zero(self):
+        tr = transformed_of(
+            "r[hash2(p.a, p.b) % 8] = 1;", regs="int r[8];"
+        )
+        assert any(
+            i.kind is OpKind.CALL for i in tr.resolution_stage.instrs
+        )
+
+    def test_clusters_never_in_stage_zero(self):
+        tr = transformed_of("r[0] = r[0] + 1;", regs="int r[1];")
+        assert tr.arrays["r"].stage >= 1
+        assert tr.resolution_stage.arrays == []
+
+    def test_stateless_program_has_no_arrays(self):
+        tr = transformed_of("p.a = p.b + 1;")
+        assert tr.arrays == {}
+
+
+class TestClassification:
+    def test_stateless_index_shardable(self):
+        tr = transformed_of("r[p.a % 8] = 1;", regs="int r[8];")
+        plan = tr.arrays["r"]
+        assert plan.shardable
+        assert plan.index_operand is not None
+
+    def test_stateful_index_pinned(self):
+        tr = transformed_of(
+            "r1[r2[0] % 8] = 1;", regs="int r1[8]; int r2[1];"
+        )
+        plan = tr.arrays["r1"]
+        assert not plan.shardable
+        assert plan.index_operand is None
+
+    def test_stateless_guard_resolvable(self):
+        tr = transformed_of(
+            "if (p.a > 0) { r[p.b % 8] = 1; }", regs="int r[8];"
+        )
+        plan = tr.arrays["r"]
+        assert plan.guard_resolvable
+        assert plan.guard_operand is not None
+        assert not plan.conservative_phantom
+
+    def test_stateful_guard_conservative(self):
+        tr = transformed_of(
+            "if (mode > 0) { r[p.b % 8] = 1; }",
+            regs="int mode; int r[8];",
+        )
+        plan = tr.arrays["r"]
+        assert not plan.guard_resolvable
+        assert plan.conservative_phantom
+
+    def test_unconditional_access_no_guard(self):
+        tr = transformed_of("r[0] = r[0] + 1;", regs="int r[1];")
+        plan = tr.arrays["r"]
+        assert plan.guard_operand is None
+        assert not plan.conservative_phantom
+
+    def test_both_branch_arrays_conservative(self):
+        tr = transform(preprocess(get_program("stateful_predicate")))
+        assert tr.arrays["table_a"].conservative_phantom
+        assert tr.arrays["table_b"].conservative_phantom
+
+    def test_has_write_flag(self):
+        tr = transformed_of(
+            "p.a = r1[0]; r2[0] = 1;", regs="int r1[1]; int r2[1];"
+        )
+        assert not tr.arrays["r1"].has_write
+        assert tr.arrays["r2"].has_write
+
+    def test_pin_key_defaults_to_name(self):
+        tr = transformed_of("r[0] = 1;", regs="int r[1];")
+        assert tr.arrays["r"].pin_key == "r"
+
+
+class TestSerialization:
+    def test_arrays_serialized_one_per_stage(self):
+        tr = transform(preprocess(get_program("bloom_filter")))
+        stages = [plan.stage for plan in tr.arrays.values()]
+        assert len(stages) == len(set(stages))
+
+    def test_unserialized_allows_sharing(self):
+        tr = transform(
+            preprocess(get_program("bloom_filter")), serialize_arrays=False
+        )
+        stages = [plan.stage for plan in tr.arrays.values()]
+        assert len(set(stages)) < len(stages)
+
+    def test_arrays_in_stage_order(self):
+        tr = transform(preprocess(get_program("bloom_filter")))
+        ordered = tr.arrays_in_stage_order()
+        assert [p.stage for p in ordered] == sorted(p.stage for p in ordered)
+
+
+class TestRealPrograms:
+    @pytest.mark.parametrize(
+        "name,expected_shardable",
+        [
+            ("flowlet", {"last_time": True, "saved_hop": True}),
+            ("wfq", {"last_finish": True, "virtual_time": True}),
+            ("heavy_hitter", {"counts": True}),
+            ("stateful_index", {"cursor": True, "ring": False}),
+        ],
+    )
+    def test_sharding_classification(self, name, expected_shardable):
+        tr = transform(preprocess(get_program(name)))
+        for reg, expected in expected_shardable.items():
+            assert tr.arrays[reg].shardable == expected, reg
+
+    def test_figure3_resolvable_guards(self):
+        tr = transform(preprocess(get_program("figure3")))
+        assert tr.arrays["reg1"].guard_resolvable
+        assert tr.arrays["reg2"].guard_resolvable
+        assert tr.arrays["reg3"].guard_operand is None

@@ -1,0 +1,222 @@
+"""Tests for workload generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads import (
+    BimodalPacketSizes,
+    EmpiricalCDF,
+    FlowWorkload,
+    SkewedAccess,
+    UniformAccess,
+    clone_packets,
+    line_rate_trace,
+    make_sensitivity_program,
+    reference_trace,
+    sensitivity_trace,
+    synthetic_source,
+    variable_size_trace,
+    web_search_flow_sizes,
+    zipf_access,
+)
+
+
+class TestEmpiricalCDF:
+    def test_samples_within_support(self):
+        cdf = web_search_flow_sizes()
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            value = cdf.sample(rng)
+            assert 6 * 1024 <= value <= 30 * 1024 * 1024
+
+    def test_heavy_tail_shape(self):
+        cdf = web_search_flow_sizes()
+        rng = np.random.default_rng(1)
+        samples = [cdf.sample(rng) for _ in range(4000)]
+        median = float(np.median(samples))
+        mean = float(np.mean(samples))
+        assert mean > 3 * median  # heavy-tailed: mean far above median
+
+    def test_invalid_cdfs_rejected(self):
+        with pytest.raises(ConfigError):
+            EmpiricalCDF([(1, 0.0)])
+        with pytest.raises(ConfigError):
+            EmpiricalCDF([(1, 0.1), (2, 1.0)])  # must start at 0
+        with pytest.raises(ConfigError):
+            EmpiricalCDF([(1, 0.0), (2, 0.5)])  # must end at 1
+        with pytest.raises(ConfigError):
+            EmpiricalCDF([(1, 0.0), (2, 0.7), (3, 0.5), (4, 1.0)])
+
+
+class TestPacketSizes:
+    def test_bimodal_modes_only(self):
+        sizes = BimodalPacketSizes()
+        rng = np.random.default_rng(0)
+        observed = {sizes.sample(rng) for _ in range(100)}
+        assert observed <= {200, 1400}
+        assert len(observed) == 2
+
+    def test_mean_bytes(self):
+        sizes = BimodalPacketSizes(small=200, large=1400, small_fraction=0.5)
+        assert sizes.mean_bytes == 800
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ConfigError):
+            BimodalPacketSizes(small_fraction=1.5)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ConfigError):
+            BimodalPacketSizes(small=32)
+
+
+class TestAccessPatterns:
+    def test_uniform_covers_range(self):
+        sampler = UniformAccess(16)
+        rng = np.random.default_rng(0)
+        seen = {sampler.sample(rng) for _ in range(500)}
+        assert seen == set(range(16))
+
+    def test_skewed_concentrates_on_hot_set(self):
+        sampler = SkewedAccess(size=100, hot_fraction=0.3, hot_weight=0.95)
+        rng = np.random.default_rng(0)
+        samples = [sampler.sample(rng) for _ in range(2000)]
+        hot = sum(1 for s in samples if s < sampler.hot_count)
+        assert 0.9 < hot / len(samples) < 1.0
+
+    def test_skewed_cold_indexes_possible(self):
+        sampler = SkewedAccess(size=100, hot_fraction=0.3, hot_weight=0.5)
+        rng = np.random.default_rng(0)
+        samples = {sampler.sample(rng) for _ in range(2000)}
+        assert any(s >= sampler.hot_count for s in samples)
+
+    def test_zipf_skews_to_low_ranks(self):
+        rng = np.random.default_rng(0)
+        samples = zipf_access(100, 1.2, rng, 2000)
+        assert (samples < 10).mean() > 0.5
+
+    def test_invalid_patterns_rejected(self):
+        with pytest.raises(ConfigError):
+            UniformAccess(0)
+        with pytest.raises(ConfigError):
+            SkewedAccess(size=10, hot_fraction=0.0)
+        with pytest.raises(ConfigError):
+            SkewedAccess(size=10, hot_weight=1.5)
+
+
+class TestTraces:
+    def test_line_rate_spacing(self):
+        trace = line_rate_trace(100, 4, lambda r, i: {"x": 0}, seed=0)
+        gaps = [b.arrival - a.arrival for a, b in zip(trace, trace[1:])]
+        assert all(abs(g - 0.25) < 1e-9 for g in gaps)  # 4 pkts per tick
+
+    def test_packet_size_scales_gap(self):
+        trace = line_rate_trace(
+            10, 4, lambda r, i: {"x": 0}, packet_size=128, seed=0
+        )
+        assert trace[1].arrival - trace[0].arrival == pytest.approx(0.5)
+
+    def test_utilization_scales_gap(self):
+        trace = line_rate_trace(
+            10, 4, lambda r, i: {"x": 0}, utilization=0.5, seed=0
+        )
+        assert trace[1].arrival - trace[0].arrival == pytest.approx(0.5)
+
+    def test_ports_assigned_round_robin(self):
+        trace = line_rate_trace(10, 2, lambda r, i: {"x": 0}, num_ports=4, seed=0)
+        assert [p.port for p in trace[:5]] == [0, 1, 2, 3, 0]
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigError):
+            line_rate_trace(0, 4, lambda r, i: {})
+        with pytest.raises(ConfigError):
+            line_rate_trace(10, 4, lambda r, i: {}, packet_size=32)
+        with pytest.raises(ConfigError):
+            line_rate_trace(10, 4, lambda r, i: {}, utilization=0.0)
+
+    def test_variable_size_trace_sizes_bimodal(self):
+        trace = variable_size_trace(200, 4, lambda r, i: {"x": 0}, seed=0)
+        assert {p.size_bytes for p in trace} <= {200, 1400}
+
+    def test_clone_is_deep_enough(self):
+        trace = line_rate_trace(5, 2, lambda r, i: {"x": 1}, seed=0)
+        copy = clone_packets(trace)
+        copy[0].headers["x"] = 99
+        assert trace[0].headers["x"] == 1
+
+    def test_reference_trace_scales_time(self):
+        trace = line_rate_trace(4, 4, lambda r, i: {"x": 0}, seed=0)
+        ref = reference_trace(trace, 4)
+        assert ref[1][0] - ref[0][0] == pytest.approx(1.0)
+
+
+class TestFlowWorkload:
+    def test_flow_fields_present(self):
+        workload = FlowWorkload(num_pipelines=4, seed=0)
+        packets = workload.generate(200)
+        for pkt in packets:
+            assert "sport" in pkt.headers
+            assert "dport" in pkt.headers
+            assert pkt.flow_id is not None
+
+    def test_flows_reused_across_packets(self):
+        workload = FlowWorkload(num_pipelines=4, active_flows=8, seed=0)
+        packets = workload.generate(400)
+        flows = {p.flow_id for p in packets}
+        assert len(flows) < 400  # multi-packet flows exist
+
+    def test_deterministic_given_seed(self):
+        a = FlowWorkload(num_pipelines=4, seed=5).generate(50)
+        b = FlowWorkload(num_pipelines=4, seed=5).generate(50)
+        assert [p.headers for p in a] == [p.headers for p in b]
+
+    def test_extra_fields_applied(self):
+        workload = FlowWorkload(
+            num_pipelines=4,
+            seed=0,
+            extra_fields=lambda rng, pkt: {"marker": 7},
+        )
+        packets = workload.generate(10)
+        assert all(p.headers["marker"] == 7 for p in packets)
+
+    def test_arrival_monotone(self):
+        packets = FlowWorkload(num_pipelines=4, seed=0).generate(100)
+        arrivals = [p.arrival for p in packets]
+        assert arrivals == sorted(arrivals)
+
+
+class TestSyntheticPrograms:
+    def test_source_shape(self):
+        source = synthetic_source(3, 64)
+        assert source.count("int reg") == 3
+        assert "reg2[p.idx2]" in source
+
+    def test_zero_stateful_is_stateless(self):
+        program = make_sensitivity_program(0, 64)
+        assert program.is_stateless
+
+    def test_program_stage_layout(self):
+        program = make_sensitivity_program(4, 512)
+        assert len(program.stateful_stage_indexes) == 4
+        assert all(p.shardable for p in program.arrays.values())
+
+    def test_trace_headers_in_range(self):
+        trace = sensitivity_trace(50, 4, 2, 16, pattern="uniform", seed=0)
+        for pkt in trace:
+            assert 0 <= pkt.headers["idx0"] < 16
+            assert 0 <= pkt.headers["idx1"] < 16
+
+    def test_skewed_trace_pattern(self):
+        trace = sensitivity_trace(1000, 4, 1, 100, pattern="skewed", seed=0)
+        hot = sum(1 for p in trace if p.headers["idx0"] < 30)
+        assert hot > 900
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ConfigError):
+            sensitivity_trace(10, 4, 1, 16, pattern="magic")
+
+    def test_invalid_source_params_rejected(self):
+        with pytest.raises(ConfigError):
+            synthetic_source(-1, 16)
+        with pytest.raises(ConfigError):
+            synthetic_source(2, 0)
