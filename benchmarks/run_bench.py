@@ -1,0 +1,127 @@
+"""Standalone performance harness: measure the simulator and the sweep
+runner, write the numbers to ``benchmarks/BENCH_mp5.json``.
+
+Two measurements:
+
+* **engine** — the 2000-packet sensitivity workload of
+  ``test_mp5_simulation_throughput`` (4 pipelines, 4 stateful stages,
+  512-entry registers), best-of-N wall clock and the derived ticks/sec;
+* **sweep** — ``run_all(scale="tiny")`` end to end, serial and with
+  ``--jobs`` workers, after checking the two produce a byte-identical
+  ``results.json``.
+
+The ``seed_baseline`` block records the same engine workload measured
+on the pre-fast-path engine (commit ``275ecc4``) **on this reference
+host**; re-measure it locally (``git worktree add /tmp/seed 275ecc4``
+and run this script there) before trusting the speedup on different
+hardware.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py [--rounds 15] [--jobs 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import tempfile
+import time
+from pathlib import Path
+
+from repro.harness.runall import run_all
+from repro.mp5 import MP5Config, run_mp5
+from repro.workloads import (
+    clone_packets,
+    make_sensitivity_program,
+    sensitivity_trace,
+)
+
+# The engine workload of benchmarks/test_simulator_performance.py,
+# timed on the seed engine (commit 275ecc4) on the reference host:
+# best-of-15 0.1272 s, median 0.1459 s for the 2000-packet run.
+SEED_BASELINE = {
+    "commit": "275ecc4",
+    "engine_seconds_min": 0.1272,
+    "engine_seconds_median": 0.1459,
+}
+
+
+def bench_engine(rounds: int) -> dict:
+    program = make_sensitivity_program(4, 512)
+    trace = sensitivity_trace(2000, 4, 4, 512, seed=0)
+    times = []
+    ticks = None
+    for _ in range(rounds):
+        batch = clone_packets(trace)
+        start = time.perf_counter()
+        stats, _ = run_mp5(program, batch, MP5Config(num_pipelines=4))
+        times.append(time.perf_counter() - start)
+        ticks = stats.ticks
+        assert stats.egressed == 2000
+    best = min(times)
+    median = statistics.median(times)
+    return {
+        "workload": "sensitivity 2000 pkts, k=4, m=4, r=512",
+        "rounds": rounds,
+        "ticks": ticks,
+        "seconds_min": round(best, 4),
+        "seconds_median": round(median, 4),
+        "ticks_per_sec": round(ticks / best),
+        "speedup_vs_seed_min": round(
+            SEED_BASELINE["engine_seconds_min"] / best, 2
+        ),
+        "speedup_vs_seed_median": round(
+            SEED_BASELINE["engine_seconds_median"] / median, 2
+        ),
+    }
+
+
+def bench_sweep(jobs: int) -> dict:
+    with tempfile.TemporaryDirectory() as tmp:
+        serial_dir = Path(tmp) / "serial"
+        par_dir = Path(tmp) / "parallel"
+        start = time.perf_counter()
+        run_all(out_dir=str(serial_dir), scale="tiny", jobs=1)
+        serial_s = time.perf_counter() - start
+        start = time.perf_counter()
+        run_all(out_dir=str(par_dir), scale="tiny", jobs=jobs)
+        parallel_s = time.perf_counter() - start
+        identical = (serial_dir / "results.json").read_bytes() == (
+            par_dir / "results.json"
+        ).read_bytes()
+    return {
+        "workload": 'run_all(scale="tiny")',
+        "jobs": jobs,
+        "serial_seconds": round(serial_s, 2),
+        "parallel_seconds": round(parallel_s, 2),
+        "speedup": round(serial_s / parallel_s, 2),
+        "results_json_identical": identical,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=15)
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent / "BENCH_mp5.json"),
+    )
+    args = parser.parse_args()
+
+    report = {
+        "engine": bench_engine(args.rounds),
+        "sweep": bench_sweep(args.jobs),
+        "seed_baseline": SEED_BASELINE,
+    }
+    if not report["sweep"]["results_json_identical"]:
+        raise SystemExit("serial and parallel results.json diverged")
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

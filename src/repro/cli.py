@@ -141,7 +141,7 @@ def cmd_fig7(args) -> int:
         "d": (sweep_packet_size, "7d"),
     }
     runner, figure = sweeps[args.panel]
-    print(render_sweep(runner(settings), figure))
+    print(render_sweep(runner(settings, jobs=args.jobs), figure))
     return 0
 
 
@@ -149,13 +149,16 @@ def cmd_fig8(args) -> int:
     settings = RealAppSettings(
         num_packets=args.packets, seeds=tuple(range(args.seeds))
     )
-    print(render_figure8(run_figure8(settings=settings)))
+    print(render_figure8(run_figure8(settings=settings, jobs=args.jobs)))
     return 0
 
 
 def cmd_reproduce(args) -> int:
     artifacts = run_all(
-        out_dir=args.out, scale=args.scale, progress=lambda msg: print(f"[{msg}]")
+        out_dir=args.out,
+        scale=args.scale,
+        progress=lambda msg: print(f"[{msg}]"),
+        jobs=args.jobs,
     )
     if args.out is None:
         for name, text in artifacts.items():
@@ -232,15 +235,34 @@ def build_parser() -> argparse.ArgumentParser:
         func=cmd_table1
     )
 
+    def jobs_type(value):
+        jobs = int(value)
+        if jobs < 0:
+            raise argparse.ArgumentTypeError(
+                "must be >= 0 (0 = one worker per CPU)"
+            )
+        return jobs
+
+    def add_jobs_arg(p):
+        p.add_argument(
+            "--jobs",
+            type=jobs_type,
+            default=1,
+            help="worker processes for the sweep: 1 = serial (default), "
+            "0 = one per CPU; results are identical at any job count",
+        )
+
     p = sub.add_parser("fig7", help="regenerate a Figure 7 panel")
     p.add_argument("panel", choices=("a", "b", "c", "d"))
     p.add_argument("--packets", type=int, default=4000)
     p.add_argument("--seeds", type=int, default=2)
+    add_jobs_arg(p)
     p.set_defaults(func=cmd_fig7)
 
     p = sub.add_parser("fig8", help="regenerate Figure 8")
     p.add_argument("--packets", type=int, default=4000)
     p.add_argument("--seeds", type=int, default=2)
+    add_jobs_arg(p)
     p.set_defaults(func=cmd_fig8)
 
     p = sub.add_parser(
@@ -248,6 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--out", default=None, help="output directory")
     p.add_argument("--scale", choices=("tiny", "small", "full"), default="full")
+    add_jobs_arg(p)
     p.set_defaults(func=cmd_reproduce)
 
     p = sub.add_parser("micro", help="run a §4.3.2 microbenchmark")

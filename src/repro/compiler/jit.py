@@ -52,6 +52,18 @@ def _operand(op, names: Dict[Temp, str]) -> str:
     return _var(op, names)
 
 
+def _wrapped(expr: str) -> str:
+    """Emit ``expr`` wrapped to signed 32 bits, inline.
+
+    ``((v + 2**31) & 0xFFFFFFFF) - 2**31`` is branchless and exactly
+    equal to :func:`~repro.compiler.tac._to_signed32` for every int
+    (both compute ``((v mod 2**32) + 2**31) mod 2**32 - 2**31``);
+    emitting it inline removes one function call per arithmetic
+    instruction per packet from the simulation hot path.
+    """
+    return f"((({expr}) + 2147483648) & 4294967295) - 2147483648"
+
+
 def compile_instrs(
     instrs: Sequence[TacInstr], name: str = "stage"
 ) -> Optional[StageFn]:
@@ -100,7 +112,7 @@ def _emit(instr: TacInstr, names: Dict[Temp, str]) -> List[str]:
     if kind is OpKind.READ_FIELD:
         return [
             f"{pad}{_var(instr.dest, names)} = "
-            f"_wrap(headers.get({instr.field_name!r}, 0))"
+            f"{_wrapped(f'headers.get({instr.field_name!r}, 0)')}"
         ]
     if kind is OpKind.WRITE_FIELD:
         value = _operand(instr.args[0], names)
@@ -109,13 +121,13 @@ def _emit(instr: TacInstr, names: Dict[Temp, str]) -> List[str]:
     if kind is OpKind.CONST:
         return [
             f"{pad}{_var(instr.dest, names)} = "
-            f"_wrap({_operand(instr.args[0], names)})"
+            f"{_wrapped(_operand(instr.args[0], names))}"
         ]
     if kind is OpKind.UNARY:
         a = _operand(instr.args[0], names)
         dest = _var(instr.dest, names)
         if instr.op == "-":
-            return [f"{pad}{dest} = _wrap(-({a}))"]
+            return [f"{pad}{dest} = {_wrapped(f'-({a})')}"]
         if instr.op == "!":
             return [f"{pad}{dest} = 0 if {a} else 1"]
         raise CompilerError(f"jit: unknown unary op {instr.op!r}")
@@ -125,7 +137,7 @@ def _emit(instr: TacInstr, names: Dict[Temp, str]) -> List[str]:
         args = ", ".join(_operand(a, names) for a in instr.args)
         return [
             f"{pad}{_var(instr.dest, names)} = "
-            f"_wrap(_builtins[{instr.op!r}]({args}))"
+            f"{_wrapped(f'_builtins[{instr.op!r}]({args})')}"
         ]
     if kind is OpKind.SELECT:
         g = _operand(instr.args[0], names)
@@ -166,14 +178,18 @@ def _emit_binary(instr: TacInstr, names: Dict[Temp, str]) -> str:
     op = instr.op
     pad = "    "
     if op in _WRAPPED_BINOPS:
-        return f"{pad}{dest} = _wrap(({a}) {_WRAPPED_BINOPS[op]} ({b}))"
+        return f"{pad}{dest} = {_wrapped(f'({a}) {_WRAPPED_BINOPS[op]} ({b})')}"
     if op in _COMPARISONS:
         return f"{pad}{dest} = 1 if ({a}) {op} ({b}) else 0"
     if op == "/":
-        return f"{pad}{dest} = _wrap(int(({a}) / ({b}))) if ({b}) != 0 else 0"
+        return (
+            f"{pad}{dest} = {_wrapped(f'int(({a}) / ({b}))')} "
+            f"if ({b}) != 0 else 0"
+        )
     if op == "%":
         return (
-            f"{pad}{dest} = _wrap(int(({a}) - ({b}) * int(({a}) / ({b})))) "
+            f"{pad}{dest} = "
+            f"{_wrapped(f'int(({a}) - ({b}) * int(({a}) / ({b})))')} "
             f"if ({b}) != 0 else 0"
         )
     if op == "&&":
@@ -181,9 +197,9 @@ def _emit_binary(instr: TacInstr, names: Dict[Temp, str]) -> str:
     if op == "||":
         return f"{pad}{dest} = 1 if (({a}) or ({b})) else 0"
     if op == "<<":
-        return f"{pad}{dest} = _wrap(({a}) << (({b}) & 31))"
+        return f"{pad}{dest} = {_wrapped(f'({a}) << (({b}) & 31)')}"
     if op == ">>":
-        return f"{pad}{dest} = _wrap((({a}) & 0xFFFFFFFF) >> (({b}) & 31))"
+        return f"{pad}{dest} = {_wrapped(f'(({a}) & 0xFFFFFFFF) >> (({b}) & 31)')}"
     raise CompilerError(f"jit: unknown binary op {op!r}")
 
 
@@ -198,6 +214,33 @@ def _guarded(instr: TacInstr, body, names: Dict[Temp, str]) -> List[str]:
     out = [f"{pad}if {guard}:"]
     out.extend(f"{pad}    {line}" for line in body)
     return out
+
+
+def compile_operand_reader(
+    operand, env_keyed_by_name: bool = True
+) -> Callable[[Dict], int]:
+    """Compile one TAC operand into a reusable ``env -> value`` reader.
+
+    The simulator's address-resolution stage evaluates the same guard and
+    index operands for every packet; building the reader once at switch
+    construction (instead of closing over each packet's ``env``) keeps
+    the per-packet fast path allocation-free. ``env_keyed_by_name``
+    selects the JIT environment convention (temps keyed by name) versus
+    the interpreter's (temps keyed by :class:`Temp`).
+    """
+    if isinstance(operand, Const):
+        value = operand.value
+
+        def read_const(_env, _value=value):
+            return _value
+
+        return read_const
+    key = operand.name if env_keyed_by_name else operand
+
+    def read_temp(env, _key=key):
+        return env[_key]
+
+    return read_temp
 
 
 def compile_program_stages(program) -> List[Optional[StageFn]]:

@@ -4,6 +4,7 @@
 * :mod:`repro.harness.sensitivity` — Figure 7a-d sweeps.
 * :mod:`repro.harness.microbench` — §4.3.2 D2/D3/D4 microbenchmarks.
 * :mod:`repro.harness.realapps` — Figure 8a-d real applications.
+* :mod:`repro.harness.parallel` — process-parallel sweep execution.
 """
 
 from .microbench import (
@@ -23,6 +24,7 @@ from .realapps import (
     run_application,
     run_figure8,
 )
+from .parallel import default_jobs, parallel_map, shutdown_pool
 from .report import ascii_chart, format_table
 from .runall import run_all
 from .sensitivity import (
@@ -47,7 +49,9 @@ __all__ = [
     "SweepSettings",
     "Table1Cell",
     "ascii_chart",
+    "default_jobs",
     "format_table",
+    "parallel_map",
     "render_figure8",
     "render_microbench",
     "render_sweep",
@@ -59,6 +63,7 @@ __all__ = [
     "run_d4",
     "run_figure8",
     "run_table1",
+    "shutdown_pool",
     "sweep_packet_size",
     "sweep_pipelines",
     "sweep_register_size",

@@ -38,11 +38,16 @@ def run_all(
     out_dir: Optional[str] = None,
     scale: str = "full",
     progress: Optional[Callable[[str], None]] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, str]:
     """Regenerate every artifact; returns {artifact: rendered text}.
 
     When ``out_dir`` is given, writes one ``.txt`` per artifact and a
-    ``results.json`` with the structured numbers.
+    ``results.json`` with the structured numbers. ``jobs`` fans the
+    Figure 7 sweeps and Figure 8 out over worker processes (see
+    :mod:`repro.harness.parallel`); artifacts are identical at any job
+    count, so ``results.json`` can be diffed across serial and parallel
+    runs.
     """
     if scale not in SCALES:
         raise ValueError(f"scale must be one of {sorted(SCALES)}")
@@ -85,12 +90,12 @@ def run_all(
         ("fig7d", sweep_packet_size),
     ):
         say(f"Figure {panel[-2:]}")
-        points = runner(sweep_settings)
+        points = runner(sweep_settings, jobs=jobs)
         artifacts[panel] = render_sweep(points, panel[-2:])
         structured[panel] = [asdict(p) for p in points]
 
     say("Figure 8 (real applications)")
-    fig8 = run_figure8(settings=app_settings)
+    fig8 = run_figure8(settings=app_settings, jobs=jobs)
     artifacts["fig8"] = render_figure8(fig8)
     structured["fig8"] = {
         app: [asdict(p) for p in points] for app, points in fig8.items()

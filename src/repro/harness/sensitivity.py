@@ -23,6 +23,7 @@ import numpy as np
 from ..mp5.config import MP5Config
 from ..mp5.switch import run_mp5
 from ..workloads.synthetic import make_sensitivity_program, sensitivity_trace
+from .parallel import parallel_map
 from .report import ascii_chart, format_table
 
 DEFAULTS = dict(
@@ -65,12 +66,14 @@ class SweepSettings:
     max_ticks_factor: int = 40  # safety cap: ticks <= factor * packets / k
 
 
-def _run_point(
-    parameter: str,
-    value: int,
-    settings: SweepSettings,
-    overrides: Dict[str, int],
-) -> SensitivityPoint:
+def _seed_point(task) -> tuple:
+    """One (parameter value, seed) simulation pair: MP5 plus ideal-MP5.
+
+    Module-level and driven by a plain tuple so it can cross a process
+    boundary; the seed travels in the task, making the result a pure
+    function of the arguments regardless of which worker runs it.
+    """
+    settings, overrides, seed = task
     params = dict(DEFAULTS)
     params.update(overrides)
     program = make_sensitivity_program(
@@ -84,9 +87,11 @@ def _run_point(
     # remap heuristic needs a fixed number of epochs to converge.
     num_packets = settings.num_packets * max(1, k // DEFAULTS["num_pipelines"])
     max_ticks = settings.max_ticks_factor * max(1, num_packets // max(k, 1))
-    mp5_scores: List[float] = []
-    ideal_scores: List[float] = []
-    for seed in settings.seeds:
+    scores = []
+    for config in (
+        MP5Config(num_pipelines=k, pipeline_depth=params["num_stages"]),
+        MP5Config.ideal(num_pipelines=k, pipeline_depth=params["num_stages"]),
+    ):
         trace = sensitivity_trace(
             num_packets,
             k,
@@ -97,81 +102,106 @@ def _run_point(
             seed=seed,
             num_ports=params["num_ports"],
         )
-        stats, _ = run_mp5(
-            program,
-            trace,
-            MP5Config(num_pipelines=k, pipeline_depth=params["num_stages"]),
-            max_ticks=max_ticks,
-        )
-        mp5_scores.append(stats.throughput_normalized())
-        trace = sensitivity_trace(
-            num_packets,
-            k,
-            params["num_stateful"],
-            params["register_size"],
-            pattern=settings.pattern,
-            packet_size=params["packet_size"],
-            seed=seed,
-            num_ports=params["num_ports"],
-        )
-        stats, _ = run_mp5(
-            program,
-            trace,
-            MP5Config.ideal(num_pipelines=k, pipeline_depth=params["num_stages"]),
-            max_ticks=max_ticks,
-        )
-        ideal_scores.append(stats.throughput_normalized())
+        stats, _ = run_mp5(program, trace, config, max_ticks=max_ticks)
+        scores.append(stats.throughput_normalized())
+    return scores[0], scores[1]
+
+
+def _run_point(
+    parameter: str,
+    value: int,
+    settings: SweepSettings,
+    overrides: Dict[str, int],
+) -> SensitivityPoint:
+    """Serial single-point entry, kept for direct callers."""
+    seeds = list(settings.seeds)
+    results = [_seed_point((settings, overrides, seed)) for seed in seeds]
+    return _make_point(parameter, value, settings, results)
+
+
+def _make_point(
+    parameter: str,
+    value: int,
+    settings: SweepSettings,
+    results: Sequence[tuple],
+) -> SensitivityPoint:
+    """Aggregate per-seed (mp5, ideal) scores exactly as the serial loop
+    always has: ``np.mean`` over the seed-ordered lists."""
     return SensitivityPoint(
         parameter=parameter,
         value=value,
         pattern=settings.pattern,
-        mp5_throughput=float(np.mean(mp5_scores)),
-        ideal_throughput=float(np.mean(ideal_scores)),
+        mp5_throughput=float(np.mean([r[0] for r in results])),
+        ideal_throughput=float(np.mean([r[1] for r in results])),
         seeds=len(list(settings.seeds)),
     )
 
 
+def _sweep(
+    parameter: str,
+    values: Sequence[int],
+    settings: SweepSettings,
+    override_key: str,
+    jobs: Optional[int],
+) -> List[SensitivityPoint]:
+    """Run one Figure 7 panel as a flat values x seeds task list.
+
+    Tasks are enumerated values-major / seeds-minor and results come
+    back in task order, so re-grouping by value preserves the serial
+    aggregation order bit-for-bit.
+    """
+    seeds = list(settings.seeds)
+    tasks = [
+        (settings, {override_key: value}, seed)
+        for value in values
+        for seed in seeds
+    ]
+    results = parallel_map(_seed_point, tasks, jobs=jobs)
+    points = []
+    for i, value in enumerate(values):
+        chunk = results[i * len(seeds) : (i + 1) * len(seeds)]
+        points.append(_make_point(parameter, value, settings, chunk))
+    return points
+
+
 def sweep_pipelines(
-    settings: Optional[SweepSettings] = None, values: Sequence[int] = PIPELINE_SWEEP
+    settings: Optional[SweepSettings] = None,
+    values: Sequence[int] = PIPELINE_SWEEP,
+    jobs: Optional[int] = None,
 ) -> List[SensitivityPoint]:
     """Figure 7a: throughput vs number of pipelines."""
     settings = settings or SweepSettings()
-    return [
-        _run_point("pipelines", v, settings, {"num_pipelines": v}) for v in values
-    ]
+    return _sweep("pipelines", values, settings, "num_pipelines", jobs)
 
 
 def sweep_stateful_stages(
-    settings: Optional[SweepSettings] = None, values: Sequence[int] = STATEFUL_SWEEP
+    settings: Optional[SweepSettings] = None,
+    values: Sequence[int] = STATEFUL_SWEEP,
+    jobs: Optional[int] = None,
 ) -> List[SensitivityPoint]:
     """Figure 7b: throughput vs number of stateful stages."""
     settings = settings or SweepSettings()
-    return [
-        _run_point("stateful_stages", v, settings, {"num_stateful": v})
-        for v in values
-    ]
+    return _sweep("stateful_stages", values, settings, "num_stateful", jobs)
 
 
 def sweep_register_size(
-    settings: Optional[SweepSettings] = None, values: Sequence[int] = REGISTER_SWEEP
+    settings: Optional[SweepSettings] = None,
+    values: Sequence[int] = REGISTER_SWEEP,
+    jobs: Optional[int] = None,
 ) -> List[SensitivityPoint]:
     """Figure 7c: throughput vs register array size."""
     settings = settings or SweepSettings()
-    return [
-        _run_point("register_size", v, settings, {"register_size": v})
-        for v in values
-    ]
+    return _sweep("register_size", values, settings, "register_size", jobs)
 
 
 def sweep_packet_size(
     settings: Optional[SweepSettings] = None,
     values: Sequence[int] = PACKET_SIZE_SWEEP,
+    jobs: Optional[int] = None,
 ) -> List[SensitivityPoint]:
     """Figure 7d: throughput vs packet size."""
     settings = settings or SweepSettings()
-    return [
-        _run_point("packet_size", v, settings, {"packet_size": v}) for v in values
-    ]
+    return _sweep("packet_size", values, settings, "packet_size", jobs)
 
 
 def render_sweep(points: List[SensitivityPoint], figure: str) -> str:

@@ -13,6 +13,7 @@ from .crossbar import CrossbarTelemetry
 from .fifo import IdealOrderBuffer, Slot, StageFifoGroup
 from .packet import DataPacket, PhantomPacket, StateAccess
 from .partition import LogicalPartition, PartitionedMP5, PartitionResult
+from .reference import ReferenceSwitch, run_mp5_reference
 from .sharding import ShardedArray, ShardingRuntime
 from .stats import C1Report, SwitchStats, c1_metrics, c1_violations
 from .switch import FLOW_ORDER_ARRAY, MP5Switch, run_mp5
@@ -28,6 +29,7 @@ __all__ = [
     "MP5Config",
     "MP5Switch",
     "PhantomPacket",
+    "ReferenceSwitch",
     "ShardedArray",
     "ShardingRuntime",
     "Slot",
@@ -38,4 +40,5 @@ __all__ = [
     "c1_metrics",
     "c1_violations",
     "run_mp5",
+    "run_mp5_reference",
 ]

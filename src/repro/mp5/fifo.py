@@ -26,7 +26,6 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
-from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple, Union
 
 from ..errors import ConfigError
@@ -37,18 +36,34 @@ _seq_counter = itertools.count()
 Timestamp = Tuple[int, int]  # (tick, global sequence) — unique and ordered
 
 
-@dataclass
 class Slot:
     """One ring-buffer entry. ``payload`` flips from phantom to data when
-    ``insert`` replaces the placeholder."""
+    ``insert`` replaces the placeholder.
 
-    timestamp: Timestamp
-    payload: Union[DataPacket, PhantomPacket]
-    consumed: bool = False
+    A plain ``__slots__`` class rather than a dataclass: one is created
+    per queued packet. ``is_phantom`` is cached at construction (and
+    flipped by ``insert``) rather than recomputed with ``isinstance`` on
+    every head inspection — pop scans every ring-buffer head each tick.
+    """
 
-    @property
-    def is_phantom(self) -> bool:
-        return isinstance(self.payload, PhantomPacket)
+    __slots__ = ("timestamp", "payload", "consumed", "is_phantom")
+
+    def __init__(
+        self,
+        timestamp: Timestamp,
+        payload: Union[DataPacket, PhantomPacket],
+        consumed: bool = False,
+    ):
+        self.timestamp = timestamp
+        self.payload = payload
+        self.consumed = consumed
+        self.is_phantom = isinstance(payload, PhantomPacket)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Slot(timestamp={self.timestamp!r}, payload={self.payload!r}, "
+            f"consumed={self.consumed!r})"
+        )
 
 
 class StageFifoGroup:
@@ -70,6 +85,12 @@ class StageFifoGroup:
         self.drops_full = 0
         self.drops_no_phantom = 0
         self.peak_occupancy = 0
+        # Occupancy counters maintained incrementally on push/insert/pop
+        # so telemetry reads are O(1) instead of a per-tick slot sweep.
+        # Consumed slots are always phantoms (only expire_phantom marks a
+        # slot consumed), so _data never has to track consumption.
+        self._total = 0
+        self._data = 0
 
     # ------------------------------------------------------------------
 
@@ -77,17 +98,14 @@ class StageFifoGroup:
         return (tick, next(_seq_counter))
 
     def _note_occupancy(self) -> None:
-        total = sum(len(b) for b in self.buffers)
-        if total > self.peak_occupancy:
-            self.peak_occupancy = total
+        if self._total > self.peak_occupancy:
+            self.peak_occupancy = self._total
 
     def occupancy(self) -> int:
-        return sum(len(b) for b in self.buffers)
+        return self._total
 
     def data_occupancy(self) -> int:
-        return sum(
-            1 for b in self.buffers for s in b if not s.is_phantom and not s.consumed
-        )
+        return self._data
 
     # ------------------------------------------------------------------
     # The three §3.2 operations
@@ -102,11 +120,15 @@ class StageFifoGroup:
         if self.capacity is not None and len(buffer) >= self.capacity:
             self.drops_full += 1
             return False
-        slot = Slot(timestamp=self._stamp(tick), payload=pkt)
+        slot = Slot((tick, next(_seq_counter)), pkt)
         buffer.append(slot)
-        if isinstance(pkt, PhantomPacket):
+        total = self._total = self._total + 1
+        if slot.is_phantom:
             self.directory[pkt.pkt_id] = slot
-        self._note_occupancy()
+        else:
+            self._data += 1
+        if total > self.peak_occupancy:
+            self.peak_occupancy = total
         return True
 
     def insert(self, pkt: DataPacket, tick: int) -> bool:
@@ -120,6 +142,8 @@ class StageFifoGroup:
             self.drops_no_phantom += 1
             return False
         slot.payload = pkt
+        slot.is_phantom = False
+        self._data += 1
         return True
 
     def pop(self) -> Optional[DataPacket]:
@@ -128,21 +152,26 @@ class StageFifoGroup:
         A phantom at the oldest head blocks the whole logical FIFO (no
         action taken), enforcing arrival-order state access.
         """
-        self._drop_consumed_heads()
+        # Consumed (expired-phantom) heads are purged during the same
+        # scan that finds the oldest head — one pass over the buffers.
         best: Optional[Deque[Slot]] = None
         best_slot: Optional[Slot] = None
         for buffer in self.buffers:
-            if not buffer:
-                continue
-            head = buffer[0]
-            if best_slot is None or head.timestamp < best_slot.timestamp:
-                best_slot = head
-                best = buffer
-        if best_slot is None:
-            return None
-        if best_slot.is_phantom:
-            return None  # blocked: placeholder awaits its data packet
+            while buffer:
+                head = buffer[0]
+                if head.consumed:
+                    buffer.popleft()
+                    self._total -= 1
+                    continue
+                if best_slot is None or head.timestamp < best_slot.timestamp:
+                    best_slot = head
+                    best = buffer
+                break
+        if best_slot is None or best_slot.is_phantom:
+            return None  # empty, or a placeholder awaits its data packet
         best.popleft()
+        self._total -= 1
+        self._data -= 1
         return best_slot.payload  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
@@ -151,6 +180,7 @@ class StageFifoGroup:
         for buffer in self.buffers:
             while buffer and buffer[0].consumed:
                 buffer.popleft()
+                self._total -= 1
 
     def head_data_age(self, tick: int) -> Optional[int]:
         """Age (in ticks) of the oldest head if it is a data packet."""
@@ -192,25 +222,22 @@ class IdealOrderBuffer:
         self.drops_full = 0
         self.drops_no_phantom = 0
         self.peak_occupancy = 0
+        # Incrementally maintained (see StageFifoGroup): O(1) telemetry.
+        self._total = 0
+        self._data = 0
 
     def _stamp(self, tick: int) -> Timestamp:
         return (tick, next(_seq_counter))
 
     def _note_occupancy(self) -> None:
-        total = sum(len(q) for q in self.queues.values())
-        if total > self.peak_occupancy:
-            self.peak_occupancy = total
+        if self._total > self.peak_occupancy:
+            self.peak_occupancy = self._total
 
     def occupancy(self) -> int:
-        return sum(len(q) for q in self.queues.values())
+        return self._total
 
     def data_occupancy(self) -> int:
-        return sum(
-            1
-            for q in self.queues.values()
-            for s in q
-            if not s.is_phantom and not s.consumed
-        )
+        return self._data
 
     def push(
         self, pkt: Union[DataPacket, PhantomPacket], fifo_id: int, tick: int
@@ -218,9 +245,10 @@ class IdealOrderBuffer:
         if not isinstance(pkt, PhantomPacket):
             raise ConfigError("IdealOrderBuffer queues via phantoms only")
         key = (pkt.array, pkt.index)
-        slot = Slot(timestamp=self._stamp(tick), payload=pkt)
+        slot = Slot((tick, next(_seq_counter)), pkt)
         self.queues.setdefault(key, deque()).append(slot)
         self.directory[pkt.pkt_id] = (slot, key)
+        self._total += 1
         self._note_occupancy()
         return True
 
@@ -230,6 +258,8 @@ class IdealOrderBuffer:
             self.drops_no_phantom += 1
             return False
         entry[0].payload = pkt
+        entry[0].is_phantom = False
+        self._data += 1
         return True
 
     def pop(self) -> Optional[DataPacket]:
@@ -238,6 +268,7 @@ class IdealOrderBuffer:
         for key, queue in self.queues.items():
             while queue and queue[0].consumed:
                 queue.popleft()
+                self._total -= 1
             if not queue:
                 continue
             head = queue[0]
@@ -249,6 +280,8 @@ class IdealOrderBuffer:
         if best_slot is None:
             return None
         self.queues[best_key].popleft()
+        self._total -= 1
+        self._data -= 1
         return best_slot.payload  # type: ignore[return-value]
 
     def head_data_age(self, tick: int) -> Optional[int]:

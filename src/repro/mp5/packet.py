@@ -15,7 +15,7 @@ from typing import Dict, List, Optional
 from ..compiler.tac import Temp
 
 
-@dataclass
+@dataclass(slots=True)
 class StateAccess:
     """One planned register access, resolved at the address-resolution
     stage and carried in the packet's metadata (§3.3).
@@ -36,7 +36,7 @@ class StateAccess:
     completed: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class DataPacket:
     """A data packet and its PHV (headers + carried temporaries)."""
 
@@ -54,8 +54,24 @@ class DataPacket:
     dropped: bool = False
     drop_reason: str = ""
     ecn_marked: bool = False
+    # Stage -> access lookup table, built by index_accesses() once the
+    # resolution stage finalizes the access plan. At most one access per
+    # stage exists after the MP5 transform, so a dict is exact.
+    _by_stage: Optional[Dict[int, StateAccess]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def index_accesses(self) -> None:
+        """Freeze the access plan into a per-stage lookup table."""
+        self._by_stage = {a.stage: a for a in self.accesses}
 
     def access_at_stage(self, stage: int) -> Optional[StateAccess]:
+        table = self._by_stage
+        if table is not None:
+            access = table.get(stage)
+            if access is not None and not access.completed:
+                return access
+            return None
         for access in self.accesses:
             if access.stage == stage and not access.completed:
                 return access
@@ -70,7 +86,7 @@ class DataPacket:
         return self.dropped or self.egress_tick is not None
 
 
-@dataclass
+@dataclass(slots=True)
 class PhantomPacket:
     """Placeholder traveling the phantom channel (48 bits of content in
     hardware: packet id, register, index, destination pipeline+stage)."""

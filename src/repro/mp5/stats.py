@@ -19,6 +19,9 @@ class SwitchStats:
     wasted_slots: int = 0  # conservative phantoms whose guard was false
     steering_moves: int = 0  # crossbar moves to a different pipeline
     phantoms_generated: int = 0
+    # Phantoms lost in flight by §3.5.1 fault injection. Distinct from
+    # drops_fifo_full: the FIFO had room, the channel lost the packet.
+    phantoms_lost: int = 0
     remap_moves: int = 0
     ticks: int = 0
     max_queue_depth: int = 0
@@ -117,6 +120,7 @@ class SwitchStats:
             "wasted_slots": self.wasted_slots,
             "steering_moves": self.steering_moves,
             "phantoms": self.phantoms_generated,
+            "phantoms_lost": self.phantoms_lost,
             "remap_moves": self.remap_moves,
             "max_queue_depth": self.max_queue_depth,
             "ticks": self.ticks,

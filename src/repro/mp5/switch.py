@@ -27,6 +27,21 @@ rate for minimum-size packets. Within a tick the engine:
 5. services every newly occupied slot (executes the stage's atom);
 6. every ``remap_period`` ticks, runs the dynamic sharding remap and
    resets the access counters.
+
+Fast path
+---------
+
+The engine tracks in-flight packets *sparsely*: ``_seated`` lists the
+occupied (pipeline, stage) slots, so the movement and service phases are
+O(live packets) instead of O(k × depth) dense slot scans. Movement
+mutates the occupancy grid in place (per pipeline, higher stages first,
+so a through-move never lands on a slot that has not vacated yet) —
+no per-tick grid allocation. Queue-depth telemetry reads the FIFOs'
+incrementally maintained counters (O(1) per FIFO per tick) instead of
+sweeping every slot. These are pure engineering optimizations: the
+dense executable specification lives in :mod:`repro.mp5.reference` and
+``tests/test_fastpath_equivalence.py`` asserts tick-for-tick identical
+statistics and register state between the two.
 """
 
 from __future__ import annotations
@@ -37,7 +52,8 @@ from typing import Deque, Dict, Iterable, List, Optional, Tuple, Union
 import numpy as np
 
 from ..compiler.codegen import CompiledProgram
-from ..compiler.tac import Const, TacEvaluator
+from ..compiler.jit import compile_operand_reader
+from ..compiler.tac import TacEvaluator
 from ..domino.builtins import hash2
 from ..errors import ConfigError
 from .config import MP5Config
@@ -110,6 +126,21 @@ class MP5Switch:
         self.occ: List[List[Optional[DataPacket]]] = [
             [None] * self.depth for _ in range(cfg.num_pipelines)
         ]
+        # Prebound (fifo, occupancy row, stage, key) tuples for the pop
+        # and telemetry phases: occupancy rows are mutated in place and
+        # never replaced, so binding them once per run is safe.
+        self._fifo_scan = [
+            (fifo, self.occ[key[0]], key[1], key)
+            for key, fifo in self.fifos.items()
+        ]
+        # Dense [pipe][stage] view of the same FIFOs so the movement and
+        # phantom-delivery hot paths index two lists instead of hashing a
+        # tuple key per move.
+        self._fifo_grid: List[List[Optional[object]]] = [
+            [None] * self.depth for _ in range(cfg.num_pipelines)
+        ]
+        for (pipe, stage), fifo in self.fifos.items():
+            self._fifo_grid[pipe][stage] = fifo
         self._phantom_mail: Dict[int, List[Tuple[PhantomPacket, int]]] = {}
         self._fault_rng = (
             np.random.default_rng(cfg.seed + 0x5EED)
@@ -123,6 +154,7 @@ class MP5Switch:
         self.stats = SwitchStats()
         self.tick = 0
         self._live = 0  # packets injected and not yet egressed/dropped
+        self._ran = False
         self._record_access_order = False
 
         # Plans grouped by stage for resolution-time access planning.
@@ -144,6 +176,110 @@ class MP5Switch:
         else:
             self._stage_fns = None
 
+        # Fast-path state. ``_seated`` holds the occupied (pipe, stage)
+        # slots with stage >= 1, sorted; ``_per_pipe`` is a reusable
+        # per-pipeline worklist buffer for the movement phase. The
+        # resolution plan compiles each stage group's guard/index operand
+        # readers once (see jit.compile_operand_reader) so injection
+        # builds no closures per packet.
+        self._seated: List[Tuple[int, int]] = []
+        self._per_pipe: List[List[int]] = [[] for _ in range(cfg.num_pipelines)]
+        self._accessed_arrays: List[str] = []
+        self._service_pkt_id = -1
+        self._logger = self._log_access
+        # Stages whose service actually executes something. A through-
+        # moved packet by construction has no pending access at its seat
+        # (movement queues it into a FIFO otherwise), so servicing it at
+        # an instruction-free stage is a provable no-op and is skipped.
+        self._stage_live = [bool(instrs) for instrs in self._stage_instrs]
+        # First stage T such that every stage in [T, depth) is neither
+        # stateful (no FIFO, so no pops, drops or ECN there) nor executes
+        # instructions. A packet through-moving into this tail can only
+        # advance one stage per tick until it egresses, so its egress
+        # tick is fully determined on entry; movement schedules the
+        # egress directly instead of stepping the packet through
+        # depth - T no-op hops. Disabled while crossbar telemetry is on
+        # (it records every per-hop move).
+        tail = self.depth
+        while (
+            tail > 1
+            and (tail - 1) not in stateful_stages
+            and not self._stage_live[tail - 1]
+        ):
+            tail -= 1
+        self._tail_start = tail
+        self._egress_mail: Dict[int, List[DataPacket]] = {}
+        env_by_name = cfg.jit
+        # (stage, base_name, guard_read, index_read, size, conservative,
+        #  access_label, is_multi)
+        self._resolution_plans: List[Tuple] = []
+        for stage, group in self._plans_by_stage:
+            if len(group) == 1:
+                plan = group[0]
+                guard_read = (
+                    compile_operand_reader(plan.guard_operand, env_by_name)
+                    if plan.guard_operand is not None and plan.guard_resolvable
+                    else None
+                )
+                index_read = (
+                    compile_operand_reader(plan.index_operand, env_by_name)
+                    if plan.index_operand is not None and plan.shardable
+                    else None
+                )
+                self._resolution_plans.append(
+                    (
+                        stage,
+                        plan.name,
+                        guard_read,
+                        index_read,
+                        plan.size,
+                        plan.conservative_phantom,
+                        plan.name,
+                        False,
+                    )
+                )
+            else:
+                # Co-staged (fused or budget-pinned) arrays share one
+                # pipeline; one stage-level access/phantom covers them.
+                self._resolution_plans.append(
+                    (
+                        stage,
+                        group[0].name,
+                        None,
+                        None,
+                        0,
+                        any(p.conservative_phantom for p in group),
+                        "+".join(p.name for p in group),
+                        True,
+                    )
+                )
+
+        # The service-time access callback only has observable effects at
+        # stages with a conservative single-array access (wasted-slot
+        # accounting consults the accessed-array scratch list there) — or
+        # everywhere when the caller asked to record the access order.
+        # All other stages run their compiled function callback-free.
+        self._stage_needs_log = [False] * self.depth
+        for plan_tuple in self._resolution_plans:
+            if plan_tuple[5] and not plan_tuple[7]:  # conservative, single
+                self._stage_needs_log[plan_tuple[0]] = True
+        self._stage_logger: List[Optional[object]] = [
+            self._log_access if need else None for need in self._stage_needs_log
+        ]
+        # Specialized resolution plan for the common shape — every array
+        # single-staged, shardable, guard-free — so injection runs a
+        # tight 5-tuple loop; anything else falls back to the generic
+        # 8-tuple loop.
+        simple: Optional[List[Tuple]] = []
+        for plan_tuple in self._resolution_plans:
+            (stage, base, guard_read, index_read, size, conservative, _label,
+             multi) = plan_tuple
+            if multi or guard_read is not None or index_read is None:
+                simple = None
+                break
+            simple.append((stage, base, index_read, size, conservative))
+        self._simple_plans = simple
+
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
@@ -161,7 +297,23 @@ class MP5Switch:
         MP5 pipeline clocks; at minimum packet size the line rate is
         ``num_pipelines`` packets per tick.
         """
+        if self._ran:
+            raise ConfigError(
+                "MP5Switch.run was called twice on one instance; tick, "
+                "statistics and FIFO state are not reusable — construct a "
+                "fresh switch per run"
+            )
+        self._ran = True
         self._record_access_order = record_access_order
+        self._logger = (
+            self._log_access_ordered if record_access_order else self._log_access
+        )
+        if record_access_order:
+            self._stage_logger = [self._logger] * self.depth
+        else:
+            self._stage_logger = [
+                self._logger if need else None for need in self._stage_needs_log
+            ]
         packets = [self._coerce(i, entry) for i, entry in enumerate(trace)]
         packets.sort(key=lambda p: (p.arrival, p.port, p.pkt_id))
         for seq, pkt in enumerate(packets):
@@ -184,114 +336,185 @@ class MP5Switch:
     def _step(self, pending: Deque[DataPacket]) -> None:
         cfg = self.config
         tick = self.tick
+        occ = self.occ
+        stats = self.stats
 
         # (1) Phantom deliveries scheduled for this tick.
-        for phantom, fifo_id in self._phantom_mail.pop(tick, ()):  # noqa: B020
-            self._deliver_phantom(phantom, fifo_id)
+        mail = self._phantom_mail.pop(tick, None)
+        if mail:
+            for phantom, fifo_id in mail:
+                self._deliver_phantom(phantom, fifo_id)
 
         # (2) Injections: spray arrivals across pipelines. Packets enter
         # strictly in arrival order (ties broken by port id, §2.2.1) so
         # that phantom generation order equals arrival order — the
         # property Invariant 1 turns into per-state FIFO order.
+        per_pipe = self._per_pipe
+        for stages in per_pipe:
+            stages.clear()
         injected = 0
+        affinity = cfg.spray_policy == "affinity"
         while (
             pending
             and pending[0].arrival <= tick
             and injected < cfg.num_pipelines
         ):
-            pipe = self._choose_entry_pipe(pending[0])
+            pipe = (
+                self._choose_entry_pipe(pending[0])
+                if affinity
+                else self._spray_next
+            )
             # All stage-0 slots vacate every tick, but guard anyway.
             probed = 0
-            while self.occ[pipe][0] is not None and probed < cfg.num_pipelines:
+            while occ[pipe][0] is not None and probed < cfg.num_pipelines:
                 pipe = (pipe + 1) % cfg.num_pipelines
                 probed += 1
-            if self.occ[pipe][0] is not None:
+            if occ[pipe][0] is not None:
                 break
             self._inject(pending.popleft(), pipe)
             self._spray_next = (pipe + 1) % cfg.num_pipelines
             injected += 1
+            if occ[pipe][0] is not None:  # not dropped at injection
+                per_pipe[pipe].append(0)
 
-        # (3) Movement using the current occupancy snapshot.
-        new_occ: List[List[Optional[DataPacket]]] = [
-            [None] * self.depth for _ in range(cfg.num_pipelines)
-        ]
+        # (3) Movement over the sparse worklist, in place on the
+        # occupancy grid. Within a pipeline, higher stages move first so
+        # a through-move never lands on a slot that has not vacated yet;
+        # pipelines advance in ascending order, which preserves the
+        # relative FIFO timestamp order of same-stage packets — the only
+        # cross-packet ordering the movement phase can influence.
+        for pipe, stage in self._seated:
+            per_pipe[pipe].append(stage)  # stages >= 1, ascending
         last = self.depth - 1
-        if self.crossbar is not None:
-            self.crossbar.begin_tick()
+        depth = self.depth
+        crossbar = self.crossbar
+        if crossbar is not None:
+            crossbar.begin_tick()
+        # Packets whose scheduled egress tick arrived. When the tail
+        # fast path is active every egress goes through this mail, and
+        # entries are enqueued in (tick, pipeline) order — exactly the
+        # order the dense movement scan egresses them.
+        ready = self._egress_mail.pop(tick, None)
+        if ready:
+            for pkt in ready:
+                self._egress(pkt)
+        tail_start = self._tail_start if crossbar is None else depth
+        egress_mail = self._egress_mail
+        fifo_grid = self._fifo_grid
+        enable_phantoms = cfg.enable_phantoms
+        ecn = cfg.ecn_threshold
+        through: List[Tuple[int, int]] = []
         for pipe in range(cfg.num_pipelines):
-            row = self.occ[pipe]
-            for stage in range(self.depth):
+            stages = per_pipe[pipe]
+            if not stages:
+                continue
+            row = occ[pipe]
+            for i in range(len(stages) - 1, -1, -1):
+                stage = stages[i]
                 pkt = row[stage]
-                if pkt is None:
-                    continue
+                row[stage] = None
                 if stage == last:
                     self._egress(pkt)
                     continue
-                access = pkt.access_at_stage(stage + 1)
-                if access is None:
-                    if self.crossbar is not None:
-                        self.crossbar.record(pipe, pipe, stage + 1)
-                    new_occ[pipe][stage + 1] = pkt
+                nxt = stage + 1
+                # Inline access_at_stage: the per-stage table always
+                # exists once a packet is injected, and this lookup runs
+                # once per in-flight packet per tick.
+                access = pkt._by_stage.get(nxt)
+                if access is None or access.completed:
+                    if nxt >= tail_start:
+                        # Instruction-free stateless tail: the packet
+                        # egresses depth - nxt ticks from now, nothing
+                        # can touch it in between.
+                        when = tick + depth - nxt
+                        lst = egress_mail.get(when)
+                        if lst is None:
+                            egress_mail[when] = [pkt]
+                        else:
+                            lst.append(pkt)
+                        continue
+                    if crossbar is not None:
+                        crossbar.record(pipe, pipe, nxt)
+                    row[nxt] = pkt
+                    through.append((pipe, nxt))
                     continue
                 dest = access.pipeline
-                if self.crossbar is not None:
-                    self.crossbar.record(pipe, dest, stage + 1)
+                if crossbar is not None:
+                    crossbar.record(pipe, dest, nxt)
                 if dest != pipe:
-                    self.stats.steering_moves += 1
-                if cfg.enable_phantoms:
-                    fifo = self.fifos[(dest, stage + 1)]
+                    stats.steering_moves += 1
+                fifo = fifo_grid[dest][nxt]
+                if enable_phantoms:
                     if (
-                        cfg.ecn_threshold is not None
+                        ecn is not None
                         and not pkt.ecn_marked
-                        and fifo.data_occupancy() >= cfg.ecn_threshold
+                        and fifo.data_occupancy() >= ecn
                     ):
                         # §3.4: mark packets once the queue crosses the
                         # threshold, giving senders early backpressure.
                         pkt.ecn_marked = True
-                        self.stats.ecn_marked += 1
-                    ok = fifo.insert(pkt, tick)
-                    if not ok:
+                        stats.ecn_marked += 1
+                    if not fifo.insert(pkt, tick):
                         self._drop(pkt, "no_phantom")
                 else:
-                    ok = self.fifos[(dest, stage + 1)].push(pkt, pipe, tick)
-                    if not ok:
+                    if not fifo.push(pkt, pipe, tick):
                         self._drop(pkt, "fifo_full")
 
-        if self.crossbar is not None:
-            self.crossbar.end_tick()
+        if crossbar is not None:
+            crossbar.end_tick()
 
         # (4) Pops: fill free slots of stateful stages; through packets
         # keep priority unless a queued packet is starving.
-        for (pipe, stage), fifo in self.fifos.items():
-            slot = new_occ[pipe][stage]
+        starvation = cfg.starvation_threshold
+        preempted: Optional[set] = None
+        popped: List[Tuple[int, int]] = []
+        for fifo, row, stage, key in self._fifo_scan:
+            slot = row[stage]
             if slot is not None:
-                if cfg.starvation_threshold is not None:
+                if starvation is not None:
                     age = fifo.head_data_age(tick)
-                    if age is not None and age > cfg.starvation_threshold:
+                    if age is not None and age > starvation:
                         # Drop the stateless through packet in favor of the
                         # starving stateful one (§3.4) — stateless packets
                         # are dropped, never queued, so Invariant 2 holds.
                         self._drop(slot, "starvation_preemption")
-                        self.stats.drops_starvation += 1
-                        new_occ[pipe][stage] = None
+                        stats.drops_starvation += 1
+                        row[stage] = None
+                        if preempted is None:
+                            preempted = set()
+                        preempted.add(key)
                     else:
                         continue
                 else:
                     continue
-            popped = fifo.pop()
-            if popped is not None:
-                new_occ[pipe][stage] = popped
+            elif not fifo._total:
+                continue
+            pkt = fifo.pop()
+            if pkt is not None:
+                row[stage] = pkt
+                popped.append(key)
 
         # (5) Service every newly occupied slot (stage 0 was serviced at
-        # injection time — it runs the resolution logic).
-        for pipe in range(cfg.num_pipelines):
-            row = new_occ[pipe]
-            for stage in range(1, self.depth):
-                pkt = row[stage]
-                if pkt is not None:
-                    self._service(pkt, stage)
-
-        self.occ = new_occ
+        # injection time — it runs the resolution logic), in (pipeline,
+        # stage) order like the dense reference engine: within one tick
+        # the service order is observable through the recorded state
+        # access order.
+        if preempted:
+            through = [entry for entry in through if entry not in preempted]
+        # Popped packets always need service (their access completes
+        # here); through packets only at stages that execute instructions
+        # — at instruction-free stages their service is a provable no-op
+        # (no pending access by movement construction), so skipping it
+        # leaves the serviced order and all observable effects unchanged.
+        live = self._stage_live
+        need = [entry for entry in through if live[entry[1]]]
+        need.extend(popped)
+        need.sort()
+        for pipe, stage in need:
+            self._service(occ[pipe][stage], stage)
+        through.extend(popped)
+        through.sort()
+        self._seated = through
 
         # (6) Background dynamic sharding.
         if (
@@ -299,17 +522,22 @@ class MP5Switch:
             and tick
             and tick % cfg.remap_period == 0
         ):
-            self.stats.remap_moves += self.sharder.end_epoch(cfg.remap_algorithm)
+            stats.remap_moves += self.sharder.end_epoch(cfg.remap_algorithm)
 
         # Queue-depth telemetry (data packets only, matching §4.4's
-        # "maximum number of packets queued in any pipeline stage").
-        for key, fifo in self.fifos.items():
-            depth = fifo.data_occupancy()
-            if depth > self.stats.max_queue_depth:
-                self.stats.max_queue_depth = depth
-            prev = self.stats.per_stage_peak_queue.get(key, 0)
-            if depth > prev:
-                self.stats.per_stage_peak_queue[key] = depth
+        # "maximum number of packets queued in any pipeline stage"),
+        # sampled at the tick boundary from the FIFOs' incremental
+        # counters — no per-slot sweep.
+        max_depth = stats.max_queue_depth
+        peaks = stats.per_stage_peak_queue
+        for fifo, _row, _stage, key in self._fifo_scan:
+            queued = fifo._data
+            if queued:
+                if queued > max_depth:
+                    max_depth = queued
+                if queued > peaks.get(key, 0):
+                    peaks[key] = queued
+        stats.max_queue_depth = max_depth
 
         self.tick += 1
 
@@ -323,23 +551,16 @@ class MP5Switch:
         arrival, port, headers = entry
         return DataPacket(pkt_id=i, arrival=arrival, port=port, headers=dict(headers))
 
-    def _run_resolution(self, headers, registers, env):
+    def _run_stage0(self, headers, registers, env) -> None:
         """Execute the stage-0 (address resolution) program against the
-        given state and return an operand-value reader."""
+        given state; operand values land in ``env`` for the precompiled
+        readers in ``_resolution_plans``."""
         if self._stage_fns is not None:
             fn = self._stage_fns[0]
             if fn is not None:
                 fn(headers, registers, env, None)
-
-            def value(operand):
-                if isinstance(operand, Const):
-                    return operand.value
-                return env[operand.name]
-
-            return value
-        evaluator = TacEvaluator(headers, registers, env)
-        evaluator.run(self._stage_instrs[0])
-        return evaluator.value
+        else:
+            TacEvaluator(headers, registers, env).run(self._stage_instrs[0])
 
     def _choose_entry_pipe(self, pkt: DataPacket) -> int:
         """Entry pipeline per the spray policy (§3.1 D1 or the affinity
@@ -347,22 +568,25 @@ class MP5Switch:
         can evaluate the same stateless logic before the demux."""
         if self.config.spray_policy != "affinity":
             return self._spray_next
-        value = self._run_resolution(
-            dict(pkt.headers), self.registers, dict(pkt.env)
-        )
-        for _stage, plans in self._plans_by_stage:
-            plan = plans[0]
-            if len(plans) == 1:
-                if plan.guard_operand is not None and plan.guard_resolvable:
-                    if not value(plan.guard_operand):
-                        continue
-                if plan.index_operand is not None and plan.shardable:
-                    index = value(plan.index_operand) % plan.size
-                else:
-                    index = None
-            else:
+        env = dict(pkt.env)
+        self._run_stage0(dict(pkt.headers), self.registers, env)
+        for (
+            _stage,
+            base,
+            guard_read,
+            index_read,
+            size,
+            _conservative,
+            _label,
+            multi,
+        ) in self._resolution_plans:
+            if multi:
                 index = None
-            return self.sharder.lookup(plan.name, index)
+            else:
+                if guard_read is not None and not guard_read(env):
+                    continue
+                index = index_read(env) % size if index_read is not None else None
+            return self.sharder.lookup(base, index)
         return self._spray_next
 
     def _inject(self, pkt: DataPacket, pipe: int) -> None:
@@ -373,42 +597,39 @@ class MP5Switch:
         self.occ[pipe][0] = pkt
         self._live += 1
 
-        value = self._run_resolution(pkt.headers, self.registers, pkt.env)
+        env = pkt.env
+        self._run_stage0(pkt.headers, self.registers, env)
 
         accesses: List[StateAccess] = []
-        for stage, plans in self._plans_by_stage:
-            if len(plans) == 1:
-                plan = plans[0]
-                if plan.guard_operand is not None and plan.guard_resolvable:
-                    if not value(plan.guard_operand):
-                        continue  # resolved: this packet never touches it
-                if plan.index_operand is not None and plan.shardable:
-                    index = value(plan.index_operand) % plan.size
-                else:
+        note_resolved = self.sharder.note_resolved
+        add_access = accesses.append
+        simple = self._simple_plans
+        if simple is not None:
+            for stage, base, index_read, size, conservative in simple:
+                index = index_read(env) % size
+                dest = note_resolved(base, index)
+                add_access(StateAccess(base, stage, dest, index, conservative))
+        else:
+            for (
+                stage,
+                base,
+                guard_read,
+                index_read,
+                size,
+                conservative,
+                label,
+                multi,
+            ) in self._resolution_plans:
+                if multi:
                     index = None
-                dest = self.sharder.note_resolved(plan.name, index)
-                accesses.append(
-                    StateAccess(
-                        array=plan.name,
-                        stage=stage,
-                        pipeline=dest,
-                        index=index,
-                        conservative=plan.conservative_phantom,
+                else:
+                    if guard_read is not None and not guard_read(env):
+                        continue  # resolved: this packet never touches it
+                    index = (
+                        index_read(env) % size if index_read is not None else None
                     )
-                )
-            else:
-                # Co-staged (fused or budget-pinned) arrays share one
-                # pipeline; one stage-level access/phantom covers them.
-                dest = self.sharder.note_resolved(plans[0].name, None)
-                accesses.append(
-                    StateAccess(
-                        array="+".join(p.name for p in plans),
-                        stage=stage,
-                        pipeline=dest,
-                        index=None,
-                        conservative=any(p.conservative_phantom for p in plans),
-                    )
-                )
+                dest = note_resolved(base, index)
+                add_access(StateAccess(label, stage, dest, index, conservative))
         if self._flow_order_stage is not None:
             flow_key = pkt.headers.get(cfg.flow_order_field, 0)
             if pkt.flow_id is None:
@@ -424,27 +645,52 @@ class MP5Switch:
                 )
             )
         pkt.accesses = accesses
+        pkt.index_accesses()
 
         if cfg.enable_phantoms:
+            tick = self.tick
+            latency = cfg.phantom_latency
+            stats = self.stats
+            if latency == 0 and self._fault_rng is None:
+                # Fault-free immediate delivery (the common case),
+                # _deliver_phantom inlined.
+                fifo_grid = self._fifo_grid
+                for access in accesses:
+                    phantom = PhantomPacket(
+                        pkt.pkt_id,
+                        access.array,
+                        access.index,
+                        access.pipeline,
+                        access.stage,
+                        tick,
+                    )
+                    stats.phantoms_generated += 1
+                    fifo = fifo_grid[access.pipeline][access.stage]
+                    if not fifo.push(phantom, pipe, tick):
+                        stats.drops_fifo_full += 1
+                        self._drop(pkt, "phantom_fifo_full")
+                        self.occ[pipe][0] = None
+                        return
+                return
             for access in accesses:
                 phantom = PhantomPacket(
-                    pkt_id=pkt.pkt_id,
-                    array=access.array,
-                    index=access.index,
-                    pipeline=access.pipeline,
-                    stage=access.stage,
-                    created_tick=self.tick,
+                    pkt.pkt_id,
+                    access.array,
+                    access.index,
+                    access.pipeline,
+                    access.stage,
+                    tick,
                 )
-                self.stats.phantoms_generated += 1
-                if cfg.phantom_latency == 0:
+                stats.phantoms_generated += 1
+                if latency == 0:
                     if not self._deliver_phantom(phantom, pipe):
                         self._drop(pkt, "phantom_fifo_full")
                         self.occ[pipe][0] = None
                         return
                 else:
-                    self._phantom_mail.setdefault(
-                        self.tick + cfg.phantom_latency, []
-                    ).append((phantom, pipe))
+                    self._phantom_mail.setdefault(tick + latency, []).append(
+                        (phantom, pipe)
+                    )
 
     def _deliver_phantom(self, phantom: PhantomPacket, fifo_id: int) -> bool:
         if (
@@ -454,34 +700,40 @@ class MP5Switch:
             # Fault injection (§3.5.1): the phantom never arrives, so the
             # data packet will find no placeholder and be dropped — the
             # exact packet-loss mode whose equivalence consequences the
-            # paper analyzes.
-            self.stats.drops_fifo_full += 1
+            # paper analyzes. Counted separately from FIFO overflow: the
+            # queue had room, the channel lost the packet.
+            self.stats.phantoms_lost += 1
             return True  # generation succeeded; the channel lost it
-        fifo = self.fifos[(phantom.pipeline, phantom.stage)]
+        fifo = self._fifo_grid[phantom.pipeline][phantom.stage]
         ok = fifo.push(phantom, fifo_id, self.tick)
         if not ok:
             self.stats.drops_fifo_full += 1
         return ok
 
+    # ------------------------------------------------------------------
+    # Service-time access logging (bound methods, not per-packet
+    # closures: the engine services every live packet every tick, so the
+    # logger must be allocation-free).
+    # ------------------------------------------------------------------
+
+    def _log_access(self, reg, idx, kind) -> None:
+        self._accessed_arrays.append(reg)
+
+    def _log_access_ordered(self, reg, idx, kind) -> None:
+        self._accessed_arrays.append(reg)
+        order = self.stats.access_order.setdefault((reg, idx), [])
+        pid = self._service_pkt_id
+        if not order or order[-1] != pid:
+            order.append(pid)
+
     def _service(self, pkt: DataPacket, stage: int) -> None:
         """Execute stage ``stage`` for ``pkt`` (it occupies the slot now)."""
         instrs = self._stage_instrs[stage]
-        accessed_arrays: List[str] = []
-        if self._record_access_order:
-            pkt_id = pkt.pkt_id
-
-            def logger(reg, idx, kind, _pid=pkt_id):
-                accessed_arrays.append(reg)
-                order = self.stats.access_order.setdefault((reg, idx), [])
-                if not order or order[-1] != _pid:
-                    order.append(_pid)
-
-        else:
-
-            def logger(reg, idx, kind):
-                accessed_arrays.append(reg)
-
         if instrs:
+            logger = self._stage_logger[stage]
+            if logger is not None:
+                self._accessed_arrays.clear()
+                self._service_pkt_id = pkt.pkt_id
             if self._stage_fns is not None:
                 fn = self._stage_fns[stage]
                 if fn is not None:
@@ -492,12 +744,26 @@ class MP5Switch:
                 )
                 evaluator.run(instrs)
 
-        access = pkt.access_at_stage(stage)
+        # Inline access_at_stage; the linear fallback only triggers for
+        # packets whose access table was never frozen (reference engine).
+        table = pkt._by_stage
+        if table is not None:
+            access = table.get(stage)
+            if access is not None and access.completed:
+                access = None
+        else:
+            access = pkt.access_at_stage(stage)
         if access is not None:
             access.completed = True
-            if access.array != FLOW_ORDER_ARRAY and "+" not in access.array:
-                self.sharder.note_completed(access.array, access.index)
-                if access.conservative and access.array not in accessed_arrays:
+            array = access.array
+            if array != FLOW_ORDER_ARRAY and "+" not in array:
+                self.sharder.note_completed(array, access.index)
+                # A conservative access always has the stage logger wired
+                # up (see _stage_needs_log), so the scratch list reflects
+                # exactly this service call's register accesses.
+                if access.conservative and (
+                    not instrs or array not in self._accessed_arrays
+                ):
                     # The preemptively generated phantom was for a branch
                     # not taken: one wasted slot (§3.3).
                     self.stats.wasted_slots += 1

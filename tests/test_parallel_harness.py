@@ -1,0 +1,67 @@
+"""The parallel sweep harness must be invisible in the results: any job
+count produces exactly the serial output, in the same order."""
+
+import pytest
+
+from repro.harness.parallel import (
+    default_jobs,
+    parallel_map,
+    resolve_jobs,
+    shutdown_pool,
+)
+from repro.harness.realapps import RealAppSettings, run_figure8
+from repro.harness.sensitivity import SweepSettings, sweep_pipelines
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise ValueError(x)
+
+
+@pytest.fixture(autouse=True)
+def _teardown_pool():
+    yield
+    shutdown_pool()
+
+
+def test_parallel_map_preserves_task_order():
+    tasks = list(range(23))
+    assert parallel_map(_square, tasks, jobs=3) == [x * x for x in tasks]
+
+
+def test_parallel_map_serial_modes():
+    assert parallel_map(_square, [1, 2, 3], jobs=None) == [1, 4, 9]
+    assert parallel_map(_square, [1, 2, 3], jobs=1) == [1, 4, 9]
+    assert parallel_map(_square, [7], jobs=8) == [49]  # single task: serial
+    assert parallel_map(_square, [], jobs=8) == []
+
+
+def test_resolve_jobs():
+    assert resolve_jobs(None) == 1
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs(5) == 5
+    assert resolve_jobs(0) == default_jobs() >= 1
+    with pytest.raises(ValueError):
+        resolve_jobs(-2)
+
+
+def test_worker_exception_propagates():
+    with pytest.raises(ValueError):
+        parallel_map(_boom, [1, 2, 3, 4], jobs=2)
+
+
+def test_sweep_results_independent_of_jobs():
+    settings = SweepSettings(num_packets=200, seeds=(0, 1))
+    serial = sweep_pipelines(settings, values=(1, 2), jobs=1)
+    parallel = sweep_pipelines(settings, values=(1, 2), jobs=2)
+    assert serial == parallel
+
+
+def test_figure8_results_independent_of_jobs():
+    settings = RealAppSettings(num_packets=150, seeds=(0,))
+    serial = run_figure8(pipeline_counts=(1, 2), settings=settings, jobs=1)
+    parallel = run_figure8(pipeline_counts=(1, 2), settings=settings, jobs=2)
+    assert serial == parallel
