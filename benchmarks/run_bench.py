@@ -16,9 +16,17 @@ host**; re-measure it locally (``git worktree add /tmp/seed 275ecc4``
 and run this script there) before trusting the speedup on different
 hardware.
 
+A third measurement, **engine_traced**, re-runs the engine workload
+with a :class:`repro.obs.TraceRecorder` and metrics registry attached,
+so the observability overhead (both enabled and disabled) is tracked
+next to the raw numbers.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py [--rounds 15] [--jobs 4]
+    # CI smoke: fewer rounds, no sweep, fail if the tracing-disabled
+    # engine regressed >10% against the committed BENCH_mp5.json:
+    PYTHONPATH=src python benchmarks/run_bench.py --quick --check-baseline
 """
 
 from __future__ import annotations
@@ -32,6 +40,7 @@ from pathlib import Path
 
 from repro.harness.runall import run_all
 from repro.mp5 import MP5Config, run_mp5
+from repro.obs import MetricsRegistry, TraceRecorder
 from repro.workloads import (
     clone_packets,
     make_sensitivity_program,
@@ -48,21 +57,32 @@ SEED_BASELINE = {
 }
 
 
-def bench_engine(rounds: int) -> dict:
+def bench_engine(rounds: int, observed: bool = False) -> dict:
     program = make_sensitivity_program(4, 512)
     trace = sensitivity_trace(2000, 4, 4, 512, seed=0)
     times = []
     ticks = None
+    events = None
     for _ in range(rounds):
         batch = clone_packets(trace)
+        recorder = TraceRecorder() if observed else None
+        metrics = MetricsRegistry(window=100) if observed else None
         start = time.perf_counter()
-        stats, _ = run_mp5(program, batch, MP5Config(num_pipelines=4))
+        stats, _ = run_mp5(
+            program,
+            batch,
+            MP5Config(num_pipelines=4),
+            recorder=recorder,
+            metrics=metrics,
+        )
         times.append(time.perf_counter() - start)
         ticks = stats.ticks
         assert stats.egressed == 2000
+        if observed:
+            events = len(recorder.events)
     best = min(times)
     median = statistics.median(times)
-    return {
+    report = {
         "workload": "sensitivity 2000 pkts, k=4, m=4, r=512",
         "rounds": rounds,
         "ticks": ticks,
@@ -76,6 +96,27 @@ def bench_engine(rounds: int) -> dict:
             SEED_BASELINE["engine_seconds_median"] / median, 2
         ),
     }
+    if observed:
+        report["events"] = events
+    return report
+
+
+def check_baseline(engine: dict, baseline: dict, max_regression: float) -> int:
+    """Compare the tracing-disabled engine time against the committed
+    baseline; returns a nonzero exit code on regression."""
+    if not baseline:
+        print("no stored baseline; nothing to compare")
+        return 0
+    base_min = baseline["engine"]["seconds_min"]
+    measured = engine["seconds_min"]
+    ratio = measured / base_min
+    verdict = "OK" if ratio <= 1 + max_regression else "REGRESSION"
+    print(
+        f"baseline check: measured {measured:.4f}s vs baseline "
+        f"{base_min:.4f}s ({ratio:.2%} of baseline, limit "
+        f"{1 + max_regression:.0%}) -> {verdict}"
+    )
+    return 0 if verdict == "OK" else 1
 
 
 def bench_sweep(jobs: int) -> dict:
@@ -106,20 +147,53 @@ def main() -> int:
     parser.add_argument("--rounds", type=int, default=15)
     parser.add_argument("--jobs", type=int, default=4)
     parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: 5 rounds, skip the sweep, don't rewrite the "
+        "stored baseline file",
+    )
+    parser.add_argument(
+        "--check-baseline",
+        action="store_true",
+        help="exit 1 if the tracing-disabled engine time regressed more "
+        "than --max-regression vs the stored BENCH_mp5.json",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.10,
+        help="allowed fractional slowdown for --check-baseline "
+        "(default 0.10 = 10%%)",
+    )
+    parser.add_argument(
         "--out",
         default=str(Path(__file__).resolve().parent / "BENCH_mp5.json"),
     )
     args = parser.parse_args()
 
+    out_path = Path(args.out)
+    stored_baseline = (
+        json.loads(out_path.read_text()) if out_path.exists() else {}
+    )
+    rounds = 5 if args.quick else args.rounds
+    engine = bench_engine(rounds)
+    engine_traced = bench_engine(rounds, observed=True)
+    overhead = engine_traced["seconds_min"] / engine["seconds_min"] - 1
     report = {
-        "engine": bench_engine(args.rounds),
-        "sweep": bench_sweep(args.jobs),
+        "engine": engine,
+        "engine_traced": dict(
+            engine_traced, overhead_vs_untraced=round(overhead, 4)
+        ),
         "seed_baseline": SEED_BASELINE,
     }
-    if not report["sweep"]["results_json_identical"]:
-        raise SystemExit("serial and parallel results.json diverged")
-    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    if not args.quick:
+        report["sweep"] = bench_sweep(args.jobs)
+        if not report["sweep"]["results_json_identical"]:
+            raise SystemExit("serial and parallel results.json diverged")
+        out_path.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
+    if args.check_baseline:
+        return check_baseline(engine, stored_baseline, args.max_regression)
     return 0
 
 

@@ -7,6 +7,7 @@ Commands
 * ``compile <name|file>`` — compile and print the pipeline layout
 * ``tac <name|file>``     — print the three-address code
 * ``run <name>``          — simulate a program on MP5 and print stats
+* ``trace-summary <file>`` — analyze a trace written with ``run --trace``
 * ``equiv <name>``        — run the functional-equivalence check
 * ``table1``              — regenerate Table 1
 * ``fig7 <a|b|c|d>``      — regenerate one Figure 7 panel
@@ -47,6 +48,16 @@ from .harness import (
     sweep_stateful_stages,
 )
 from .mp5 import MP5Config, run_mp5
+from .obs import (
+    MetricsRegistry,
+    PhaseProfiler,
+    TraceRecorder,
+    load_trace,
+    render_trace_summary,
+    summarize_trace,
+    write_chrome,
+    write_jsonl,
+)
 from .workloads import line_rate_trace
 
 
@@ -101,11 +112,44 @@ def cmd_run(args) -> int:
         packet_size=args.packet_size,
         seed=args.seed,
     )
+    recorder = TraceRecorder() if args.trace else None
+    metrics = (
+        MetricsRegistry(window=args.metrics_window) if args.metrics else None
+    )
+    profiler = PhaseProfiler() if args.profile else None
     stats, _regs = run_mp5(
-        compiled, trace, MP5Config(num_pipelines=args.pipelines, seed=args.seed)
+        compiled,
+        trace,
+        MP5Config(num_pipelines=args.pipelines, seed=args.seed),
+        recorder=recorder,
+        metrics=metrics,
+        profiler=profiler,
     )
     for key, value in stats.summary().items():
         print(f"{key:16s} {value}")
+    if recorder is not None:
+        if args.trace_format == "jsonl":
+            write_jsonl(recorder.events, args.trace)
+        else:
+            write_chrome(recorder.events, args.trace)
+        print(
+            f"\ntrace: {len(recorder.events)} events -> {args.trace} "
+            f"({args.trace_format})"
+        )
+    if metrics is not None:
+        metrics.save(args.metrics)
+        print(f"metrics: {args.metrics}")
+    if profiler is not None:
+        print()
+        print(profiler.report())
+    return 0
+
+
+def cmd_trace_summary(args) -> int:
+    """``trace-summary``: stall rankings and flow timelines from a trace."""
+    _header, events = load_trace(args.trace)
+    summary = summarize_trace(events)
+    print(render_trace_summary(summary, top=args.top, max_flows=args.flows))
     return 0
 
 
@@ -154,11 +198,15 @@ def cmd_fig8(args) -> int:
 
 
 def cmd_reproduce(args) -> int:
+    if args.trace and args.out is None:
+        print("reproduce --trace needs --out to write the trace into")
+        return 2
     artifacts = run_all(
         out_dir=args.out,
         scale=args.scale,
         progress=lambda msg: print(f"[{msg}]"),
         jobs=args.jobs,
+        observe=args.trace,
     )
     if args.out is None:
         for name, text in artifacts.items():
@@ -225,7 +273,50 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("run", help="simulate on MP5 and print statistics")
     add_program_args(p)
+    p.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record per-packet lifecycle events to PATH",
+    )
+    p.add_argument(
+        "--trace-format",
+        choices=("chrome", "jsonl"),
+        default="chrome",
+        help="chrome = trace_event JSON (open in Perfetto, default), "
+        "jsonl = one event per line",
+    )
+    p.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="save windowed time-series metrics as JSON to PATH",
+    )
+    p.add_argument(
+        "--metrics-window",
+        type=int,
+        default=100,
+        help="metrics window length in ticks (default 100)",
+    )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="time the simulator's per-tick phases and print a report",
+    )
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "trace-summary",
+        help="print stall rankings and flow timelines from a --trace file",
+    )
+    p.add_argument("trace", help="trace file (Chrome JSON or JSONL)")
+    p.add_argument(
+        "--top", type=int, default=10, help="rows per stall ranking"
+    )
+    p.add_argument(
+        "--flows", type=int, default=5, help="flows to show timelines for"
+    )
+    p.set_defaults(func=cmd_trace_summary)
 
     p = sub.add_parser("equiv", help="check functional equivalence")
     add_program_args(p, packets_default=2000)
@@ -270,6 +361,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--out", default=None, help="output directory")
     p.add_argument("--scale", choices=("tiny", "small", "full"), default="full")
+    p.add_argument(
+        "--trace",
+        action="store_true",
+        help="also record one instrumented run (trace + metrics + stall "
+        "summary) into --out",
+    )
     add_jobs_arg(p)
     p.set_defaults(func=cmd_reproduce)
 

@@ -18,6 +18,7 @@ from typing import Callable, Dict, Optional
 from .microbench import MicrobenchSettings, render_microbench, run_d2, run_d3, run_d4
 from .realapps import RealAppSettings, render_figure8, run_figure8
 from .sensitivity import (
+    DEFAULTS,
     SweepSettings,
     render_sweep,
     sweep_packet_size,
@@ -34,11 +35,70 @@ SCALES = {
 }
 
 
+def _observability_run(out: Path, knobs: Dict[str, object]) -> Dict[str, object]:
+    """One instrumented sensitivity run: trace + metrics + stall summary.
+
+    Runs the §4.3.3 default configuration with a :class:`TraceRecorder`
+    and :class:`MetricsRegistry` attached, and writes ``trace.json``
+    (Chrome trace_event format, one lane per pipeline x stage — open in
+    Perfetto), ``trace.jsonl``, ``metrics.json``, and
+    ``trace_summary.txt`` into ``out``. Returns the artifact paths
+    relative to ``out`` (what lands in ``results.json``).
+    """
+    from ..mp5.config import MP5Config
+    from ..mp5.switch import run_mp5
+    from ..obs import (
+        MetricsRegistry,
+        TraceRecorder,
+        render_trace_summary,
+        summarize_trace,
+        write_chrome,
+        write_jsonl,
+    )
+    from ..workloads.synthetic import make_sensitivity_program, sensitivity_trace
+
+    params = dict(DEFAULTS)
+    program = make_sensitivity_program(
+        num_stateful=params["num_stateful"],
+        register_size=params["register_size"],
+        num_stages=params["num_stages"],
+    )
+    trace = sensitivity_trace(
+        int(knobs["num_packets"]),
+        params["num_pipelines"],
+        params["num_stateful"],
+        params["register_size"],
+        num_ports=params["num_ports"],
+    )
+    recorder = TraceRecorder()
+    metrics = MetricsRegistry(window=100)
+    run_mp5(
+        program,
+        trace,
+        MP5Config(num_pipelines=params["num_pipelines"]),
+        recorder=recorder,
+        metrics=metrics,
+    )
+    write_chrome(recorder.events, out / "trace.json")
+    write_jsonl(recorder.events, out / "trace.jsonl")
+    metrics.save(out / "metrics.json")
+    summary_text = render_trace_summary(summarize_trace(recorder.events))
+    (out / "trace_summary.txt").write_text(summary_text + "\n")
+    return {
+        "trace": "trace.json",
+        "trace_jsonl": "trace.jsonl",
+        "metrics": "metrics.json",
+        "trace_summary": "trace_summary.txt",
+        "events": len(recorder.events),
+    }
+
+
 def run_all(
     out_dir: Optional[str] = None,
     scale: str = "full",
     progress: Optional[Callable[[str], None]] = None,
     jobs: Optional[int] = None,
+    observe: bool = False,
 ) -> Dict[str, str]:
     """Regenerate every artifact; returns {artifact: rendered text}.
 
@@ -47,7 +107,9 @@ def run_all(
     Figure 7 sweeps and Figure 8 out over worker processes (see
     :mod:`repro.harness.parallel`); artifacts are identical at any job
     count, so ``results.json`` can be diffed across serial and parallel
-    runs.
+    runs. ``observe`` additionally records one instrumented run (trace,
+    metrics, stall summary) into ``out_dir`` — off by default so
+    ``results.json`` stays byte-identical with earlier releases.
     """
     if scale not in SCALES:
         raise ValueError(f"scale must be one of {sorted(SCALES)}")
@@ -106,6 +168,11 @@ def run_all(
         out.mkdir(parents=True, exist_ok=True)
         for name, text in artifacts.items():
             (out / f"{name}.txt").write_text(text + "\n")
+        if observe:
+            say("observability run (trace + metrics)")
+            structured["observability"] = _observability_run(out, knobs)
         (out / "results.json").write_text(json.dumps(structured, indent=2))
         say(f"wrote {len(artifacts)} artifacts to {out}/")
+    elif observe:
+        raise ValueError("observe=True needs out_dir to write the trace into")
     return artifacts

@@ -144,6 +144,9 @@ class ReferenceSwitch(MP5Switch):
                 )
             )
         pkt.accesses = accesses
+        obs = self.obs
+        if obs is not None:
+            obs.ingress(self.tick, pkt.pkt_id, pipe, pkt.port, pkt.flow_id)
 
         if cfg.enable_phantoms:
             for access in accesses:
@@ -156,6 +159,15 @@ class ReferenceSwitch(MP5Switch):
                     created_tick=self.tick,
                 )
                 self.stats.phantoms_generated += 1
+                if obs is not None:
+                    obs.phantom_emit(
+                        self.tick,
+                        pkt.pkt_id,
+                        access.pipeline,
+                        access.stage,
+                        access.array,
+                        access.index,
+                    )
                 if cfg.phantom_latency == 0:
                     if not self._deliver_phantom(phantom, pipe):
                         self._drop(pkt, "phantom_fifo_full")
@@ -169,6 +181,7 @@ class ReferenceSwitch(MP5Switch):
     def _step(self, pending: Deque[DataPacket]) -> None:
         cfg = self.config
         tick = self.tick
+        obs = self.obs
 
         # (1) Phantom deliveries scheduled for this tick.
         for phantom, fifo_id in self._phantom_mail.pop(tick, ()):
@@ -219,6 +232,8 @@ class ReferenceSwitch(MP5Switch):
                     self.crossbar.record(pipe, dest, stage + 1)
                 if dest != pipe:
                     self.stats.steering_moves += 1
+                if obs is not None:
+                    obs.steer(tick, pkt.pkt_id, pipe, dest, stage + 1)
                 fifo = self.fifos[(dest, stage + 1)]
                 if cfg.enable_phantoms:
                     if (
@@ -228,8 +243,13 @@ class ReferenceSwitch(MP5Switch):
                     ):
                         pkt.ecn_marked = True
                         self.stats.ecn_marked += 1
+                        if obs is not None:
+                            obs.ecn_mark(tick, pkt.pkt_id, dest, stage + 1)
                     ok = fifo.insert(pkt, tick)
-                    if not ok:
+                    if ok:
+                        if obs is not None:
+                            obs.phantom_match(tick, pkt.pkt_id, dest, stage + 1)
+                    else:
                         self._drop(pkt, "no_phantom")
                 else:
                     ok = fifo.push(pkt, pipe, tick)
@@ -256,6 +276,10 @@ class ReferenceSwitch(MP5Switch):
             popped = fifo.pop()
             if popped is not None:
                 new_occ[pipe][stage] = popped
+                if obs is not None:
+                    obs.fifo_pop(tick, popped.pkt_id, pipe, stage)
+            elif obs is not None and fifo.data_occupancy():
+                obs.fifo_block(tick, pipe, stage)
 
         # (5) Service every newly occupied slot, dense scan in
         # (pipeline, stage) order.
@@ -264,7 +288,7 @@ class ReferenceSwitch(MP5Switch):
             for stage in range(1, self.depth):
                 pkt = row[stage]
                 if pkt is not None:
-                    self._service(pkt, stage)
+                    self._service(pkt, stage, pipe)
 
         self.occ = new_occ
 
@@ -274,7 +298,10 @@ class ReferenceSwitch(MP5Switch):
             and tick
             and tick % cfg.remap_period == 0
         ):
-            self.stats.remap_moves += self.sharder.end_epoch(cfg.remap_algorithm)
+            moved = self.sharder.end_epoch(cfg.remap_algorithm)
+            self.stats.remap_moves += moved
+            if obs is not None:
+                obs.remap(tick, moved)
 
         # Queue-depth telemetry recomputed from the slots every tick.
         for key, fifo in self.fifos.items():
@@ -285,6 +312,9 @@ class ReferenceSwitch(MP5Switch):
             if depth > prev:
                 self.stats.per_stage_peak_queue[key] = depth
 
+        if self._metrics is not None:
+            self._metrics.maybe_roll(tick)
+
         self.tick += 1
 
 
@@ -294,9 +324,22 @@ def run_mp5_reference(
     config: Optional[MP5Config] = None,
     max_ticks: Optional[int] = None,
     record_access_order: bool = False,
+    recorder=None,
+    metrics=None,
+    profiler=None,
 ) -> Tuple[SwitchStats, Dict[str, List[int]]]:
-    """Run a trace through the dense reference engine (see module doc)."""
+    """Run a trace through the dense reference engine (see module doc).
+
+    The reference emits the same lifecycle events as the fast engine
+    (``recorder``), so differential tests can diff traces too; the
+    profiler is accepted for interface parity but the dense ``_step``
+    is not phase-timed.
+    """
     switch = ReferenceSwitch(program, config)
+    if recorder is not None or metrics is not None or profiler is not None:
+        switch.attach_observability(
+            recorder=recorder, metrics=metrics, profiler=profiler
+        )
     stats = switch.run(
         trace, max_ticks=max_ticks, record_access_order=record_access_order
     )

@@ -225,6 +225,11 @@ class ShardingRuntime:
 
     # ------------------------------------------------------------------
 
+    def total_moves(self) -> int:
+        """Cumulative index moves across all arrays (what the metrics
+        registry samples for the per-window remap-churn series)."""
+        return sum(state.moves for state in self.arrays.values())
+
     def load_imbalance(self, array: str) -> float:
         """max/mean per-pipeline index-count ratio (diagnostics)."""
         state = self.arrays[array]

@@ -94,11 +94,11 @@ class SwitchStats:
 
     def latency_percentile(self, percentile: float) -> float:
         """Pipeline latency percentile in ticks (0 when nothing egressed)."""
+        if not 0.0 <= percentile <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
         if not self.latencies:
             return 0.0
         ordered = sorted(self.latencies)
-        if not 0.0 <= percentile <= 100.0:
-            raise ValueError("percentile must be in [0, 100]")
         rank = min(
             len(ordered) - 1, max(0, int(round(percentile / 100 * (len(ordered) - 1))))
         )
@@ -115,6 +115,9 @@ class SwitchStats:
             "offered": self.offered,
             "egressed": self.egressed,
             "dropped": self.dropped,
+            "drops_fifo_full": self.drops_fifo_full,
+            "drops_no_phantom": self.drops_no_phantom,
+            "drops_starvation": self.drops_starvation,
             "throughput": self.throughput_normalized(),
             "delivery_ratio": self.delivery_ratio,
             "wasted_slots": self.wasted_slots,

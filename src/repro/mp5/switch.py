@@ -156,6 +156,13 @@ class MP5Switch:
         self._live = 0  # packets injected and not yet egressed/dropped
         self._ran = False
         self._record_access_order = False
+        # Observability sinks (repro.obs). All default to None and every
+        # hot-path hook hides behind a single attribute check, so a run
+        # with nothing attached executes the same code it always did.
+        self.obs = None  # TraceRecorder (duck-typed emitter methods)
+        self._metrics = None  # MetricsRegistry, polled per window
+        self._metrics_latency = None  # latency histogram shortcut
+        self._profiler = None  # PhaseProfiler around _step's phases
 
         # Plans grouped by stage for resolution-time access planning.
         self._plans_by_stage: List[Tuple[int, List]] = []
@@ -284,6 +291,82 @@ class MP5Switch:
     # Public API
     # ------------------------------------------------------------------
 
+    def attach_observability(
+        self, recorder=None, metrics=None, profiler=None
+    ) -> None:
+        """Attach observability sinks (see :mod:`repro.obs`) to this run.
+
+        ``recorder`` receives per-packet lifecycle events, ``metrics``
+        is a registry polled at window boundaries for time series, and
+        ``profiler`` times the phases of every tick. Must be called
+        before :meth:`run`; any subset may be attached.
+        """
+        if self._ran:
+            raise ConfigError(
+                "attach_observability must be called before run(): the "
+                "instrumentation hooks are bound at tick time"
+            )
+        if recorder is not None:
+            self.obs = recorder
+        if profiler is not None:
+            self._profiler = profiler
+        if metrics is not None:
+            self._metrics = metrics
+            self._register_metric_sources(metrics)
+
+    def _register_metric_sources(self, metrics) -> None:
+        """Publish the switch's components into the registry as pull
+        samplers: their existing cumulative counters are read once per
+        window, so publishing adds no per-packet cost."""
+        stats = self.stats
+        for name in (
+            "egressed",
+            "dropped",
+            "steering_moves",
+            "remap_moves",
+            "phantoms_generated",
+            "phantoms_lost",
+            "ecn_marked",
+            "wasted_slots",
+        ):
+            metrics.add_sampler(
+                name, (lambda s=stats, n=name: getattr(s, n)), cumulative=True
+            )
+        fifos = list(self.fifos.values())
+        metrics.add_sampler(
+            "queue_depth_max",
+            lambda: max((f.data_occupancy() for f in fifos), default=0),
+        )
+        metrics.add_sampler(
+            "queue_depth_total",
+            lambda: sum(f.data_occupancy() for f in fifos),
+        )
+        metrics.add_sampler(
+            "fifo_drops_full",
+            lambda: sum(f.drops_full for f in fifos),
+            cumulative=True,
+        )
+        metrics.add_sampler(
+            "fifo_drops_no_phantom",
+            lambda: sum(f.drops_no_phantom for f in fifos),
+            cumulative=True,
+        )
+        for (pipe, stage), fifo in self.fifos.items():
+            metrics.add_sampler(
+                f"queue_depth.p{pipe}.s{stage}",
+                (lambda f=fifo: f.data_occupancy()),
+            )
+        metrics.add_sampler(
+            "sharder_moves", self.sharder.total_moves, cumulative=True
+        )
+        if self.crossbar is not None:
+            metrics.add_sampler(
+                "crossbar_crossings",
+                lambda: self.crossbar.total_crossings,
+                cumulative=True,
+            )
+        self._metrics_latency = metrics.histogram("latency")
+
     def run(
         self,
         trace: Iterable[TraceEntry],
@@ -326,6 +409,8 @@ class MP5Switch:
             if max_ticks is not None and self.tick >= max_ticks:
                 break
             self._step(pending)
+        if self._metrics is not None:
+            self._metrics.roll(self.tick)  # close the final partial window
         self.stats.ticks = self.tick
         return self.stats
 
@@ -338,12 +423,18 @@ class MP5Switch:
         tick = self.tick
         occ = self.occ
         stats = self.stats
+        obs = self.obs
+        prof = self._profiler
+        if prof is not None:
+            prof.begin()
 
         # (1) Phantom deliveries scheduled for this tick.
         mail = self._phantom_mail.pop(tick, None)
         if mail:
             for phantom, fifo_id in mail:
                 self._deliver_phantom(phantom, fifo_id)
+        if prof is not None:
+            prof.lap("phantom_delivery")
 
         # (2) Injections: spray arrivals across pipelines. Packets enter
         # strictly in arrival order (ties broken by port id, §2.2.1) so
@@ -376,6 +467,8 @@ class MP5Switch:
             injected += 1
             if occ[pipe][0] is not None:  # not dropped at injection
                 per_pipe[pipe].append(0)
+        if prof is not None:
+            prof.lap("inject")
 
         # (3) Movement over the sparse worklist, in place on the
         # occupancy grid. Within a pipeline, higher stages move first so
@@ -443,6 +536,8 @@ class MP5Switch:
                     crossbar.record(pipe, dest, nxt)
                 if dest != pipe:
                     stats.steering_moves += 1
+                if obs is not None:
+                    obs.steer(tick, pkt.pkt_id, pipe, dest, nxt)
                 fifo = fifo_grid[dest][nxt]
                 if enable_phantoms:
                     if (
@@ -454,7 +549,12 @@ class MP5Switch:
                         # threshold, giving senders early backpressure.
                         pkt.ecn_marked = True
                         stats.ecn_marked += 1
-                    if not fifo.insert(pkt, tick):
+                        if obs is not None:
+                            obs.ecn_mark(tick, pkt.pkt_id, dest, nxt)
+                    if fifo.insert(pkt, tick):
+                        if obs is not None:
+                            obs.phantom_match(tick, pkt.pkt_id, dest, nxt)
+                    else:
                         self._drop(pkt, "no_phantom")
                 else:
                     if not fifo.push(pkt, pipe, tick):
@@ -462,6 +562,8 @@ class MP5Switch:
 
         if crossbar is not None:
             crossbar.end_tick()
+        if prof is not None:
+            prof.lap("move")
 
         # (4) Pops: fill free slots of stateful stages; through packets
         # keep priority unless a queued packet is starving.
@@ -493,6 +595,14 @@ class MP5Switch:
             if pkt is not None:
                 row[stage] = pkt
                 popped.append(key)
+                if obs is not None:
+                    obs.fifo_pop(tick, pkt.pkt_id, key[0], key[1])
+            elif obs is not None and fifo._data:
+                # Data is queued but a phantom at the logical head blocks
+                # the whole group (D4 head-of-line blocking).
+                obs.fifo_block(tick, key[0], key[1])
+        if prof is not None:
+            prof.lap("pop")
 
         # (5) Service every newly occupied slot (stage 0 was serviced at
         # injection time — it runs the resolution logic), in (pipeline,
@@ -511,10 +621,12 @@ class MP5Switch:
         need.extend(popped)
         need.sort()
         for pipe, stage in need:
-            self._service(occ[pipe][stage], stage)
+            self._service(occ[pipe][stage], stage, pipe)
         through.extend(popped)
         through.sort()
         self._seated = through
+        if prof is not None:
+            prof.lap("service")
 
         # (6) Background dynamic sharding.
         if (
@@ -522,7 +634,12 @@ class MP5Switch:
             and tick
             and tick % cfg.remap_period == 0
         ):
-            stats.remap_moves += self.sharder.end_epoch(cfg.remap_algorithm)
+            moved = self.sharder.end_epoch(cfg.remap_algorithm)
+            stats.remap_moves += moved
+            if obs is not None:
+                obs.remap(tick, moved)
+        if prof is not None:
+            prof.lap("remap")
 
         # Queue-depth telemetry (data packets only, matching §4.4's
         # "maximum number of packets queued in any pipeline stage"),
@@ -538,6 +655,13 @@ class MP5Switch:
                 if queued > peaks.get(key, 0):
                     peaks[key] = queued
         stats.max_queue_depth = max_depth
+
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.maybe_roll(tick)
+        if prof is not None:
+            prof.lap("telemetry")
+            prof.end_tick()
 
         self.tick += 1
 
@@ -646,6 +770,9 @@ class MP5Switch:
             )
         pkt.accesses = accesses
         pkt.index_accesses()
+        obs = self.obs
+        if obs is not None:
+            obs.ingress(self.tick, pkt.pkt_id, pipe, pkt.port, pkt.flow_id)
 
         if cfg.enable_phantoms:
             tick = self.tick
@@ -665,6 +792,15 @@ class MP5Switch:
                         tick,
                     )
                     stats.phantoms_generated += 1
+                    if obs is not None:
+                        obs.phantom_emit(
+                            tick,
+                            pkt.pkt_id,
+                            access.pipeline,
+                            access.stage,
+                            access.array,
+                            access.index,
+                        )
                     fifo = fifo_grid[access.pipeline][access.stage]
                     if not fifo.push(phantom, pipe, tick):
                         stats.drops_fifo_full += 1
@@ -682,6 +818,15 @@ class MP5Switch:
                     tick,
                 )
                 stats.phantoms_generated += 1
+                if obs is not None:
+                    obs.phantom_emit(
+                        tick,
+                        pkt.pkt_id,
+                        access.pipeline,
+                        access.stage,
+                        access.array,
+                        access.index,
+                    )
                 if latency == 0:
                     if not self._deliver_phantom(phantom, pipe):
                         self._drop(pkt, "phantom_fifo_full")
@@ -703,6 +848,14 @@ class MP5Switch:
             # paper analyzes. Counted separately from FIFO overflow: the
             # queue had room, the channel lost the packet.
             self.stats.phantoms_lost += 1
+            if self.obs is not None:
+                self.obs.phantom_loss(
+                    self.tick,
+                    phantom.pkt_id,
+                    phantom.pipeline,
+                    phantom.stage,
+                    phantom.array,
+                )
             return True  # generation succeeded; the channel lost it
         fifo = self._fifo_grid[phantom.pipeline][phantom.stage]
         ok = fifo.push(phantom, fifo_id, self.tick)
@@ -726,10 +879,12 @@ class MP5Switch:
         if not order or order[-1] != pid:
             order.append(pid)
 
-    def _service(self, pkt: DataPacket, stage: int) -> None:
+    def _service(self, pkt: DataPacket, stage: int, pipe: int = -1) -> None:
         """Execute stage ``stage`` for ``pkt`` (it occupies the slot now)."""
         instrs = self._stage_instrs[stage]
         if instrs:
+            if self.obs is not None:
+                self.obs.service(self.tick, pkt.pkt_id, pipe, stage)
             logger = self._stage_logger[stage]
             if logger is not None:
                 self._accessed_arrays.clear()
@@ -773,7 +928,12 @@ class MP5Switch:
         self._live -= 1
         self.stats.egressed += 1
         self.stats.egress_ticks.append(self.tick)
-        self.stats.latencies.append(self.tick - pkt.arrival)
+        latency = self.tick - pkt.arrival
+        self.stats.latencies.append(latency)
+        if self.obs is not None:
+            self.obs.egress(self.tick, pkt.pkt_id, latency)
+        if self._metrics_latency is not None:
+            self._metrics_latency.observe(latency)
         if pkt.flow_id is not None:
             self.stats.flow_egress.setdefault(pkt.flow_id, []).append(pkt.pkt_id)
 
@@ -782,6 +942,8 @@ class MP5Switch:
         pkt.drop_reason = reason
         self._live -= 1
         self.stats.dropped += 1
+        if self.obs is not None:
+            self.obs.drop(self.tick, pkt.pkt_id, reason)
         if reason == "no_phantom":
             self.stats.drops_no_phantom += 1
         # Retire this packet's outstanding phantoms so they stop blocking
@@ -803,10 +965,18 @@ def run_mp5(
     config: Optional[MP5Config] = None,
     max_ticks: Optional[int] = None,
     record_access_order: bool = False,
+    recorder=None,
+    metrics=None,
+    profiler=None,
 ) -> Tuple[SwitchStats, Dict[str, List[int]]]:
     """Convenience: run a trace through a fresh switch; returns the run
-    statistics and the final register state."""
+    statistics and the final register state. ``recorder``, ``metrics``
+    and ``profiler`` are optional :mod:`repro.obs` sinks."""
     switch = MP5Switch(program, config)
+    if recorder is not None or metrics is not None or profiler is not None:
+        switch.attach_observability(
+            recorder=recorder, metrics=metrics, profiler=profiler
+        )
     stats = switch.run(
         trace, max_ticks=max_ticks, record_access_order=record_access_order
     )

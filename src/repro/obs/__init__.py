@@ -1,0 +1,55 @@
+"""Observability for the MP5 engine: tracing, metrics, profiling.
+
+Three independent, individually attachable layers::
+
+    from repro.obs import MetricsRegistry, PhaseProfiler, TraceRecorder
+
+    recorder = TraceRecorder()
+    metrics = MetricsRegistry(window=100)
+    profiler = PhaseProfiler()
+    stats, _ = run_mp5(
+        program, trace, config,
+        recorder=recorder, metrics=metrics, profiler=profiler,
+    )
+    write_chrome(recorder.events, "run.trace.json")  # open in Perfetto
+    metrics.save("metrics.json")
+    print(profiler.report())
+
+Everything is gated behind a single attribute check in the engine: with
+nothing attached, the fast path executes the same code it does today.
+See ``docs/observability.md`` for the event schema and workflows.
+"""
+
+from .events import EVENT_TYPES, canonical_form, events_by_tick
+from .metrics import Counter, Gauge, MetricsRegistry, WindowedHistogram
+from .profiler import PhaseProfiler
+from .summary import render_trace_summary, summarize_trace
+from .trace import (
+    TraceRecorder,
+    chrome_trace,
+    events_from_chrome,
+    load_trace,
+    read_jsonl,
+    write_chrome,
+    write_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "EVENT_TYPES",
+    "Gauge",
+    "MetricsRegistry",
+    "PhaseProfiler",
+    "TraceRecorder",
+    "WindowedHistogram",
+    "canonical_form",
+    "chrome_trace",
+    "events_by_tick",
+    "events_from_chrome",
+    "load_trace",
+    "read_jsonl",
+    "render_trace_summary",
+    "summarize_trace",
+    "write_chrome",
+    "write_jsonl",
+]

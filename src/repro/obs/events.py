@@ -1,0 +1,86 @@
+"""Packet-lifecycle event schema for the MP5 observability layer.
+
+Every event is a plain dict with at least ``type`` and ``tick``; packet
+events carry ``pkt`` and the (pipeline, stage) lane they happened in.
+Keeping records as dicts (instead of classes) makes JSONL export a
+``json.dumps`` per line and lets the Chrome exporter round-trip them
+losslessly through the ``args`` field.
+
+Event types
+-----------
+
+========== ============================================================
+type        meaning
+========== ============================================================
+ingress     packet entered the switch at a pipeline front (stage 0)
+phantom_emit   a phantom was generated toward (pipe, stage) for an array
+phantom_match  a data packet replaced its phantom in the stage FIFO
+phantom_loss   fault injection lost the phantom in flight (§3.5.1)
+steer       movement into a stateful stage (src pipeline recorded;
+            src != pipe is a crossbar crossing)
+fifo_block  a stage FIFO began a head-of-line blocking episode (a
+            phantom at the logical head stalls every queued packet)
+fifo_pop    a data packet won the pop; ``wait`` = ticks spent queued
+fifo_unblock  the blocking episode ended; ``blocked`` = its length
+service     a stage executed its atom for the packet
+ecn         the packet was ECN-marked at a congested queue (§3.4)
+remap       the background sharding remap ran; ``moves`` arrays changed
+egress      the packet left the last stage; ``latency`` in ticks
+drop        the packet was dropped; ``reason`` as in SwitchStats
+========== ============================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+EVENT_INGRESS = "ingress"
+EVENT_PHANTOM_EMIT = "phantom_emit"
+EVENT_PHANTOM_MATCH = "phantom_match"
+EVENT_PHANTOM_LOSS = "phantom_loss"
+EVENT_STEER = "steer"
+EVENT_FIFO_BLOCK = "fifo_block"
+EVENT_FIFO_POP = "fifo_pop"
+EVENT_FIFO_UNBLOCK = "fifo_unblock"
+EVENT_SERVICE = "service"
+EVENT_ECN = "ecn"
+EVENT_REMAP = "remap"
+EVENT_EGRESS = "egress"
+EVENT_DROP = "drop"
+
+EVENT_TYPES = (
+    EVENT_INGRESS,
+    EVENT_PHANTOM_EMIT,
+    EVENT_PHANTOM_MATCH,
+    EVENT_PHANTOM_LOSS,
+    EVENT_STEER,
+    EVENT_FIFO_BLOCK,
+    EVENT_FIFO_POP,
+    EVENT_FIFO_UNBLOCK,
+    EVENT_SERVICE,
+    EVENT_ECN,
+    EVENT_REMAP,
+    EVENT_EGRESS,
+    EVENT_DROP,
+)
+
+
+def events_by_tick(events: Iterable[Dict]) -> Dict[int, List[Dict]]:
+    """Group an event stream by tick, preserving intra-tick order."""
+    grouped: Dict[int, List[Dict]] = {}
+    for event in events:
+        grouped.setdefault(event["tick"], []).append(event)
+    return grouped
+
+
+def canonical_form(events: Iterable[Dict]) -> Dict[int, List[str]]:
+    """Tick-grouped, intra-tick-order-free view of an event stream.
+
+    The fast and reference engines visit packets in different orders
+    *within* a tick (worklist vs dense scan), which is unobservable —
+    the differential tests compare streams in this form.
+    """
+    return {
+        tick: sorted(repr(sorted(e.items())) for e in group)
+        for tick, group in events_by_tick(events).items()
+    }

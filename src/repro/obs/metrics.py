@@ -1,0 +1,220 @@
+"""Metrics registry: counters, gauges, and windowed histograms.
+
+The registry turns the engine's end-of-run scalars into *per-window time
+series*: every ``window`` ticks it closes a window and appends one point
+per instrument, so a run yields queue-depth, throughput and remap-rate
+curves instead of a single number.
+
+Three instrument kinds plus one pull-based source:
+
+* :class:`Counter` — monotonically increasing; the series records the
+  per-window **delta** (a rate).
+* :class:`Gauge` — a level; the series records the value at the window
+  boundary.
+* :class:`WindowedHistogram` — observations within the window summarized
+  as count/min/max/mean/p50/p99 per window, with a running total.
+* **samplers** (:meth:`MetricsRegistry.add_sampler`) — zero-hot-path-cost
+  publishing: the registry *polls* a callable at each window boundary.
+  This is how the switch, FIFOs, sharder and crossbar publish — their
+  existing cumulative counters are read once per window instead of
+  being incremented through an extra layer per packet.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+PathLike = Union[str, Path]
+
+
+class Counter:
+    """Monotonic counter; the registry series records per-window deltas."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A level sampled at window boundaries."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class WindowedHistogram:
+    """Collects observations, summarized per window by the registry."""
+
+    __slots__ = ("name", "window_values", "total_count", "total_sum")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.window_values: List[float] = []
+        self.total_count = 0
+        self.total_sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.window_values.append(value)
+        self.total_count += 1
+        self.total_sum += value
+
+    def flush(self) -> Optional[Dict[str, float]]:
+        """Summarize and clear the current window; None when empty."""
+        values = self.window_values
+        if not values:
+            return None
+        values.sort()
+        n = len(values)
+
+        def pct(p: float) -> float:
+            return values[min(n - 1, int(round(p / 100 * (n - 1))))]
+
+        summary = {
+            "count": n,
+            "min": values[0],
+            "max": values[-1],
+            "mean": sum(values) / n,
+            "p50": pct(50),
+            "p99": pct(99),
+        }
+        self.window_values = []
+        return summary
+
+    @property
+    def mean(self) -> float:
+        return self.total_sum / self.total_count if self.total_count else 0.0
+
+
+class MetricsRegistry:
+    """Registry of named instruments with per-window series.
+
+    The simulation engine calls :meth:`maybe_roll` once per tick (one
+    attribute check when disabled — the registry is only consulted when
+    attached); callers read :attr:`series` / :attr:`histogram_series`
+    afterwards or export everything with :meth:`to_dict`.
+    """
+
+    def __init__(self, window: int = 100):
+        if window < 1:
+            raise ValueError("metrics window must be >= 1")
+        self.window = window
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, WindowedHistogram] = {}
+        # name -> (fn, cumulative, last sample)
+        self._samplers: Dict[str, List] = {}
+        self.series: Dict[str, List[List[float]]] = {}
+        self.histogram_series: Dict[str, List[Dict]] = {}
+        self._counter_last: Dict[str, int] = {}
+        self._last_roll = -1
+        self._next_roll = window
+
+    # ------------------------------------------------------------------
+    # Instrument accessors (get-or-create)
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        inst = self.counters.get(name)
+        if inst is None:
+            inst = self.counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self.gauges.get(name)
+        if inst is None:
+            inst = self.gauges[name] = Gauge(name)
+        return inst
+
+    def histogram(self, name: str) -> WindowedHistogram:
+        inst = self.histograms.get(name)
+        if inst is None:
+            inst = self.histograms[name] = WindowedHistogram(name)
+        return inst
+
+    def add_sampler(
+        self, name: str, fn: Callable[[], float], cumulative: bool = False
+    ) -> None:
+        """Register a pull-based source polled at each window boundary.
+
+        ``cumulative`` sources report a monotonically increasing total
+        (e.g. ``stats.egressed``); the series then records the
+        per-window delta. Non-cumulative sources record the raw sample
+        (a gauge read, e.g. current queue depth).
+        """
+        self._samplers[name] = [fn, cumulative, fn() if cumulative else None]
+
+    # ------------------------------------------------------------------
+    # Window rolling
+    # ------------------------------------------------------------------
+
+    def maybe_roll(self, tick: int) -> None:
+        if tick >= self._next_roll:
+            self.roll(tick)
+
+    def roll(self, tick: int) -> None:
+        """Close the window ending at ``tick`` (idempotent per tick)."""
+        if tick <= self._last_roll:
+            return
+        for name, inst in self.counters.items():
+            delta = inst.value - self._counter_last.get(name, 0)
+            self._counter_last[name] = inst.value
+            self.series.setdefault(name, []).append([tick, delta])
+        for name, inst in self.gauges.items():
+            self.series.setdefault(name, []).append([tick, inst.value])
+        for name, entry in self._samplers.items():
+            fn, cumulative, last = entry
+            sample = fn()
+            if cumulative:
+                self.series.setdefault(name, []).append([tick, sample - last])
+                entry[2] = sample
+            else:
+                self.series.setdefault(name, []).append([tick, sample])
+        for name, hist in self.histograms.items():
+            summary = hist.flush()
+            if summary is not None:
+                summary["tick"] = tick
+                self.histogram_series.setdefault(name, []).append(summary)
+        self._last_roll = tick
+        self._next_roll = (tick // self.window + 1) * self.window
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def totals(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for name, inst in self.counters.items():
+            out[name] = inst.value
+        for name, inst in self.gauges.items():
+            out[name] = inst.value
+        for name, entry in self._samplers.items():
+            fn, cumulative, _last = entry
+            out[name] = fn()
+        for name, hist in self.histograms.items():
+            out[f"{name}_count"] = hist.total_count
+            out[f"{name}_mean"] = hist.mean
+        return out
+
+    def to_dict(self) -> Dict:
+        return {
+            "window": self.window,
+            "series": self.series,
+            "histograms": self.histogram_series,
+            "totals": self.totals(),
+        }
+
+    def save(self, path: PathLike) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))

@@ -1,0 +1,90 @@
+"""Lightweight section timer for the fast-path phases of one tick.
+
+The switch calls :meth:`PhaseProfiler.begin` at the top of ``_step`` and
+:meth:`PhaseProfiler.lap` at each phase boundary; each lap accumulates
+the wall-clock time since the previous one under the phase's name. When
+no profiler is attached the engine skips the calls behind a single
+attribute check, so profiling costs nothing disabled.
+
+``report()`` renders the breakdown the CLI prints under ``--profile``.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, List
+
+
+class PhaseProfiler:
+    """Accumulates per-phase wall-clock time across ticks."""
+
+    __slots__ = ("totals", "ticks", "_t0")
+
+    def __init__(self) -> None:
+        self.totals: Dict[str, float] = {}
+        self.ticks = 0
+        self._t0 = 0.0
+
+    def begin(self) -> None:
+        self._t0 = perf_counter()
+
+    def lap(self, phase: str) -> None:
+        now = perf_counter()
+        self.totals[phase] = self.totals.get(phase, 0.0) + (now - self._t0)
+        self._t0 = now
+
+    def end_tick(self) -> None:
+        self.ticks += 1
+
+    # ------------------------------------------------------------------
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.totals.values())
+
+    def to_dict(self) -> Dict:
+        return {
+            "ticks": self.ticks,
+            "seconds": dict(self.totals),
+            "total_seconds": self.total_seconds,
+        }
+
+    def report(self) -> str:
+        """Phase breakdown table, heaviest phase first."""
+        total = self.total_seconds or 1.0
+        ticks = self.ticks or 1
+        headers = ("phase", "seconds", "share", "us/tick")
+        rows = [
+            (
+                phase,
+                f"{seconds:.4f}",
+                f"{100 * seconds / total:5.1f}%",
+                f"{1e6 * seconds / ticks:8.2f}",
+            )
+            for phase, seconds in sorted(
+                self.totals.items(), key=lambda kv: kv[1], reverse=True
+            )
+        ]
+        rows.append(
+            (
+                "total",
+                f"{self.total_seconds:.4f}",
+                "100.0%",
+                f"{1e6 * self.total_seconds / ticks:8.2f}",
+            )
+        )
+        widths = [
+            max(len(headers[i]), max((len(r[i]) for r in rows), default=0))
+            for i in range(len(headers))
+        ]
+
+        def line(cells) -> str:
+            return "  ".join(c.rjust(widths[i]) for i, c in enumerate(cells))
+
+        out: List[str] = [
+            f"Fast-path phase breakdown over {self.ticks} ticks",
+            line(headers),
+            line(["-" * w for w in widths]),
+        ]
+        out.extend(line(row) for row in rows)
+        return "\n".join(out)

@@ -1,0 +1,219 @@
+"""Trace analysis: stall rankings and per-flow timelines.
+
+``repro trace-summary <file>`` loads a trace (JSONL or Chrome format)
+and prints:
+
+* event-type counts,
+* the **phantom-wait ranking** — per (pipeline, stage) lane, how long
+  data packets sat queued behind their ordering position (``wait`` of
+  every ``fifo_pop``),
+* the **FIFO-block ranking** — per lane, how many head-of-line blocking
+  episodes a phantom head caused and for how many ticks,
+* drops by reason,
+* per-flow timelines for the first few flows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .events import (
+    EVENT_DROP,
+    EVENT_EGRESS,
+    EVENT_FIFO_BLOCK,
+    EVENT_FIFO_POP,
+    EVENT_FIFO_UNBLOCK,
+    EVENT_INGRESS,
+)
+
+Lane = Tuple[int, int]
+
+
+def summarize_trace(events: Iterable[Dict]) -> Dict:
+    """Aggregate an event stream into the summary structure."""
+    type_counts: Dict[str, int] = {}
+    waits: Dict[Lane, Dict[str, float]] = {}
+    blocks: Dict[Lane, Dict[str, int]] = {}
+    drops: Dict[str, int] = {}
+    flow_of_pkt: Dict[int, Optional[int]] = {}
+    pkt_events: Dict[int, List[Dict]] = {}
+    last_tick = 0
+
+    for event in events:
+        etype = event["type"]
+        tick = event["tick"]
+        if tick > last_tick:
+            last_tick = tick
+        type_counts[etype] = type_counts.get(etype, 0) + 1
+        pkt = event.get("pkt")
+        if pkt is not None:
+            pkt_events.setdefault(pkt, []).append(event)
+        if etype == EVENT_INGRESS:
+            flow_of_pkt[pkt] = event.get("flow")
+        elif etype == EVENT_FIFO_POP:
+            lane = (event["pipe"], event["stage"])
+            entry = waits.setdefault(
+                lane, {"pops": 0, "total_wait": 0, "max_wait": 0}
+            )
+            wait = event.get("wait", 0)
+            entry["pops"] += 1
+            entry["total_wait"] += wait
+            if wait > entry["max_wait"]:
+                entry["max_wait"] = wait
+        elif etype == EVENT_FIFO_BLOCK:
+            lane = (event["pipe"], event["stage"])
+            blocks.setdefault(lane, {"episodes": 0, "blocked_ticks": 0})[
+                "episodes"
+            ] += 1
+        elif etype == EVENT_FIFO_UNBLOCK:
+            lane = (event["pipe"], event["stage"])
+            blocks.setdefault(lane, {"episodes": 0, "blocked_ticks": 0})[
+                "blocked_ticks"
+            ] += event.get("blocked", 0)
+        elif etype == EVENT_DROP:
+            drops[event.get("reason", "?")] = (
+                drops.get(event.get("reason", "?"), 0) + 1
+            )
+
+    flows: Dict[object, List[int]] = {}
+    for pkt in sorted(pkt_events):
+        flow = flow_of_pkt.get(pkt)
+        key = flow if flow is not None else f"pkt {pkt}"
+        flows.setdefault(key, []).append(pkt)
+
+    return {
+        "events": sum(type_counts.values()),
+        "ticks": last_tick + 1,
+        "type_counts": type_counts,
+        "phantom_waits": waits,
+        "fifo_blocks": blocks,
+        "drops": drops,
+        "flows": flows,
+        "pkt_events": pkt_events,
+    }
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    cells = [[str(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), max((len(r[i]) for r in cells), default=0))
+        for i in range(len(headers))
+    ]
+
+    def line(row: Sequence[str]) -> str:
+        return "  ".join(c.rjust(widths[i]) for i, c in enumerate(row))
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def _brief(event: Dict) -> str:
+    etype = event["type"]
+    where = ""
+    if event.get("pipe") is not None:
+        where = f" p{event['pipe']}/s{event.get('stage', 0)}"
+    extra = ""
+    if etype == EVENT_FIFO_POP and event.get("wait"):
+        extra = f" wait={event['wait']}"
+    elif etype == EVENT_DROP:
+        extra = f" ({event.get('reason', '?')})"
+    elif etype == EVENT_EGRESS:
+        extra = f" latency={event.get('latency')}"
+    elif "array" in event:
+        extra = f" {event['array']}"
+        if event.get("index") is not None:
+            extra += f"[{event['index']}]"
+    return f"t{event['tick']} {etype}{where}{extra}"
+
+
+def render_trace_summary(
+    summary: Dict, top: int = 10, max_flows: int = 5
+) -> str:
+    """Render the summary the ``trace-summary`` subcommand prints."""
+    parts: List[str] = [
+        f"Trace summary: {summary['events']} events over "
+        f"{summary['ticks']} ticks"
+    ]
+
+    counts = summary["type_counts"]
+    parts.append("")
+    parts.append("Event counts")
+    parts.append(
+        _table(
+            ("event", "count"),
+            sorted(counts.items(), key=lambda kv: kv[1], reverse=True),
+        )
+    )
+
+    waits = summary["phantom_waits"]
+    parts.append("")
+    parts.append("Top phantom-wait stalls (ticks data packets spent queued)")
+    if waits:
+        ranked = sorted(
+            waits.items(), key=lambda kv: kv[1]["total_wait"], reverse=True
+        )[:top]
+        parts.append(
+            _table(
+                ("lane", "pops", "total wait", "mean", "max"),
+                [
+                    (
+                        f"p{lane[0]}/s{lane[1]}",
+                        w["pops"],
+                        w["total_wait"],
+                        f"{w['total_wait'] / w['pops']:.2f}" if w["pops"] else "-",
+                        w["max_wait"],
+                    )
+                    for lane, w in ranked
+                ],
+            )
+        )
+    else:
+        parts.append("  (no queued packets)")
+
+    blocks = summary["fifo_blocks"]
+    parts.append("")
+    parts.append("Top FIFO-block stalls (phantom head-of-line blocking)")
+    if blocks:
+        ranked = sorted(
+            blocks.items(),
+            key=lambda kv: (kv[1]["blocked_ticks"], kv[1]["episodes"]),
+            reverse=True,
+        )[:top]
+        parts.append(
+            _table(
+                ("lane", "episodes", "blocked ticks"),
+                [
+                    (f"p{lane[0]}/s{lane[1]}", b["episodes"], b["blocked_ticks"])
+                    for lane, b in ranked
+                ],
+            )
+        )
+    else:
+        parts.append("  (no blocking observed)")
+
+    if summary["drops"]:
+        parts.append("")
+        parts.append("Drops by reason")
+        parts.append(
+            _table(
+                ("reason", "count"),
+                sorted(
+                    summary["drops"].items(),
+                    key=lambda kv: kv[1],
+                    reverse=True,
+                ),
+            )
+        )
+
+    parts.append("")
+    parts.append(f"Per-flow timelines (first {max_flows} flows)")
+    pkt_events = summary["pkt_events"]
+    for flow, pkts in list(summary["flows"].items())[:max_flows]:
+        parts.append(f"  flow {flow}:")
+        for pkt in pkts[:4]:
+            timeline = " -> ".join(_brief(e) for e in pkt_events[pkt])
+            parts.append(f"    pkt {pkt}: {timeline}")
+        if len(pkts) > 4:
+            parts.append(f"    ... {len(pkts) - 4} more packets")
+    return "\n".join(parts)

@@ -1,0 +1,369 @@
+"""Per-packet lifecycle trace recorder and its two export formats.
+
+A :class:`TraceRecorder` is attached to a switch with
+``MP5Switch.attach_observability(recorder=...)``; the engine then calls
+one emitter method per lifecycle event (see :mod:`repro.obs.events`).
+When no recorder is attached the engine's hot paths skip the calls
+behind a single attribute check, so recording costs nothing disabled.
+
+Exports:
+
+* **JSONL** (``write_jsonl``/``read_jsonl``) — a header line followed by
+  one JSON object per event; the format ``repro trace-summary`` and the
+  differential tests consume.
+* **Chrome trace_event JSON** (``write_chrome``/``chrome_trace``) — a
+  ``traceEvents`` array that loads directly in Perfetto or
+  ``chrome://tracing``: one *process* per pipeline, one *thread* (lane)
+  per stage, one extra "switch" process for laneless events (remap,
+  drop, egress). One tick maps to one microsecond on the timeline.
+  Every original record rides along in ``args`` so a Chrome trace can
+  be summarized too.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from .events import (
+    EVENT_DROP,
+    EVENT_ECN,
+    EVENT_EGRESS,
+    EVENT_FIFO_BLOCK,
+    EVENT_FIFO_POP,
+    EVENT_FIFO_UNBLOCK,
+    EVENT_INGRESS,
+    EVENT_PHANTOM_EMIT,
+    EVENT_PHANTOM_LOSS,
+    EVENT_PHANTOM_MATCH,
+    EVENT_REMAP,
+    EVENT_SERVICE,
+    EVENT_STEER,
+)
+
+TRACE_EVENTS_VERSION = 1
+JSONL_FORMAT = "mp5-trace-events"
+TICK_US = 1.0  # one tick renders as one microsecond in Perfetto
+
+PathLike = Union[str, Path]
+
+
+class TraceRecorder:
+    """Collects lifecycle events from one simulation run.
+
+    The emitter methods are the engine-facing surface; they append plain
+    dicts to :attr:`events`. The recorder also derives the FIFO
+    block/unblock *episodes* from the per-tick block signals the engine
+    raises, and the queueing ``wait`` of every popped packet from its
+    phantom-match (or steer) tick.
+    """
+
+    __slots__ = ("events", "_queued", "_blocked")
+
+    def __init__(self) -> None:
+        self.events: List[Dict] = []
+        # pkt id -> tick it entered a stage FIFO (match/steer time)
+        self._queued: Dict[int, int] = {}
+        # (pipe, stage) -> tick the current blocking episode began
+        self._blocked: Dict[Tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Engine-facing emitters (one per lifecycle event)
+    # ------------------------------------------------------------------
+
+    def ingress(
+        self, tick: int, pkt: int, pipe: int, port: int, flow: Optional[int]
+    ) -> None:
+        self.events.append(
+            {
+                "type": EVENT_INGRESS,
+                "tick": tick,
+                "pkt": pkt,
+                "pipe": pipe,
+                "stage": 0,
+                "port": port,
+                "flow": flow,
+            }
+        )
+
+    def phantom_emit(
+        self,
+        tick: int,
+        pkt: int,
+        pipe: int,
+        stage: int,
+        array: str,
+        index: Optional[int],
+    ) -> None:
+        self.events.append(
+            {
+                "type": EVENT_PHANTOM_EMIT,
+                "tick": tick,
+                "pkt": pkt,
+                "pipe": pipe,
+                "stage": stage,
+                "array": array,
+                "index": index,
+            }
+        )
+
+    def phantom_loss(
+        self, tick: int, pkt: int, pipe: int, stage: int, array: str
+    ) -> None:
+        self.events.append(
+            {
+                "type": EVENT_PHANTOM_LOSS,
+                "tick": tick,
+                "pkt": pkt,
+                "pipe": pipe,
+                "stage": stage,
+                "array": array,
+            }
+        )
+
+    def phantom_match(self, tick: int, pkt: int, pipe: int, stage: int) -> None:
+        self._queued[pkt] = tick
+        self.events.append(
+            {
+                "type": EVENT_PHANTOM_MATCH,
+                "tick": tick,
+                "pkt": pkt,
+                "pipe": pipe,
+                "stage": stage,
+            }
+        )
+
+    def steer(self, tick: int, pkt: int, src: int, pipe: int, stage: int) -> None:
+        # With phantoms disabled the steer push *is* the FIFO entry.
+        self._queued.setdefault(pkt, tick)
+        self.events.append(
+            {
+                "type": EVENT_STEER,
+                "tick": tick,
+                "pkt": pkt,
+                "pipe": pipe,
+                "stage": stage,
+                "src": src,
+            }
+        )
+
+    def fifo_block(self, tick: int, pipe: int, stage: int) -> None:
+        """The engine raises this every tick a FIFO pop is blocked by a
+        phantom head; only the first tick of an episode emits a record."""
+        key = (pipe, stage)
+        if key in self._blocked:
+            return
+        self._blocked[key] = tick
+        self.events.append(
+            {"type": EVENT_FIFO_BLOCK, "tick": tick, "pipe": pipe, "stage": stage}
+        )
+
+    def fifo_pop(self, tick: int, pkt: int, pipe: int, stage: int) -> None:
+        entered = self._queued.pop(pkt, tick)
+        self.events.append(
+            {
+                "type": EVENT_FIFO_POP,
+                "tick": tick,
+                "pkt": pkt,
+                "pipe": pipe,
+                "stage": stage,
+                "wait": tick - entered,
+            }
+        )
+        start = self._blocked.pop((pipe, stage), None)
+        if start is not None:
+            self.events.append(
+                {
+                    "type": EVENT_FIFO_UNBLOCK,
+                    "tick": tick,
+                    "pipe": pipe,
+                    "stage": stage,
+                    "blocked": tick - start,
+                }
+            )
+
+    def service(self, tick: int, pkt: int, pipe: int, stage: int) -> None:
+        self.events.append(
+            {
+                "type": EVENT_SERVICE,
+                "tick": tick,
+                "pkt": pkt,
+                "pipe": pipe,
+                "stage": stage,
+            }
+        )
+
+    def ecn_mark(self, tick: int, pkt: int, pipe: int, stage: int) -> None:
+        self.events.append(
+            {
+                "type": EVENT_ECN,
+                "tick": tick,
+                "pkt": pkt,
+                "pipe": pipe,
+                "stage": stage,
+            }
+        )
+
+    def remap(self, tick: int, moves: int) -> None:
+        self.events.append({"type": EVENT_REMAP, "tick": tick, "moves": moves})
+
+    def egress(self, tick: int, pkt: int, latency: float) -> None:
+        self.events.append(
+            {"type": EVENT_EGRESS, "tick": tick, "pkt": pkt, "latency": latency}
+        )
+
+    def drop(self, tick: int, pkt: int, reason: str) -> None:
+        self.events.append(
+            {"type": EVENT_DROP, "tick": tick, "pkt": pkt, "reason": reason}
+        )
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+# ---------------------------------------------------------------------------
+# JSONL export
+# ---------------------------------------------------------------------------
+
+
+def write_jsonl(
+    events: List[Dict], path: PathLike, meta: Optional[Dict] = None
+) -> None:
+    header = {"format": JSONL_FORMAT, "version": TRACE_EVENTS_VERSION}
+    header.update(meta or {})
+    with open(path, "w") as fh:
+        fh.write(json.dumps(header) + "\n")
+        for event in events:
+            fh.write(json.dumps(event) + "\n")
+
+
+def read_jsonl(path: PathLike) -> Tuple[Dict, List[Dict]]:
+    with open(path) as fh:
+        header = json.loads(fh.readline())
+        if header.get("format") != JSONL_FORMAT:
+            raise ValueError(f"{path}: not an {JSONL_FORMAT} file")
+        events = [json.loads(line) for line in fh if line.strip()]
+    return header, events
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace_event export
+# ---------------------------------------------------------------------------
+
+# Process id for events without a (pipeline, stage) lane.
+SWITCH_PID = 0
+
+
+def _lane(event: Dict) -> Tuple[int, int]:
+    pipe = event.get("pipe")
+    stage = event.get("stage")
+    if pipe is None:
+        return SWITCH_PID, 0
+    return pipe + 1, stage if stage is not None else 0
+
+
+def chrome_trace(events: List[Dict], meta: Optional[Dict] = None) -> Dict:
+    """Render an event stream as a Chrome trace_event document."""
+    trace_events: List[Dict] = []
+    lanes: Dict[Tuple[int, int], None] = {}
+    for event in events:
+        pid, tid = _lane(event)
+        lanes[(pid, tid)] = None
+        record = {
+            "name": event["type"],
+            "cat": event["type"],
+            "pid": pid,
+            "tid": tid,
+            "args": dict(event),
+        }
+        if event["type"] == EVENT_SERVICE:
+            record.update(ph="X", ts=event["tick"] * TICK_US, dur=TICK_US)
+        elif event["type"] == EVENT_FIFO_UNBLOCK:
+            # Paint the whole blocking episode as a duration slice.
+            blocked = event.get("blocked", 0)
+            record.update(
+                ph="X",
+                ts=(event["tick"] - blocked) * TICK_US,
+                dur=max(blocked, 1) * TICK_US,
+            )
+        else:
+            record.update(ph="i", ts=event["tick"] * TICK_US, s="t")
+        trace_events.append(record)
+
+    metadata: List[Dict] = []
+    for pid in sorted({pid for pid, _tid in lanes}):
+        name = "switch" if pid == SWITCH_PID else f"pipeline {pid - 1}"
+        metadata.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "args": {"name": name},
+            }
+        )
+        metadata.append(
+            {"ph": "M", "name": "process_sort_index", "pid": pid,
+             "args": {"sort_index": pid}}
+        )
+    for pid, tid in sorted(lanes):
+        metadata.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": f"stage {tid}"},
+            }
+        )
+        metadata.append(
+            {"ph": "M", "name": "thread_sort_index", "pid": pid, "tid": tid,
+             "args": {"sort_index": tid}}
+        )
+
+    return {
+        "traceEvents": metadata + trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": dict(
+            meta or {}, format=JSONL_FORMAT, version=TRACE_EVENTS_VERSION
+        ),
+    }
+
+
+def write_chrome(
+    events: List[Dict], path: PathLike, meta: Optional[Dict] = None
+) -> None:
+    Path(path).write_text(json.dumps(chrome_trace(events, meta)))
+
+
+def events_from_chrome(document: Dict) -> List[Dict]:
+    """Recover the original event stream from a Chrome export (every
+    record is carried verbatim in ``args``)."""
+    events = []
+    for record in document.get("traceEvents", ()):
+        if record.get("ph") == "M":
+            continue
+        args = record.get("args")
+        if isinstance(args, dict) and "type" in args and "tick" in args:
+            events.append(args)
+    return events
+
+
+def load_trace(path: PathLike) -> Tuple[Dict, List[Dict]]:
+    """Load a trace file in either format (JSONL or Chrome JSON)."""
+    text = Path(path).read_text()
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        first_line = stripped.splitlines()[0].strip()
+        try:
+            header = json.loads(first_line)
+        except json.JSONDecodeError:
+            header = None
+        if isinstance(header, dict) and header.get("format") == JSONL_FORMAT:
+            return read_jsonl(path)
+        document = json.loads(text)
+        if "traceEvents" in document:
+            return document.get("otherData", {}), events_from_chrome(document)
+    raise ValueError(f"{path}: neither an mp5 JSONL trace nor a Chrome trace")

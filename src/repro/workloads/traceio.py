@@ -92,10 +92,7 @@ def load_trace(path: PathLike) -> List[DataPacket]:
 def stats_to_dict(stats: SwitchStats, include_distributions: bool = False) -> Dict:
     """Flatten run statistics for export. Distributions (latencies,
     egress times) are large; opt in via ``include_distributions``."""
-    record = dict(stats.summary())
-    record["drops_fifo_full"] = stats.drops_fifo_full
-    record["drops_no_phantom"] = stats.drops_no_phantom
-    record["drops_starvation"] = stats.drops_starvation
+    record = dict(stats.summary())  # includes the per-reason drop breakdown
     if include_distributions:
         record["latencies"] = list(stats.latencies)
         record["egress_ticks"] = list(stats.egress_ticks)

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -61,3 +63,60 @@ class TestCli:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestObservabilityCli:
+    def test_run_with_trace_and_summary(self, tmp_path, capsys):
+        trace_path = tmp_path / "run.trace.json"
+        code = main(
+            [
+                "run", "heavy_hitter", "--packets", "300",
+                "--trace", str(trace_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out and trace_path.exists()
+
+        assert main(["trace-summary", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Top phantom-wait stalls" in out
+        assert "Top FIFO-block stalls" in out
+        assert "Per-flow timelines" in out
+
+    def test_run_with_jsonl_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "run.jsonl"
+        code = main(
+            [
+                "run", "heavy_hitter", "--packets", "200",
+                "--trace", str(trace_path), "--trace-format", "jsonl",
+            ]
+        )
+        assert code == 0
+        assert trace_path.read_text().startswith('{"format": "mp5-trace-events"')
+        assert main(["trace-summary", str(trace_path), "--top", "3"]) == 0
+        assert "Event counts" in capsys.readouterr().out
+
+    def test_run_with_profile(self, capsys):
+        code = main(["run", "heavy_hitter", "--packets", "200", "--profile"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fast-path phase breakdown" in out
+        assert "service" in out
+
+    def test_run_with_metrics(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.json"
+        code = main(
+            [
+                "run", "heavy_hitter", "--packets", "200",
+                "--metrics", str(metrics_path), "--metrics-window", "50",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(metrics_path.read_text())
+        assert doc["window"] == 50
+        assert "egressed" in doc["series"]
+
+    def test_reproduce_trace_requires_out(self, capsys):
+        assert main(["reproduce", "--scale", "tiny", "--trace"]) == 2
+        assert "--out" in capsys.readouterr().out

@@ -18,6 +18,7 @@ import pytest
 from repro.compiler import compile_program
 from repro.errors import ConfigError
 from repro.mp5 import MP5Config, MP5Switch, run_mp5, run_mp5_reference
+from repro.obs import TraceRecorder, canonical_form
 from repro.workloads import line_rate_trace
 from repro.workloads.synthetic import make_sensitivity_program, sensitivity_trace
 
@@ -28,13 +29,20 @@ def _assert_engines_agree(
     program, trace_factory, config, max_ticks=None, record_access_order=False
 ):
     """Run both engines on identical inputs; the trace is regenerated
-    per engine because the simulation mutates packet objects."""
+    per engine because the simulation mutates packet objects.
+
+    Both runs record lifecycle events, and the event streams must match
+    modulo tick-internal ordering (the fast path's worklist visits
+    packets in a different within-tick order than the dense scan, which
+    is exactly the freedom real hardware has)."""
+    fast_rec, ref_rec = TraceRecorder(), TraceRecorder()
     fast_stats, fast_regs = run_mp5(
         program,
         trace_factory(),
         config,
         max_ticks=max_ticks,
         record_access_order=record_access_order,
+        recorder=fast_rec,
     )
     ref_stats, ref_regs = run_mp5_reference(
         program,
@@ -42,10 +50,26 @@ def _assert_engines_agree(
         config,
         max_ticks=max_ticks,
         record_access_order=record_access_order,
+        recorder=ref_rec,
     )
     assert fast_stats == ref_stats
     assert fast_regs == ref_regs
+    _assert_event_streams_match(fast_rec.events, ref_rec.events)
     return fast_stats
+
+
+def _assert_event_streams_match(fast_events, ref_events):
+    fast_canon = canonical_form(fast_events)
+    ref_canon = canonical_form(ref_events)
+    if fast_canon == ref_canon:
+        return
+    for tick in sorted(set(fast_canon) | set(ref_canon)):
+        if fast_canon.get(tick) != ref_canon.get(tick):
+            raise AssertionError(
+                f"event streams diverge at tick {tick}:\n"
+                f"  fast: {fast_canon.get(tick)}\n"
+                f"  ref:  {ref_canon.get(tick)}"
+            )
 
 
 # ---------------------------------------------------------------------------

@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.harness import run_all
-from repro.harness.runall import SCALES
+from repro.harness.runall import SCALES, _observability_run
 
 
 class TestRunAll:
@@ -61,3 +61,29 @@ class TestRunAll:
 
     def test_scales_defined(self):
         assert set(SCALES) == {"tiny", "small", "full"}
+
+    def test_no_observability_key_by_default(self, artifacts):
+        # observe=False must leave results.json unchanged so serial and
+        # parallel runs stay byte-identical with earlier releases.
+        out, _rendered, _messages = artifacts
+        data = json.loads((out / "results.json").read_text())
+        assert "observability" not in data
+
+    def test_observe_requires_out_dir(self):
+        with pytest.raises(ValueError):
+            run_all(scale="tiny", observe=True)
+
+
+class TestObservabilityRun:
+    def test_artifacts_written(self, tmp_path):
+        record = _observability_run(tmp_path, {"num_packets": 200})
+        for key in ("trace", "trace_jsonl", "metrics", "trace_summary"):
+            assert (tmp_path / record[key]).exists()
+        assert record["events"] > 0
+        doc = json.loads((tmp_path / record["trace"]).read_text())
+        types = {
+            r["name"] for r in doc["traceEvents"] if r.get("ph") != "M"
+        }
+        assert len(types) >= 8
+        summary_text = (tmp_path / record["trace_summary"]).read_text()
+        assert "Top phantom-wait stalls" in summary_text

@@ -40,6 +40,42 @@ class TestThroughput:
         for key in ("offered", "egressed", "throughput", "max_queue_depth"):
             assert key in summary
 
+    def test_summary_includes_drop_breakdown(self):
+        stats = self._stats([0.0], [1.0])
+        stats.drops_fifo_full = 3
+        stats.drops_no_phantom = 2
+        stats.drops_starvation = 1
+        summary = stats.summary()
+        assert summary["drops_fifo_full"] == 3
+        assert summary["drops_no_phantom"] == 2
+        assert summary["drops_starvation"] == 1
+
+
+class TestLatencyPercentile:
+    def test_basic_percentiles(self):
+        stats = SwitchStats()
+        stats.latencies = [float(i) for i in range(1, 101)]
+        assert stats.latency_percentile(0) == 1.0
+        assert stats.latency_percentile(100) == 100.0
+        assert stats.latency_percentile(50) == pytest.approx(50.0, abs=1.0)
+
+    def test_empty_returns_zero(self):
+        assert SwitchStats().latency_percentile(99) == 0.0
+
+    @pytest.mark.parametrize("bad", [-0.1, 100.1, 150, -5])
+    def test_out_of_range_raises(self, bad):
+        stats = SwitchStats()
+        stats.latencies = [1.0, 2.0]
+        with pytest.raises(ValueError):
+            stats.latency_percentile(bad)
+
+    @pytest.mark.parametrize("bad", [-0.1, 100.1])
+    def test_out_of_range_raises_even_when_empty(self, bad):
+        # Regression: the range check used to sit after the empty-list
+        # early return, so bad percentiles silently produced 0.0.
+        with pytest.raises(ValueError):
+            SwitchStats().latency_percentile(bad)
+
 
 class TestReordering:
     def test_in_order_flows_zero(self):
