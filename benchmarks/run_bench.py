@@ -119,6 +119,28 @@ def check_baseline(engine: dict, baseline: dict, max_regression: float) -> int:
     return 0 if verdict == "OK" else 1
 
 
+def bench_chaos_smoke(jobs: int) -> dict:
+    """Tiny chaos sweep (repro.harness.chaos): checks the fault path
+    stays healthy and job-count invariant, and times it."""
+    from repro.harness import ChaosSettings, run_chaos_sweep
+
+    settings = ChaosSettings(num_packets=300, seeds=(0,), intensities=(1.0,))
+    start = time.perf_counter()
+    serial = run_chaos_sweep(settings, jobs=1)
+    serial_s = time.perf_counter() - start
+    parallel = run_chaos_sweep(settings, jobs=jobs)
+    baseline = next(p for p in serial if p.kind == "none")
+    return {
+        "workload": "chaos sweep, 300 pkts, 4 kinds x intensity 1.0",
+        "serial_seconds": round(serial_s, 2),
+        "jobs_invariant": serial == parallel,
+        "baseline_throughput": round(baseline.throughput, 3),
+        "faulted_throughput_min": round(
+            min(p.throughput for p in serial if p.kind != "none"), 3
+        ),
+    }
+
+
 def bench_sweep(jobs: int) -> dict:
     with tempfile.TemporaryDirectory() as tmp:
         serial_dir = Path(tmp) / "serial"
@@ -179,13 +201,17 @@ def main() -> int:
     engine = bench_engine(rounds)
     engine_traced = bench_engine(rounds, observed=True)
     overhead = engine_traced["seconds_min"] / engine["seconds_min"] - 1
+    chaos = bench_chaos_smoke(args.jobs)
     report = {
         "engine": engine,
         "engine_traced": dict(
             engine_traced, overhead_vs_untraced=round(overhead, 4)
         ),
+        "chaos_smoke": chaos,
         "seed_baseline": SEED_BASELINE,
     }
+    if not chaos["jobs_invariant"]:
+        raise SystemExit("chaos sweep diverged between serial and parallel")
     if not args.quick:
         report["sweep"] = bench_sweep(args.jobs)
         if not report["sweep"]["results_json_identical"]:

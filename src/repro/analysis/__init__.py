@@ -1,4 +1,10 @@
-"""Analytical cross-validation: throughput bounds and queueing models."""
+"""Analytical cross-validation: throughput bounds and queueing models.
+
+Implements the §3.5.2 fundamental limits (per-array and whole-program
+throughput upper bounds from state-access skew) and an M/D/1 latency
+model, both cross-checked against simulator measurements by the tier-1
+tests — if the engines and the math disagree, one of them is wrong.
+"""
 
 from .queueing import (
     ArrayBound,

@@ -9,10 +9,13 @@ Commands
 * ``run <name>``          — simulate a program on MP5 and print stats
 * ``trace-summary <file>`` — analyze a trace written with ``run --trace``
 * ``equiv <name>``        — run the functional-equivalence check
+* ``faults <generate|validate|describe>`` — fault-schedule utilities
+* ``chaos``               — fault-injection sweep (throughput + recovery)
 * ``table1``              — regenerate Table 1
 * ``fig7 <a|b|c|d>``      — regenerate one Figure 7 panel
 * ``fig8``                — regenerate Figure 8
 * ``micro <d2|d3|d4>``    — run one §4.3.2 microbenchmark
+* ``reproduce``           — regenerate every artifact into a directory
 
 Programs given by name use the bundled catalog; a path ending in ``.c``
 or ``.domino`` is read from disk.
@@ -30,8 +33,12 @@ import numpy as np
 from .compiler import compile_program, preprocess
 from .domino import analyze, get_program, parse, program_names
 from .equivalence import check_equivalence
+from .faults import FAULT_KINDS, FaultSchedule, generate_schedule
 from .harness import (
+    ChaosSettings,
     MicrobenchSettings,
+    render_chaos,
+    run_chaos_sweep,
     run_all,
     RealAppSettings,
     SweepSettings,
@@ -117,6 +124,7 @@ def cmd_run(args) -> int:
         MetricsRegistry(window=args.metrics_window) if args.metrics else None
     )
     profiler = PhaseProfiler() if args.profile else None
+    schedule = FaultSchedule.load(args.faults) if args.faults else None
     stats, _regs = run_mp5(
         compiled,
         trace,
@@ -124,9 +132,17 @@ def cmd_run(args) -> int:
         recorder=recorder,
         metrics=metrics,
         profiler=profiler,
+        faults=schedule,
     )
     for key, value in stats.summary().items():
         print(f"{key:16s} {value}")
+    if schedule is not None and not schedule.empty:
+        print(f"\nfaults: {schedule.describe()}")
+        print(f"drops by reason: {stats.drops_by_reason or '{}'}")
+        print(
+            f"emergency remaps: {stats.emergency_remaps} "
+            f"({stats.emergency_remap_moves} indices moved)"
+        )
     if recorder is not None:
         if args.trace_format == "jsonl":
             write_jsonl(recorder.events, args.trace)
@@ -168,6 +184,54 @@ def cmd_equiv(args) -> int:
     )
     print(report.summary())
     return 0 if report.equivalent else 1
+
+
+def cmd_faults(args) -> int:
+    """``faults``: generate, validate, or describe a fault schedule."""
+    if args.action == "generate":
+        schedule = generate_schedule(
+            seed=args.seed,
+            kinds=args.kinds or None,
+            num_pipelines=args.pipelines,
+            horizon=args.horizon,
+            events=args.events,
+        )
+        if args.out:
+            schedule.save(args.out)
+            print(f"wrote {len(schedule.faults)} faults to {args.out}")
+        else:
+            import json
+
+            print(json.dumps(schedule.to_dict(), indent=2))
+        return 0
+    # validate / describe both start by loading + validating.
+    schedule = FaultSchedule.load(args.spec)
+    schedule.validate(num_pipelines=args.pipelines)
+    if args.action == "describe":
+        print(schedule.describe())
+    else:
+        print(f"{args.spec}: valid ({len(schedule.faults)} faults)")
+    return 0
+
+
+def cmd_chaos(args) -> int:
+    """``chaos``: fault-injection sweep over kinds x intensities."""
+    settings = ChaosSettings(
+        num_packets=args.packets,
+        seeds=tuple(range(args.seeds)),
+        intensities=tuple(args.intensities),
+    )
+    points = run_chaos_sweep(settings, jobs=args.jobs)
+    print(render_chaos(points))
+    if args.out:
+        import json
+        from dataclasses import asdict
+
+        Path(args.out).write_text(
+            json.dumps([asdict(p) for p in points], indent=2) + "\n"
+        )
+        print(f"\nwrote {args.out}")
+    return 0
 
 
 def cmd_table1(_args) -> int:
@@ -303,6 +367,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="time the simulator's per-tick phases and print a report",
     )
+    p.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help="inject faults from a schedule JSON (see `faults generate` "
+        "and docs/faults.md)",
+    )
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser(
@@ -321,6 +392,35 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("equiv", help="check functional equivalence")
     add_program_args(p, packets_default=2000)
     p.set_defaults(func=cmd_equiv)
+
+    p = sub.add_parser("faults", help="fault-schedule utilities")
+    fault_sub = p.add_subparsers(dest="action", required=True)
+    g = fault_sub.add_parser(
+        "generate", help="emit a random (seed-determined) schedule"
+    )
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("--pipelines", type=int, default=4)
+    g.add_argument(
+        "--horizon", type=int, default=400, help="last tick faults may end at"
+    )
+    g.add_argument("--events", type=int, default=4, help="number of faults")
+    g.add_argument(
+        "--kinds",
+        nargs="*",
+        choices=FAULT_KINDS,
+        default=None,
+        help="restrict to these fault kinds (default: all)",
+    )
+    g.add_argument("--out", metavar="PATH", default=None, help="write JSON here")
+    g.set_defaults(func=cmd_faults)
+    for action, desc in (
+        ("validate", "check a schedule JSON, exit non-zero if invalid"),
+        ("describe", "print a human summary of a schedule JSON"),
+    ):
+        v = fault_sub.add_parser(action, help=desc)
+        v.add_argument("spec", help="fault-schedule JSON file")
+        v.add_argument("--pipelines", type=int, default=4)
+        v.set_defaults(func=cmd_faults)
 
     sub.add_parser("table1", help="regenerate Table 1").set_defaults(
         func=cmd_table1
@@ -369,6 +469,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_jobs_arg(p)
     p.set_defaults(func=cmd_reproduce)
+
+    p = sub.add_parser(
+        "chaos", help="fault-injection sweep (throughput + recovery)"
+    )
+    p.add_argument("--packets", type=int, default=2000)
+    p.add_argument("--seeds", type=int, default=3)
+    p.add_argument(
+        "--intensities",
+        type=float,
+        nargs="*",
+        default=(0.25, 0.5, 1.0),
+        help="fault severities to sweep, each in (0, 1]",
+    )
+    p.add_argument(
+        "--out", metavar="PATH", default=None, help="also write points as JSON"
+    )
+    add_jobs_arg(p)
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("micro", help="run a §4.3.2 microbenchmark")
     p.add_argument("which", choices=("d2", "d3", "d4"))

@@ -1,5 +1,23 @@
-"""Functional-equivalence checking (§2.2.1)."""
+"""Functional-equivalence checking (§2.2.1).
 
-from .checker import EquivalenceReport, check_equivalence, compare_runs
+The full contract (identical register and packet state vs the logical
+single-pipeline switch) lives in :func:`check_equivalence`; the
+fault-tolerant *degraded* contract (survivor C1 + drop accounting, used
+by :mod:`repro.faults`) lives in :func:`check_degraded`.
+"""
 
-__all__ = ["EquivalenceReport", "check_equivalence", "compare_runs"]
+from .checker import (
+    DegradedReport,
+    EquivalenceReport,
+    check_degraded,
+    check_equivalence,
+    compare_runs,
+)
+
+__all__ = [
+    "DegradedReport",
+    "EquivalenceReport",
+    "check_degraded",
+    "check_equivalence",
+    "compare_runs",
+]

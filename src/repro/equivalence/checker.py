@@ -122,6 +122,123 @@ def compare_runs(
     )
 
 
+@dataclass
+class DegradedReport:
+    """Outcome of a degraded-contract check (:mod:`repro.faults`).
+
+    Under fault injection the full functional-equivalence contract is
+    unattainable — dropped packets never produce output. The degraded
+    contract instead asserts:
+
+    * **survivor order (C1)** — for every state, the *surviving* (non-
+      dropped) packets accessed it in arrival order. Packet ids are
+      assigned in arrival order, so each per-state access sequence,
+      filtered to survivors, must be ascending.
+    * **drop accounting** — every dropped packet carries a reason, and
+      the per-reason buckets sum to the drop total (no silent losses).
+    * **conservation** — offered = egressed + dropped + in flight at the
+      horizon (``unaccounted``; nonzero only when ``max_ticks`` cut the
+      run short, e.g. under a never-ending stall).
+    """
+
+    offered: int
+    egressed: int
+    dropped: int
+    unaccounted: int
+    drops_by_reason: Dict[str, int]
+    order_violations: int
+    violating_states: List[Tuple[str, Optional[int]]] = field(
+        default_factory=list
+    )
+    stats: Optional[SwitchStats] = None
+
+    @property
+    def accounting_ok(self) -> bool:
+        return (
+            sum(self.drops_by_reason.values()) == self.dropped
+            and self.unaccounted >= 0
+        )
+
+    @property
+    def contract_holds(self) -> bool:
+        return self.order_violations == 0 and self.accounting_ok
+
+    def summary(self) -> str:
+        lines = [
+            f"degraded contract : {'HOLDS' if self.contract_holds else 'VIOLATED'}",
+            f"offered           : {self.offered}",
+            f"egressed          : {self.egressed}",
+            f"dropped           : {self.dropped} {self.drops_by_reason}",
+            f"in flight at end  : {self.unaccounted}",
+            f"survivor C1       : {self.order_violations} out-of-order "
+            f"accesses across {len(self.violating_states)} states",
+        ]
+        for key in self.violating_states[:5]:
+            lines.append(f"  out of order: {key}")
+        return "\n".join(lines)
+
+    def raise_if_violated(self) -> None:
+        if not self.contract_holds:
+            raise EquivalenceError(
+                "degraded contract violated:\n" + self.summary(), report=self
+            )
+
+
+def check_degraded(
+    program: CompiledProgram,
+    trace: List[DataPacket],
+    config: Optional[MP5Config] = None,
+    faults=None,
+    max_ticks: Optional[int] = None,
+    engine: str = "fast",
+) -> DegradedReport:
+    """Run ``trace`` under a fault schedule and audit the degraded
+    contract (survivor C1 + drop accounting; see :class:`DegradedReport`).
+
+    ``engine`` selects ``"fast"`` (:class:`~repro.mp5.switch.MP5Switch`)
+    or ``"reference"`` (the dense engine) — the differential fault tests
+    run both and additionally require identical stats/registers/events.
+    """
+    from ..mp5.reference import ReferenceSwitch  # cycle-free late import
+
+    config = config or MP5Config()
+    packets = clone_packets(trace)
+    switch_cls = {"fast": MP5Switch, "reference": ReferenceSwitch}.get(engine)
+    if switch_cls is None:
+        raise EquivalenceError(f"unknown engine {engine!r}")
+    switch = switch_cls(program, config)
+    if faults is not None:
+        switch.attach_faults(faults)
+    stats = switch.run(packets, max_ticks=max_ticks, record_access_order=True)
+
+    dropped_ids = {pkt.pkt_id for pkt in packets if pkt.dropped}
+    violations = 0
+    violating: List[Tuple[str, Optional[int]]] = []
+    for key, order in stats.access_order.items():
+        high = -1
+        bad = 0
+        for pkt_id in order:
+            if pkt_id in dropped_ids:
+                continue
+            if pkt_id < high:
+                bad += 1
+            else:
+                high = pkt_id
+        if bad:
+            violations += bad
+            violating.append(key)
+    return DegradedReport(
+        offered=stats.offered,
+        egressed=stats.egressed,
+        dropped=stats.dropped,
+        unaccounted=stats.offered - stats.egressed - stats.dropped,
+        drops_by_reason=dict(stats.drops_by_reason),
+        order_violations=violations,
+        violating_states=sorted(violating),
+        stats=stats,
+    )
+
+
 def check_equivalence(
     program: CompiledProgram,
     trace: List[DataPacket],

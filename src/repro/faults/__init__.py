@@ -1,0 +1,62 @@
+"""Deterministic fault injection and graceful degradation for MP5.
+
+The paper evaluates a healthy switch; this package asks what survives
+when the mechanisms themselves fail: pipeline stalls/slowdowns (D1's
+identical pipelines stop being interchangeable), phantom-channel loss
+and late delivery (stressing D4's ordering enforcement and the §3.5.1
+`phantoms_lost` recovery path), crossbar port failures (D3 steering
+down, making a pipeline's sharded indices unreachable), and mid-run
+FIFO capacity shrinks.
+
+Two layers:
+
+* :mod:`repro.faults.schedule` — the declarative, JSON-serializable
+  :class:`FaultSchedule` (what breaks, where, when, under which
+  :class:`DegradationPolicy`);
+* :mod:`repro.faults.injector` — the per-run :class:`FaultInjector`
+  state machine both engines drive at each tick boundary.
+
+The degraded contract (checked by
+:func:`repro.equivalence.check_degraded`): C1 — per-state arrival-order
+access — still holds for every packet that is *not* dropped, and every
+drop is accounted by reason. Both engines under the same schedule
+produce identical surviving-packet state and canonical event streams
+(``tests/test_faults.py``).
+
+Usage::
+
+    from repro.faults import FaultEvent, FaultSchedule
+    from repro.mp5 import MP5Config, run_mp5
+
+    schedule = FaultSchedule(faults=[
+        FaultEvent("pipeline_stall", start=40, duration=30, pipeline=1),
+    ])
+    stats, regs = run_mp5(program, trace, MP5Config(), faults=schedule)
+    print(stats.drops_by_reason, stats.emergency_remap_moves)
+"""
+
+from .injector import FaultInjector
+from .schedule import (
+    FAULT_KINDS,
+    KIND_CROSSBAR,
+    KIND_FIFO,
+    KIND_PHANTOM,
+    KIND_STALL,
+    DegradationPolicy,
+    FaultEvent,
+    FaultSchedule,
+    generate_schedule,
+)
+
+__all__ = [
+    "DegradationPolicy",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "KIND_CROSSBAR",
+    "KIND_FIFO",
+    "KIND_PHANTOM",
+    "KIND_STALL",
+    "generate_schedule",
+]

@@ -1,0 +1,361 @@
+"""Declarative fault schedules: what breaks, where, and when.
+
+A :class:`FaultSchedule` is a validated list of :class:`FaultEvent`
+windows plus a :class:`DegradationPolicy`, serialized as JSON::
+
+    {
+      "format": "mp5-fault-schedule",
+      "version": 1,
+      "seed": 7,
+      "degradation": {"enabled": true, "drain_ticks": 4,
+                      "retry_backoff": 16, "max_retries": 8},
+      "faults": [
+        {"kind": "pipeline_stall", "start": 40, "duration": 30,
+         "pipeline": 1, "service_rate": 0.0},
+        {"kind": "phantom_channel", "start": 0, "duration": 200,
+         "loss_rate": 0.05, "delay": 3, "delay_rate": 0.1},
+        {"kind": "crossbar_fail", "start": 80, "duration": 25,
+         "pipeline": 2},
+        {"kind": "fifo_shrink", "start": 50, "duration": 60,
+         "capacity": 2}
+      ]
+    }
+
+Fault kinds (the four failure modes of §3.5.1-style analysis, extended
+to every MP5 mechanism):
+
+``pipeline_stall``
+    Pipeline ``pipeline`` services ``service_rate`` packets per tick
+    (0 = full stall, 0<r<1 = slowdown) for the window: injection at its
+    front is blocked, its in-flight packets freeze in place, and its
+    stage FIFOs stop popping.
+``phantom_channel``
+    The phantom channel (D4) toward ``pipeline``/``stage`` (``null`` =
+    any) loses each phantom with probability ``loss_rate`` or delivers
+    it ``delay`` ticks late with probability ``delay_rate``. Decisions
+    are per-packet hashes of (pkt_id, seed), so they are identical in
+    both engines regardless of evaluation order.
+``crossbar_fail``
+    The crossbar (D3) ports steering *into* ``pipeline`` go down:
+    data packets whose resolved access lives there are dropped with
+    reason ``crossbar_down``; the physically separate phantom channel
+    keeps working.
+``fifo_shrink``
+    The per-ring-buffer capacity of stage FIFOs (optionally only
+    ``pipeline``/``stage``) drops to ``capacity`` for the window, then
+    reverts — the bit-budget shrink of a partial SRAM failure.
+
+Schedules are pure data; the per-run state machine that applies them
+lives in :mod:`repro.faults.injector`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from ..errors import ConfigError
+
+SCHEDULE_FORMAT = "mp5-fault-schedule"
+SCHEDULE_VERSION = 1
+
+KIND_STALL = "pipeline_stall"
+KIND_PHANTOM = "phantom_channel"
+KIND_CROSSBAR = "crossbar_fail"
+KIND_FIFO = "fifo_shrink"
+FAULT_KINDS = (KIND_STALL, KIND_PHANTOM, KIND_CROSSBAR, KIND_FIFO)
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class FaultEvent:
+    """One fault window. Field relevance depends on ``kind`` (see the
+    module docstring); :meth:`validate` enforces the combinations."""
+
+    kind: str
+    start: int
+    duration: int
+    pipeline: Optional[int] = None
+    stage: Optional[int] = None
+    service_rate: float = 0.0  # pipeline_stall: packets serviced per tick
+    loss_rate: float = 0.0  # phantom_channel
+    delay: int = 0  # phantom_channel: late-delivery ticks
+    delay_rate: float = 0.0  # phantom_channel
+    capacity: int = 1  # fifo_shrink
+    degrade: bool = True  # stall/crossbar: trigger the emergency remap
+
+    @property
+    def end(self) -> int:
+        return self.start + self.duration
+
+    def validate(self, num_pipelines: Optional[int] = None) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{', '.join(FAULT_KINDS)}"
+            )
+        if self.start < 0:
+            raise ConfigError(f"fault start must be >= 0, got {self.start}")
+        if self.duration < 1:
+            raise ConfigError(
+                f"fault duration must be >= 1, got {self.duration}"
+            )
+        if self.kind in (KIND_STALL, KIND_CROSSBAR):
+            if self.pipeline is None:
+                raise ConfigError(f"{self.kind} needs a target pipeline")
+        if self.pipeline is not None:
+            if self.pipeline < 0 or (
+                num_pipelines is not None and self.pipeline >= num_pipelines
+            ):
+                raise ConfigError(
+                    f"fault pipeline {self.pipeline} out of range for "
+                    f"{num_pipelines} pipelines"
+                )
+        if self.kind == KIND_STALL and not 0.0 <= self.service_rate < 1.0:
+            raise ConfigError(
+                f"service_rate must be in [0, 1), got {self.service_rate}"
+            )
+        if self.kind == KIND_PHANTOM:
+            if not 0.0 <= self.loss_rate <= 1.0:
+                raise ConfigError(
+                    f"loss_rate must be in [0, 1], got {self.loss_rate}"
+                )
+            if not 0.0 <= self.delay_rate <= 1.0:
+                raise ConfigError(
+                    f"delay_rate must be in [0, 1], got {self.delay_rate}"
+                )
+            if self.delay < 0:
+                raise ConfigError(f"delay must be >= 0, got {self.delay}")
+            if self.loss_rate == 0.0 and (
+                self.delay == 0 or self.delay_rate == 0.0
+            ):
+                raise ConfigError(
+                    "phantom_channel fault is a no-op: set loss_rate > 0 "
+                    "or both delay > 0 and delay_rate > 0"
+                )
+        if self.kind == KIND_FIFO and self.capacity < 1:
+            raise ConfigError(
+                f"fifo_shrink capacity must be >= 1, got {self.capacity}"
+            )
+
+    def to_dict(self) -> Dict:
+        out: Dict = {
+            "kind": self.kind,
+            "start": self.start,
+            "duration": self.duration,
+        }
+        if self.pipeline is not None:
+            out["pipeline"] = self.pipeline
+        if self.stage is not None:
+            out["stage"] = self.stage
+        if self.kind == KIND_STALL:
+            out["service_rate"] = self.service_rate
+            out["degrade"] = self.degrade
+        elif self.kind == KIND_PHANTOM:
+            out["loss_rate"] = self.loss_rate
+            out["delay"] = self.delay
+            out["delay_rate"] = self.delay_rate
+        elif self.kind == KIND_CROSSBAR:
+            out["degrade"] = self.degrade
+        elif self.kind == KIND_FIFO:
+            out["capacity"] = self.capacity
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultEvent":
+        known = {
+            "kind", "start", "duration", "pipeline", "stage",
+            "service_rate", "loss_rate", "delay", "delay_rate",
+            "capacity", "degrade",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown fault fields: {', '.join(sorted(unknown))}"
+            )
+        return cls(**data)
+
+
+@dataclass
+class DegradationPolicy:
+    """Drain/retry/backoff protocol for the emergency remap.
+
+    When a stall or crossbar failure is detected on pipeline *p* (and the
+    event asks for degradation), the sharder waits ``drain_ticks`` for
+    in-flight packets to clear, then moves every zero-in-flight index
+    active on *p* to the least-loaded healthy pipeline. Indices still
+    carrying in-flight packets are deferred and retried every
+    ``retry_backoff`` ticks, up to ``max_retries`` attempts.
+    """
+
+    enabled: bool = True
+    drain_ticks: int = 4
+    retry_backoff: int = 16
+    max_retries: int = 8
+
+    def validate(self) -> None:
+        if self.drain_ticks < 0:
+            raise ConfigError("drain_ticks must be >= 0")
+        if self.retry_backoff < 1:
+            raise ConfigError("retry_backoff must be >= 1")
+        if self.max_retries < 1:
+            raise ConfigError("max_retries must be >= 1")
+
+    def to_dict(self) -> Dict:
+        return {
+            "enabled": self.enabled,
+            "drain_ticks": self.drain_ticks,
+            "retry_backoff": self.retry_backoff,
+            "max_retries": self.max_retries,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "DegradationPolicy":
+        known = {"enabled", "drain_ticks", "retry_backoff", "max_retries"}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown degradation fields: {', '.join(sorted(unknown))}"
+            )
+        return cls(**data)
+
+
+@dataclass
+class FaultSchedule:
+    """A validated set of fault windows plus the degradation policy."""
+
+    faults: List[FaultEvent] = field(default_factory=list)
+    degradation: DegradationPolicy = field(default_factory=DegradationPolicy)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    @property
+    def empty(self) -> bool:
+        return not self.faults
+
+    def validate(self, num_pipelines: Optional[int] = None) -> None:
+        for event in self.faults:
+            event.validate(num_pipelines)
+        self.degradation.validate()
+
+    def to_dict(self) -> Dict:
+        return {
+            "format": SCHEDULE_FORMAT,
+            "version": SCHEDULE_VERSION,
+            "seed": self.seed,
+            "degradation": self.degradation.to_dict(),
+            "faults": [event.to_dict() for event in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultSchedule":
+        if data.get("format") != SCHEDULE_FORMAT:
+            raise ConfigError(
+                f"not a fault schedule: format={data.get('format')!r} "
+                f"(expected {SCHEDULE_FORMAT!r})"
+            )
+        if data.get("version") != SCHEDULE_VERSION:
+            raise ConfigError(
+                f"unsupported fault-schedule version {data.get('version')!r}"
+            )
+        return cls(
+            faults=[FaultEvent.from_dict(f) for f in data.get("faults", [])],
+            degradation=DegradationPolicy.from_dict(
+                data.get("degradation", {})
+            ),
+            seed=int(data.get("seed", 0)),
+        )
+
+    def save(self, path: PathLike) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+    @classmethod
+    def load(cls, path: PathLike) -> "FaultSchedule":
+        try:
+            data = json.loads(Path(path).read_text())
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"invalid JSON in {path}: {exc}") from exc
+        return cls.from_dict(data)
+
+    def describe(self) -> str:
+        lines = [
+            f"{len(self.faults)} fault(s), seed {self.seed}, degradation "
+            f"{'on' if self.degradation.enabled else 'off'} "
+            f"(drain {self.degradation.drain_ticks}, backoff "
+            f"{self.degradation.retry_backoff}, retries "
+            f"{self.degradation.max_retries})"
+        ]
+        for event in self.faults:
+            where = []
+            if event.pipeline is not None:
+                where.append(f"pipe {event.pipeline}")
+            if event.stage is not None:
+                where.append(f"stage {event.stage}")
+            params = []
+            if event.kind == KIND_STALL:
+                params.append(f"rate {event.service_rate}")
+            elif event.kind == KIND_PHANTOM:
+                params.append(f"loss {event.loss_rate}")
+                if event.delay_rate:
+                    params.append(f"delay {event.delay}@{event.delay_rate}")
+            elif event.kind == KIND_FIFO:
+                params.append(f"capacity {event.capacity}")
+            lines.append(
+                f"  [{event.start:5d}, {event.end:5d}) {event.kind:15s} "
+                f"{' '.join(where) or 'all':12s} {' '.join(params)}"
+            )
+        return "\n".join(lines)
+
+
+def generate_schedule(
+    seed: int = 0,
+    kinds: Optional[List[str]] = None,
+    num_pipelines: int = 4,
+    horizon: int = 400,
+    events: int = 4,
+) -> FaultSchedule:
+    """Draw a random (but seed-reproducible) schedule of ``events`` fault
+    windows over ``[0, horizon)`` — the ``faults generate`` CLI backend."""
+    kinds = list(kinds) if kinds else list(FAULT_KINDS)
+    for kind in kinds:
+        if kind not in FAULT_KINDS:
+            raise ConfigError(f"unknown fault kind {kind!r}")
+    rng = np.random.default_rng(seed)
+    faults: List[FaultEvent] = []
+    for _ in range(events):
+        kind = kinds[int(rng.integers(0, len(kinds)))]
+        start = int(rng.integers(0, max(1, horizon // 2)))
+        duration = int(rng.integers(horizon // 20 + 1, horizon // 4 + 2))
+        pipeline = int(rng.integers(0, num_pipelines))
+        if kind == KIND_STALL:
+            rate = float(rng.choice([0.0, 0.0, 0.25, 0.5]))
+            faults.append(
+                FaultEvent(kind, start, duration, pipeline, service_rate=rate)
+            )
+        elif kind == KIND_PHANTOM:
+            faults.append(
+                FaultEvent(
+                    kind,
+                    start,
+                    duration,
+                    loss_rate=float(rng.choice([0.02, 0.05, 0.1])),
+                    delay=int(rng.integers(0, 4)),
+                    delay_rate=float(rng.choice([0.0, 0.1, 0.2])),
+                )
+            )
+        elif kind == KIND_CROSSBAR:
+            faults.append(FaultEvent(kind, start, duration, pipeline))
+        else:
+            faults.append(
+                FaultEvent(
+                    kind, start, duration, capacity=int(rng.integers(1, 4))
+                )
+            )
+    return FaultSchedule(faults=faults, seed=seed)

@@ -4,9 +4,17 @@
 * :mod:`repro.harness.sensitivity` — Figure 7a-d sweeps.
 * :mod:`repro.harness.microbench` — §4.3.2 D2/D3/D4 microbenchmarks.
 * :mod:`repro.harness.realapps` — Figure 8a-d real applications.
+* :mod:`repro.harness.chaos` — fault-injection chaos sweep.
 * :mod:`repro.harness.parallel` — process-parallel sweep execution.
 """
 
+from .chaos import (
+    ChaosPoint,
+    ChaosSettings,
+    render_chaos,
+    run_chaos_sweep,
+    schedule_for,
+)
 from .microbench import (
     D2Result,
     D3Result,
@@ -39,6 +47,8 @@ from .sensitivity import (
 from .table1 import Table1Cell, render_table1, run_table1
 
 __all__ = [
+    "ChaosPoint",
+    "ChaosSettings",
     "D2Result",
     "D3Result",
     "D4Result",
@@ -52,12 +62,15 @@ __all__ = [
     "default_jobs",
     "format_table",
     "parallel_map",
+    "render_chaos",
     "render_figure8",
     "render_microbench",
     "render_sweep",
     "render_table1",
     "run_all",
     "run_application",
+    "run_chaos_sweep",
+    "schedule_for",
     "run_d2",
     "run_d3",
     "run_d4",

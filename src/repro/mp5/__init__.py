@@ -1,5 +1,21 @@
 """MP5 core: the multi-pipelined programmable switch (architecture + runtime).
 
+The four design decisions of §3 map onto this package:
+
+* **D1** (k identical feed-forward pipelines) — the occupancy grid and
+  per-tick movement in :mod:`repro.mp5.switch` (fast sparse engine) and
+  :mod:`repro.mp5.reference` (dense executable specification).
+* **D2** (dynamically sharded register state) — the index-to-pipeline
+  map, access/in-flight counters, the Figure 6 remap heuristic, and the
+  emergency evacuation used under faults, all in
+  :mod:`repro.mp5.sharding`.
+* **D3** (inter-stage crossbars) — steering happens inline in the
+  engines; :mod:`repro.mp5.crossbar` adds the telemetry/assertion model.
+* **D4** (phantom packets + per-stage k-FIFO groups) — the
+  push/insert/pop discipline of :mod:`repro.mp5.fifo`, which enforces
+  correctness condition **C1**: every register state is accessed in
+  packet-arrival order (accounting in :mod:`repro.mp5.stats`).
+
 Public surface::
 
     from repro.mp5 import MP5Switch, MP5Config, run_mp5

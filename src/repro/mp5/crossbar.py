@@ -26,7 +26,14 @@ from ..errors import SimulationError
 
 @dataclass
 class CrossbarTelemetry:
-    """Per-boundary crossbar accounting for one simulation run."""
+    """Per-boundary crossbar accounting for one simulation run.
+
+    The explicit model of D3's k x k inter-stage crossbars: counts
+    crossings per stage boundary, asserts the one-packet-per-(input,
+    output)-per-tick constraint the hardware design relies on, and
+    reports per-boundary utilization. Attached only under
+    ``record_crossbar`` — steering itself happens inline in the engines.
+    """
 
     num_pipelines: int
     # boundary (stage index of the *destination*) -> counters

@@ -67,7 +67,18 @@ class Slot:
 
 
 class StageFifoGroup:
-    """The k ring buffers at one (pipeline, stage) input."""
+    """The k ring buffers at one (pipeline, stage) input.
+
+    The D4 queue structure (§3.2): one ring buffer per source pipeline,
+    popped as a single logical FIFO by minimum timestamp. ``push``
+    enqueues a phantom placeholder at the tail; ``insert`` lets the data
+    packet claim its phantom's position *and timestamp* in place;
+    ``pop`` returns the logical head, blocking the stage while that head
+    is still a phantom — this is what enforces C1. Also tracks a phantom
+    pkt-id high-water mark so a faulted, late-delivered phantom that
+    would invert the survivor order is detected as stale
+    (:meth:`stale_phantom`, see :mod:`repro.faults`).
+    """
 
     def __init__(self, num_pipelines: int, capacity: Optional[int] = None):
         if num_pipelines < 1:
@@ -91,6 +102,13 @@ class StageFifoGroup:
         # slot consumed), so _data never has to track consumption.
         self._total = 0
         self._data = 0
+        # Highest phantom pkt_id ever pushed. Injection is arrival-
+        # ordered, so phantom pushes normally arrive in ascending pkt_id
+        # order; a *fault-delayed* phantom (repro.faults) can show up
+        # behind a younger one — stale_phantom detects that, and the
+        # channel treats the latecomer as lost rather than let it invert
+        # the per-state service order among surviving packets (C1).
+        self._max_phantom_pkt_id = -1
 
     # ------------------------------------------------------------------
 
@@ -106,6 +124,12 @@ class StageFifoGroup:
 
     def data_occupancy(self) -> int:
         return self._data
+
+    def stale_phantom(self, pkt_id: int) -> bool:
+        """True when a phantom for ``pkt_id`` would queue behind one of a
+        younger (later-arrived) packet — delivering it late would break
+        arrival-order service."""
+        return pkt_id < self._max_phantom_pkt_id
 
     # ------------------------------------------------------------------
     # The three §3.2 operations
@@ -125,6 +149,8 @@ class StageFifoGroup:
         total = self._total = self._total + 1
         if slot.is_phantom:
             self.directory[pkt.pkt_id] = slot
+            if pkt.pkt_id > self._max_phantom_pkt_id:
+                self._max_phantom_pkt_id = pkt.pkt_id
         else:
             self._data += 1
         if total > self.peak_occupancy:
@@ -225,6 +251,10 @@ class IdealOrderBuffer:
         # Incrementally maintained (see StageFifoGroup): O(1) telemetry.
         self._total = 0
         self._data = 0
+        # Group-level high-water mark (see StageFifoGroup). Per-index
+        # queues would only need a per-key mark; the group-level check is
+        # conservative (may over-drop late phantoms) but deterministic.
+        self._max_phantom_pkt_id = -1
 
     def _stamp(self, tick: int) -> Timestamp:
         return (tick, next(_seq_counter))
@@ -239,6 +269,10 @@ class IdealOrderBuffer:
     def data_occupancy(self) -> int:
         return self._data
 
+    def stale_phantom(self, pkt_id: int) -> bool:
+        """See :meth:`StageFifoGroup.stale_phantom`."""
+        return pkt_id < self._max_phantom_pkt_id
+
     def push(
         self, pkt: Union[DataPacket, PhantomPacket], fifo_id: int, tick: int
     ) -> bool:
@@ -248,6 +282,8 @@ class IdealOrderBuffer:
         slot = Slot((tick, next(_seq_counter)), pkt)
         self.queues.setdefault(key, deque()).append(slot)
         self.directory[pkt.pkt_id] = (slot, key)
+        if pkt.pkt_id > self._max_phantom_pkt_id:
+            self._max_phantom_pkt_id = pkt.pkt_id
         self._total += 1
         self._note_occupancy()
         return True

@@ -46,7 +46,16 @@ def _slot_data_occupancy(fifo) -> int:
 
 
 class ReferenceSwitch(MP5Switch):
-    """MP5 switch with the original dense per-tick semantics."""
+    """MP5 switch with the original dense per-tick semantics.
+
+    The executable specification the fast path is verified against: it
+    rebuilds the full k x depth occupancy grid every tick and takes no
+    shortcuts (no tail teleport, no sparse worklists), so its behaviour
+    is the plain reading of the §3 tick. Differential tests assert both
+    engines produce identical :class:`~repro.mp5.stats.SwitchStats`,
+    registers, and canonical event streams on every program, config —
+    and, via ``attach_faults``, every fault schedule.
+    """
 
     def _run_resolution(self, headers, registers, env):
         """Execute the stage-0 (address resolution) program against the
@@ -149,6 +158,7 @@ class ReferenceSwitch(MP5Switch):
             obs.ingress(self.tick, pkt.pkt_id, pipe, pkt.port, pkt.flow_id)
 
         if cfg.enable_phantoms:
+            faults = self._faults
             for access in accesses:
                 phantom = PhantomPacket(
                     pkt_id=pkt.pkt_id,
@@ -168,20 +178,48 @@ class ReferenceSwitch(MP5Switch):
                         access.array,
                         access.index,
                     )
-                if cfg.phantom_latency == 0:
+                delay = cfg.phantom_latency
+                if faults is not None:
+                    lost, extra = faults.phantom_fault(
+                        pkt.pkt_id, access.pipeline, access.stage
+                    )
+                    if lost:
+                        self.stats.phantoms_lost += 1
+                        if obs is not None:
+                            obs.phantom_loss(
+                                self.tick,
+                                pkt.pkt_id,
+                                access.pipeline,
+                                access.stage,
+                                access.array,
+                            )
+                        continue
+                    delay += extra
+                if delay == 0:
                     if not self._deliver_phantom(phantom, pipe):
                         self._drop(pkt, "phantom_fifo_full")
                         self.occ[pipe][0] = None
                         return
                 else:
                     self._phantom_mail.setdefault(
-                        self.tick + cfg.phantom_latency, []
+                        self.tick + delay, []
                     ).append((phantom, pipe))
 
     def _step(self, pending: Deque[DataPacket]) -> None:
         cfg = self.config
         tick = self.tick
         obs = self.obs
+
+        # (0) Fault windows open/close at the tick boundary (same
+        # injector protocol as the fast engine).
+        faults = self._faults
+        if faults is not None:
+            faults.begin_tick(tick, self)
+            stalled = faults.stalled
+            xfail = faults.crossbar_failed
+        else:
+            stalled = None
+            xfail = None
 
         # (1) Phantom deliveries scheduled for this tick.
         for phantom, fifo_id in self._phantom_mail.pop(tick, ()):
@@ -196,10 +234,14 @@ class ReferenceSwitch(MP5Switch):
         ):
             pipe = self._choose_entry_pipe(pending[0])
             probed = 0
-            while self.occ[pipe][0] is not None and probed < cfg.num_pipelines:
+            blocked = stalled is not None and pipe in stalled
+            while (
+                self.occ[pipe][0] is not None or blocked
+            ) and probed < cfg.num_pipelines:
                 pipe = (pipe + 1) % cfg.num_pipelines
+                blocked = stalled is not None and pipe in stalled
                 probed += 1
-            if self.occ[pipe][0] is not None:
+            if self.occ[pipe][0] is not None or blocked:
                 break
             self._inject(pending.popleft(), pipe)
             self._spray_next = (pipe + 1) % cfg.num_pipelines
@@ -214,6 +256,10 @@ class ReferenceSwitch(MP5Switch):
             self.crossbar.begin_tick()
         for pipe in range(cfg.num_pipelines):
             row = self.occ[pipe]
+            if stalled is not None and pipe in stalled:
+                # Stalled pipeline: its packets freeze in place.
+                new_occ[pipe] = row[:]
+                continue
             for stage in range(self.depth):
                 pkt = row[stage]
                 if pkt is None:
@@ -228,6 +274,9 @@ class ReferenceSwitch(MP5Switch):
                     new_occ[pipe][stage + 1] = pkt
                     continue
                 dest = access.pipeline
+                if xfail is not None and dest in xfail:
+                    self._drop(pkt, "crossbar_down")
+                    continue
                 if self.crossbar is not None:
                     self.crossbar.record(pipe, dest, stage + 1)
                 if dest != pipe:
@@ -261,6 +310,8 @@ class ReferenceSwitch(MP5Switch):
 
         # (4) Pops: fill free slots of stateful stages.
         for (pipe, stage), fifo in self.fifos.items():
+            if stalled is not None and pipe in stalled:
+                continue
             slot = new_occ[pipe][stage]
             if slot is not None:
                 if cfg.starvation_threshold is not None:
@@ -282,8 +333,12 @@ class ReferenceSwitch(MP5Switch):
                 obs.fifo_block(tick, pipe, stage)
 
         # (5) Service every newly occupied slot, dense scan in
-        # (pipeline, stage) order.
+        # (pipeline, stage) order. Every occupied slot is newly occupied
+        # *except* on a stalled pipeline, whose packets did not move and
+        # must not be re-serviced (their atoms already ran).
         for pipe in range(cfg.num_pipelines):
+            if stalled is not None and pipe in stalled:
+                continue
             row = new_occ[pipe]
             for stage in range(1, self.depth):
                 pkt = row[stage]
@@ -327,19 +382,23 @@ def run_mp5_reference(
     recorder=None,
     metrics=None,
     profiler=None,
+    faults=None,
 ) -> Tuple[SwitchStats, Dict[str, List[int]]]:
     """Run a trace through the dense reference engine (see module doc).
 
     The reference emits the same lifecycle events as the fast engine
     (``recorder``), so differential tests can diff traces too; the
     profiler is accepted for interface parity but the dense ``_step``
-    is not phase-timed.
+    is not phase-timed. ``faults`` attaches a
+    :class:`repro.faults.FaultSchedule`, as in :func:`run_mp5`.
     """
     switch = ReferenceSwitch(program, config)
     if recorder is not None or metrics is not None or profiler is not None:
         switch.attach_observability(
             recorder=recorder, metrics=metrics, profiler=profiler
         )
+    if faults is not None:
+        switch.attach_faults(faults)
     stats = switch.run(
         trace, max_ticks=max_ticks, record_access_order=record_access_order
     )

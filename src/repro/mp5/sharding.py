@@ -57,7 +57,17 @@ class ShardedArray:
 
 
 class ShardingRuntime:
-    """Owns the maps and counters for every array of a program."""
+    """Owns the maps and counters for every array of a program.
+
+    The D2 runtime: per-array index-to-pipeline maps, access counters,
+    and in-flight counters. Every ``remap_period`` ticks the Figure 6
+    heuristic (or the iterated-greedy ``optimal`` variant) rebalances
+    hot indices; only indices with zero packets in flight may move, so
+    steering decisions already made stay valid (C1 is never broken by a
+    remap). Under faults the same machinery runs *emergency* remaps —
+    evacuating a failed pipeline's indices to healthy ones with
+    drain/retry/backoff (see :mod:`repro.faults`).
+    """
 
     def __init__(
         self,
@@ -222,6 +232,58 @@ class ShardingRuntime:
                 raise ConfigError(f"unknown remap algorithm {algorithm!r}")
             state.access_counts[:] = 0
         return changed
+
+    def emergency_remap(
+        self, failed: int, healthy: Sequence[int]
+    ) -> Tuple[int, int]:
+        """Evacuate pipeline ``failed``: move every shardable index active
+        there to the least-loaded pipeline in ``healthy``.
+
+        The graceful-degradation path of :mod:`repro.faults` — unlike the
+        Figure 6 heuristic this is not load balancing but evacuation, so
+        it moves *all* of the failed pipeline's indices at once. The same
+        safety rule applies: only indices with zero in-flight packets
+        move (a packet already steered toward the old location must find
+        its state there, or C1 breaks); the rest are *deferred* and the
+        caller retries after its drain/backoff. Load ties break toward
+        the lowest pipeline id and per-index loads update as indices
+        land, so the result is deterministic and both engines agree.
+
+        Non-shardable (pinned) arrays cannot be evacuated — their state
+        has no per-index location freedom — and are left in place; their
+        packets keep dropping for the fault's duration, which the drop
+        accounting surfaces.
+
+        Returns ``(moved, deferred)`` index counts.
+        """
+        targets = [p for p in sorted(set(healthy)) if p != failed]
+        moved = deferred = 0
+        if not targets:
+            return 0, 0
+        # Seed destination loads with the current epoch's access counts
+        # so evacuated hot indices spread instead of piling on one pipe.
+        loads = {p: 0 for p in targets}
+        for state in self.arrays.values():
+            if not state.shardable:
+                continue
+            per_pipe = np.zeros(self.num_pipelines, dtype=np.int64)
+            np.add.at(per_pipe, state.index_to_pipeline, state.access_counts)
+            for p in targets:
+                loads[p] += int(per_pipe[p])
+        for state in self.arrays.values():
+            if not state.shardable:
+                continue
+            on_failed = np.nonzero(state.index_to_pipeline == failed)[0]
+            for index in on_failed:
+                if state.in_flight[index] > 0:
+                    deferred += 1
+                    continue
+                dest = min(targets, key=lambda p: (loads[p], p))
+                state.index_to_pipeline[index] = dest
+                loads[dest] += int(state.access_counts[index]) + 1
+                state.moves += 1
+                moved += 1
+        return moved, deferred
 
     # ------------------------------------------------------------------
 

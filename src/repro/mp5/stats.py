@@ -23,6 +23,12 @@ class SwitchStats:
     # drops_fifo_full: the FIFO had room, the channel lost the packet.
     phantoms_lost: int = 0
     remap_moves: int = 0
+    # Fault-injection accounting (repro.faults). drops_crossbar counts
+    # packets lost to a failed crossbar port; the emergency_* counters
+    # track the degradation protocol's remap attempts/index moves.
+    drops_crossbar: int = 0
+    emergency_remaps: int = 0
+    emergency_remap_moves: int = 0
     ticks: int = 0
     max_queue_depth: int = 0
     ecn_marked: int = 0  # packets marked by the §3.4 queue-threshold scheme
@@ -38,6 +44,9 @@ class SwitchStats:
     # Per-flow egress order for reordering analysis: flow -> [pkt ids].
     flow_egress: Dict[int, List[int]] = field(default_factory=dict)
     per_stage_peak_queue: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    # Every drop bucketed by reason string (superset of the dedicated
+    # drops_* counters; the degraded equivalence contract audits it).
+    drops_by_reason: Dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Derived metrics
@@ -118,6 +127,7 @@ class SwitchStats:
             "drops_fifo_full": self.drops_fifo_full,
             "drops_no_phantom": self.drops_no_phantom,
             "drops_starvation": self.drops_starvation,
+            "drops_crossbar": self.drops_crossbar,
             "throughput": self.throughput_normalized(),
             "delivery_ratio": self.delivery_ratio,
             "wasted_slots": self.wasted_slots,
@@ -125,6 +135,7 @@ class SwitchStats:
             "phantoms": self.phantoms_generated,
             "phantoms_lost": self.phantoms_lost,
             "remap_moves": self.remap_moves,
+            "emergency_remap_moves": self.emergency_remap_moves,
             "max_queue_depth": self.max_queue_depth,
             "ticks": self.ticks,
             "mean_latency": self.mean_latency,

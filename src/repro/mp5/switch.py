@@ -69,7 +69,23 @@ TraceEntry = Union[DataPacket, Tuple[float, int, Dict[str, int]]]
 
 
 class MP5Switch:
-    """Simulates one MP5 switch running one compiled program."""
+    """Simulates one MP5 switch running one compiled program.
+
+    The cycle-level model of §3: k identical feed-forward pipelines
+    (D1), crossbar steering between consecutive stages (D3), register
+    state dynamically sharded across pipelines via the index-to-pipeline
+    map (D2), and phantom packets queued in per-stage k-FIFO groups to
+    enforce per-state arrival-order access — correctness condition C1
+    (D4). This class is the *fast sparse* engine; its optimizations are
+    differentially tested against :class:`~repro.mp5.reference.ReferenceSwitch`,
+    the dense executable specification. A fault schedule
+    (:mod:`repro.faults`) may be attached before the first tick to
+    exercise the degradation paths.
+
+    One instance simulates exactly one trace — register state and
+    statistics are cumulative, so ``run`` refuses a second call; use
+    :func:`run_mp5` to get a fresh switch per run.
+    """
 
     def __init__(self, program: CompiledProgram, config: Optional[MP5Config] = None):
         self.program = program
@@ -163,6 +179,9 @@ class MP5Switch:
         self._metrics = None  # MetricsRegistry, polled per window
         self._metrics_latency = None  # latency histogram shortcut
         self._profiler = None  # PhaseProfiler around _step's phases
+        # Fault injector (repro.faults), gated like the obs sinks: None
+        # keeps every hot path on its fault-free code.
+        self._faults = None
 
         # Plans grouped by stage for resolution-time access planning.
         self._plans_by_stage: List[Tuple[int, List]] = []
@@ -314,6 +333,26 @@ class MP5Switch:
             self._metrics = metrics
             self._register_metric_sources(metrics)
 
+    def attach_faults(self, schedule) -> None:
+        """Attach a :class:`repro.faults.FaultSchedule` to this run.
+
+        Builds the per-run :class:`~repro.faults.FaultInjector`; like
+        :meth:`attach_observability` this must happen before
+        :meth:`run`. An empty schedule is accepted and leaves the
+        engine on its fault-free paths (``self._faults`` stays None),
+        so attaching one is byte-identical to not attaching at all.
+        """
+        if self._ran:
+            raise ConfigError(
+                "attach_faults must be called before run(): fault windows "
+                "are applied at tick boundaries from the start of the run"
+            )
+        if schedule is None or schedule.empty:
+            return
+        from ..faults.injector import FaultInjector
+
+        self._faults = FaultInjector(schedule, self.config.num_pipelines)
+
     def _register_metric_sources(self, metrics) -> None:
         """Publish the switch's components into the registry as pull
         samplers: their existing cumulative counters are read once per
@@ -425,6 +464,18 @@ class MP5Switch:
         stats = self.stats
         obs = self.obs
         prof = self._profiler
+        # (0) Fault windows open/close and due emergency remaps run at
+        # the tick boundary, before any packet moves — the state the
+        # injector sees is the end of the previous tick, identical in
+        # both engines.
+        faults = self._faults
+        if faults is not None:
+            faults.begin_tick(tick, self)
+            stalled = faults.stalled
+            xfail = faults.crossbar_failed
+        else:
+            stalled = None
+            xfail = None
         if prof is not None:
             prof.begin()
 
@@ -456,11 +507,17 @@ class MP5Switch:
                 else self._spray_next
             )
             # All stage-0 slots vacate every tick, but guard anyway.
+            # A stalled pipeline (repro.faults) admits nothing at its
+            # front, exactly like an occupied slot.
             probed = 0
-            while occ[pipe][0] is not None and probed < cfg.num_pipelines:
+            blocked = stalled is not None and pipe in stalled
+            while (
+                occ[pipe][0] is not None or blocked
+            ) and probed < cfg.num_pipelines:
                 pipe = (pipe + 1) % cfg.num_pipelines
+                blocked = stalled is not None and pipe in stalled
                 probed += 1
-            if occ[pipe][0] is not None:
+            if occ[pipe][0] is not None or blocked:
                 break
             self._inject(pending.popleft(), pipe)
             self._spray_next = (pipe + 1) % cfg.num_pipelines
@@ -491,15 +548,31 @@ class MP5Switch:
         if ready:
             for pkt in ready:
                 self._egress(pkt)
-        tail_start = self._tail_start if crossbar is None else depth
+        # Tail teleport pre-schedules egress ticks, which a mid-flight
+        # stall would falsify — with faults attached every packet steps
+        # hop by hop (the fault-free equivalence of the two modes is
+        # what the differential tests prove).
+        tail_start = (
+            self._tail_start if crossbar is None and faults is None else depth
+        )
         egress_mail = self._egress_mail
         fifo_grid = self._fifo_grid
         enable_phantoms = cfg.enable_phantoms
         ecn = cfg.ecn_threshold
         through: List[Tuple[int, int]] = []
+        frozen: Optional[List[Tuple[int, int]]] = None
         for pipe in range(cfg.num_pipelines):
             stages = per_pipe[pipe]
             if not stages:
+                continue
+            if stalled is not None and pipe in stalled:
+                # The pipeline's packets freeze in place this tick: no
+                # movement, no service. They stay seated (stage >= 1 —
+                # injection at a stalled front is blocked above).
+                if frozen is None:
+                    frozen = []
+                for stage in stages:
+                    frozen.append((pipe, stage))
                 continue
             row = occ[pipe]
             for i in range(len(stages) - 1, -1, -1):
@@ -532,6 +605,12 @@ class MP5Switch:
                     through.append((pipe, nxt))
                     continue
                 dest = access.pipeline
+                if xfail is not None and dest in xfail:
+                    # The crossbar port into the destination pipeline is
+                    # down (D3 failure): the steer never happens and the
+                    # packet is lost — its phantom is expired by _drop.
+                    self._drop(pkt, "crossbar_down")
+                    continue
                 if crossbar is not None:
                     crossbar.record(pipe, dest, nxt)
                 if dest != pipe:
@@ -571,6 +650,8 @@ class MP5Switch:
         preempted: Optional[set] = None
         popped: List[Tuple[int, int]] = []
         for fifo, row, stage, key in self._fifo_scan:
+            if stalled is not None and key[0] in stalled:
+                continue  # a stalled pipeline's stages do not pop
             slot = row[stage]
             if slot is not None:
                 if starvation is not None:
@@ -623,6 +704,10 @@ class MP5Switch:
         for pipe, stage in need:
             self._service(occ[pipe][stage], stage, pipe)
         through.extend(popped)
+        if frozen is not None:
+            # Frozen packets were neither moved nor re-serviced; they
+            # re-enter the worklist where they stand.
+            through.extend(frozen)
         through.sort()
         self._seated = through
         if prof is not None:
@@ -778,7 +863,7 @@ class MP5Switch:
             tick = self.tick
             latency = cfg.phantom_latency
             stats = self.stats
-            if latency == 0 and self._fault_rng is None:
+            if latency == 0 and self._fault_rng is None and self._faults is None:
                 # Fault-free immediate delivery (the common case),
                 # _deliver_phantom inlined.
                 fifo_grid = self._fifo_grid
@@ -808,6 +893,7 @@ class MP5Switch:
                         self.occ[pipe][0] = None
                         return
                 return
+            faults = self._faults
             for access in accesses:
                 phantom = PhantomPacket(
                     pkt.pkt_id,
@@ -827,17 +913,44 @@ class MP5Switch:
                         access.array,
                         access.index,
                     )
-                if latency == 0:
+                delay = latency
+                if faults is not None:
+                    lost, extra = faults.phantom_fault(
+                        pkt.pkt_id, access.pipeline, access.stage
+                    )
+                    if lost:
+                        # Scheduled phantom-channel loss: same recovery
+                        # path as the §3.5.1 random loss — the data
+                        # packet will find no placeholder and drop.
+                        stats.phantoms_lost += 1
+                        if obs is not None:
+                            obs.phantom_loss(
+                                tick,
+                                pkt.pkt_id,
+                                access.pipeline,
+                                access.stage,
+                                access.array,
+                            )
+                        continue
+                    delay += extra
+                if delay == 0:
                     if not self._deliver_phantom(phantom, pipe):
                         self._drop(pkt, "phantom_fifo_full")
                         self.occ[pipe][0] = None
                         return
                 else:
-                    self._phantom_mail.setdefault(tick + latency, []).append(
+                    self._phantom_mail.setdefault(tick + delay, []).append(
                         (phantom, pipe)
                     )
 
     def _deliver_phantom(self, phantom: PhantomPacket, fifo_id: int) -> bool:
+        faults = self._faults
+        if faults is not None and faults.is_cancelled(phantom.pkt_id):
+            # The data packet already dropped while this phantom sat
+            # delayed in the channel; the drop-time expire_phantom missed
+            # it (it was not queued yet), so discard it here — pushing it
+            # would block the FIFO head forever.
+            return True
         if (
             self._fault_rng is not None
             and self._fault_rng.random() < self.config.phantom_loss_rate
@@ -858,6 +971,25 @@ class MP5Switch:
                 )
             return True  # generation succeeded; the channel lost it
         fifo = self._fifo_grid[phantom.pipeline][phantom.stage]
+        if (
+            faults is not None
+            and phantom.created_tick < self.tick
+            and fifo.stale_phantom(phantom.pkt_id)
+        ):
+            # Fault-delayed delivery behind a younger packet's phantom:
+            # queueing it now would invert the per-state service order
+            # among survivors (C1), so the channel counts it lost — the
+            # data packet recovers via the no_phantom drop path.
+            self.stats.phantoms_lost += 1
+            if self.obs is not None:
+                self.obs.phantom_loss(
+                    self.tick,
+                    phantom.pkt_id,
+                    phantom.pipeline,
+                    phantom.stage,
+                    phantom.array,
+                )
+            return True
         ok = fifo.push(phantom, fifo_id, self.tick)
         if not ok:
             self.stats.drops_fifo_full += 1
@@ -946,6 +1078,12 @@ class MP5Switch:
             self.obs.drop(self.tick, pkt.pkt_id, reason)
         if reason == "no_phantom":
             self.stats.drops_no_phantom += 1
+        elif reason == "crossbar_down":
+            self.stats.drops_crossbar += 1
+        reasons = self.stats.drops_by_reason
+        reasons[reason] = reasons.get(reason, 0) + 1
+        if self._faults is not None:
+            self._faults.note_dropped(pkt.pkt_id)
         # Retire this packet's outstanding phantoms so they stop blocking
         # their FIFOs, and release the in-flight counters.
         for access in pkt.accesses:
@@ -968,15 +1106,19 @@ def run_mp5(
     recorder=None,
     metrics=None,
     profiler=None,
+    faults=None,
 ) -> Tuple[SwitchStats, Dict[str, List[int]]]:
     """Convenience: run a trace through a fresh switch; returns the run
     statistics and the final register state. ``recorder``, ``metrics``
-    and ``profiler`` are optional :mod:`repro.obs` sinks."""
+    and ``profiler`` are optional :mod:`repro.obs` sinks; ``faults`` an
+    optional :class:`repro.faults.FaultSchedule`."""
     switch = MP5Switch(program, config)
     if recorder is not None or metrics is not None or profiler is not None:
         switch.attach_observability(
             recorder=recorder, metrics=metrics, profiler=profiler
         )
+    if faults is not None:
+        switch.attach_faults(faults)
     stats = switch.run(
         trace, max_ticks=max_ticks, record_access_order=record_access_order
     )

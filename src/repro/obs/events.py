@@ -27,6 +27,12 @@ ecn         the packet was ECN-marked at a congested queue (§3.4)
 remap       the background sharding remap ran; ``moves`` arrays changed
 egress      the packet left the last stage; ``latency`` in ticks
 drop        the packet was dropped; ``reason`` as in SwitchStats
+fault_start a fault window opened (:mod:`repro.faults`); ``kind`` plus
+            the targeted pipe/stage (null = switch-wide)
+fault_end   the fault window closed
+emergency_remap  the degradation protocol remapped a failed pipeline's
+            indices; ``moved``/``deferred`` counts and the ``attempt``
+            number of the drain/retry protocol
 ========== ============================================================
 """
 
@@ -47,6 +53,9 @@ EVENT_ECN = "ecn"
 EVENT_REMAP = "remap"
 EVENT_EGRESS = "egress"
 EVENT_DROP = "drop"
+EVENT_FAULT_START = "fault_start"
+EVENT_FAULT_END = "fault_end"
+EVENT_EMERGENCY_REMAP = "emergency_remap"
 
 EVENT_TYPES = (
     EVENT_INGRESS,
@@ -62,6 +71,9 @@ EVENT_TYPES = (
     EVENT_REMAP,
     EVENT_EGRESS,
     EVENT_DROP,
+    EVENT_FAULT_START,
+    EVENT_FAULT_END,
+    EVENT_EMERGENCY_REMAP,
 )
 
 

@@ -30,6 +30,9 @@ from .events import (
     EVENT_DROP,
     EVENT_ECN,
     EVENT_EGRESS,
+    EVENT_EMERGENCY_REMAP,
+    EVENT_FAULT_END,
+    EVENT_FAULT_START,
     EVENT_FIFO_BLOCK,
     EVENT_FIFO_POP,
     EVENT_FIFO_UNBLOCK,
@@ -216,6 +219,46 @@ class TraceRecorder:
     def drop(self, tick: int, pkt: int, reason: str) -> None:
         self.events.append(
             {"type": EVENT_DROP, "tick": tick, "pkt": pkt, "reason": reason}
+        )
+
+    def fault_start(
+        self, tick: int, kind: str, pipe: Optional[int], stage: Optional[int]
+    ) -> None:
+        self.events.append(
+            {
+                "type": EVENT_FAULT_START,
+                "tick": tick,
+                "kind": kind,
+                "pipe": pipe,
+                "stage": stage,
+            }
+        )
+
+    def fault_end(
+        self, tick: int, kind: str, pipe: Optional[int], stage: Optional[int]
+    ) -> None:
+        self.events.append(
+            {
+                "type": EVENT_FAULT_END,
+                "tick": tick,
+                "kind": kind,
+                "pipe": pipe,
+                "stage": stage,
+            }
+        )
+
+    def emergency_remap(
+        self, tick: int, pipe: int, moved: int, deferred: int, attempt: int
+    ) -> None:
+        self.events.append(
+            {
+                "type": EVENT_EMERGENCY_REMAP,
+                "tick": tick,
+                "pipe": pipe,
+                "moved": moved,
+                "deferred": deferred,
+                "attempt": attempt,
+            }
         )
 
     # ------------------------------------------------------------------

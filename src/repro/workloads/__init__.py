@@ -1,4 +1,12 @@
-"""Workload generation: distributions, traffic traces, synthetic programs."""
+"""Workload generation: distributions, traffic traces, synthetic programs.
+
+Everything the evaluation (§4.3) feeds the switches: line-rate and
+reference traces (the single pipeline runs at k× the MP5 clock, so its
+trace times are scaled), web-search flow sizes and bimodal datacenter
+packet sizes, uniform/skewed state-access patterns, and the
+parameterized synthetic programs behind the Figure 7 sensitivity
+sweeps.
+"""
 
 from .distributions import (
     WEB_SEARCH_CDF,

@@ -1,0 +1,116 @@
+"""Markdown link checker for intra-repo links (stdlib only).
+
+Scans the given markdown files (or README.md plus docs/ by default) for
+inline links and validates every **local** target:
+
+* relative file links must resolve to an existing file or directory;
+* ``#fragment`` parts (and bare in-page ``#anchors``) must match a
+  heading in the target file, using GitHub's slug rules (lowercase,
+  spaces to dashes, punctuation dropped, ``-N`` suffixes for
+  duplicates);
+* ``http(s)``/``mailto`` links are skipped — no network in CI.
+
+Exit status is the number of broken links. Usage::
+
+    python tools/check_links.py [FILE.md ...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+# Inline links/images: [text](target). Reference-style definitions
+# ([id]: target) are rare in this repo and intentionally out of scope.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str, seen: Dict[str, int]) -> str:
+    """GitHub's anchor algorithm: strip markup, lowercase, drop
+    punctuation, spaces to dashes, dedupe with -1, -2, ..."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # inline code
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links
+    text = re.sub(r"[*_]", "", text)  # emphasis
+    slug = re.sub(r"[^\w\- ]", "", text.lower(), flags=re.UNICODE)
+    slug = slug.replace(" ", "-")
+    count = seen.get(slug, 0)
+    seen[slug] = count + 1
+    return slug if count == 0 else f"{slug}-{count}"
+
+
+def anchors_of(path: Path, cache: Dict[Path, set]) -> set:
+    if path not in cache:
+        seen: Dict[str, int] = {}
+        slugs = set()
+        in_fence = False
+        for line in path.read_text(encoding="utf-8").splitlines():
+            if CODE_FENCE_RE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            match = HEADING_RE.match(line)
+            if match:
+                slugs.add(github_slug(match.group(1), seen))
+        cache[path] = slugs
+    return cache[path]
+
+
+def iter_links(path: Path) -> List[Tuple[int, str]]:
+    links = []
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            links.append((lineno, match.group(1)))
+    return links
+
+
+def check_file(path: Path, cache: Dict[Path, set]) -> List[str]:
+    errors = []
+    for lineno, target in iter_links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target, _, fragment = target.partition("#")
+        dest = path if not target else (path.parent / target).resolve()
+        if not dest.exists():
+            errors.append(f"{path}:{lineno}: broken link -> {target}")
+            continue
+        if fragment and dest.suffix == ".md":
+            if fragment not in anchors_of(dest, cache):
+                errors.append(
+                    f"{path}:{lineno}: missing anchor -> "
+                    f"{target or path.name}#{fragment}"
+                )
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    root = Path(__file__).resolve().parent.parent
+    if argv:
+        files = [Path(a).resolve() for a in argv]
+    else:
+        files = [root / "README.md"] + sorted((root / "docs").glob("*.md"))
+    cache: Dict[Path, set] = {}
+    errors = []
+    for path in files:
+        errors.extend(check_file(path, cache))
+    for error in errors:
+        print(error)
+    checked = sum(len(iter_links(p)) for p in files)
+    print(f"checked {checked} links in {len(files)} files: {len(errors)} broken")
+    return min(len(errors), 125)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
