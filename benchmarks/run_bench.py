@@ -19,7 +19,14 @@ hardware.
 A third measurement, **engine_traced**, re-runs the engine workload
 with a :class:`repro.obs.TraceRecorder` and metrics registry attached,
 so the observability overhead (both enabled and disabled) is tracked
-next to the raw numbers.
+next to the raw numbers. **engine_monitored** does the same with only
+the :class:`repro.obs.InvariantMonitor` attached — the cost of the
+online invariant checks.
+
+Every completed run (including ``--quick``) also appends one line to
+``benchmarks/BENCH_history.jsonl`` — git SHA, timestamp, and all
+measurements — so perf is trackable across commits; CI uploads the
+file as a workflow artifact.
 
 Usage::
 
@@ -34,13 +41,14 @@ from __future__ import annotations
 import argparse
 import json
 import statistics
+import subprocess
 import tempfile
 import time
 from pathlib import Path
 
 from repro.harness.runall import run_all
 from repro.mp5 import MP5Config, run_mp5
-from repro.obs import MetricsRegistry, TraceRecorder
+from repro.obs import InvariantMonitor, MetricsRegistry, TraceRecorder
 from repro.workloads import (
     clone_packets,
     make_sensitivity_program,
@@ -57,16 +65,20 @@ SEED_BASELINE = {
 }
 
 
-def bench_engine(rounds: int, observed: bool = False) -> dict:
+def bench_engine(
+    rounds: int, observed: bool = False, monitored: bool = False
+) -> dict:
     program = make_sensitivity_program(4, 512)
     trace = sensitivity_trace(2000, 4, 4, 512, seed=0)
     times = []
     ticks = None
     events = None
+    alerts = None
     for _ in range(rounds):
         batch = clone_packets(trace)
         recorder = TraceRecorder() if observed else None
         metrics = MetricsRegistry(window=100) if observed else None
+        monitor = InvariantMonitor() if monitored else None
         start = time.perf_counter()
         stats, _ = run_mp5(
             program,
@@ -74,12 +86,16 @@ def bench_engine(rounds: int, observed: bool = False) -> dict:
             MP5Config(num_pipelines=4),
             recorder=recorder,
             metrics=metrics,
+            monitor=monitor,
         )
         times.append(time.perf_counter() - start)
         ticks = stats.ticks
         assert stats.egressed == 2000
         if observed:
             events = len(recorder.events)
+        if monitored:
+            alerts = len(monitor.alerts)
+            assert monitor.health_report().verdict == "ok"
     best = min(times)
     median = statistics.median(times)
     report = {
@@ -98,7 +114,34 @@ def bench_engine(rounds: int, observed: bool = False) -> dict:
     }
     if observed:
         report["events"] = events
+    if monitored:
+        report["alerts"] = alerts
     return report
+
+
+def _git_sha() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=Path(__file__).resolve().parent,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def append_history(report: dict, quick: bool, path: Path) -> None:
+    """Append one line per completed run: perf over time, by commit."""
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "git_sha": _git_sha(),
+        "quick": quick,
+        **report,
+    }
+    with path.open("a") as fh:
+        fh.write(json.dumps(record) + "\n")
 
 
 def check_baseline(engine: dict, baseline: dict, max_regression: float) -> int:
@@ -191,6 +234,11 @@ def main() -> int:
         "--out",
         default=str(Path(__file__).resolve().parent / "BENCH_mp5.json"),
     )
+    parser.add_argument(
+        "--history",
+        default=str(Path(__file__).resolve().parent / "BENCH_history.jsonl"),
+        help="append-only JSONL perf log, one record per completed run",
+    )
     args = parser.parse_args()
 
     out_path = Path(args.out)
@@ -200,12 +248,17 @@ def main() -> int:
     rounds = 5 if args.quick else args.rounds
     engine = bench_engine(rounds)
     engine_traced = bench_engine(rounds, observed=True)
+    engine_monitored = bench_engine(rounds, monitored=True)
     overhead = engine_traced["seconds_min"] / engine["seconds_min"] - 1
+    monitor_overhead = engine_monitored["seconds_min"] / engine["seconds_min"] - 1
     chaos = bench_chaos_smoke(args.jobs)
     report = {
         "engine": engine,
         "engine_traced": dict(
             engine_traced, overhead_vs_untraced=round(overhead, 4)
+        ),
+        "engine_monitored": dict(
+            engine_monitored, overhead_vs_unmonitored=round(monitor_overhead, 4)
         ),
         "chaos_smoke": chaos,
         "seed_baseline": SEED_BASELINE,
@@ -217,6 +270,7 @@ def main() -> int:
         if not report["sweep"]["results_json_identical"]:
             raise SystemExit("serial and parallel results.json diverged")
         out_path.write_text(json.dumps(report, indent=2) + "\n")
+    append_history(report, args.quick, Path(args.history))
     print(json.dumps(report, indent=2))
     if args.check_baseline:
         return check_baseline(engine, stored_baseline, args.max_regression)

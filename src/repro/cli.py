@@ -8,6 +8,7 @@ Commands
 * ``tac <name|file>``     — print the three-address code
 * ``run <name>``          — simulate a program on MP5 and print stats
 * ``trace-summary <file>`` — analyze a trace written with ``run --trace``
+* ``monitor-report <file>`` — health timeline from ``run --alerts-out``
 * ``equiv <name>``        — run the functional-equivalence check
 * ``faults <generate|validate|describe>`` — fault-schedule utilities
 * ``chaos``               — fault-injection sweep (throughput + recovery)
@@ -56,15 +57,20 @@ from .harness import (
 )
 from .mp5 import MP5Config, run_mp5
 from .obs import (
+    AlertLog,
+    InvariantMonitor,
     MetricsRegistry,
     PhaseProfiler,
     TraceRecorder,
     load_trace,
+    render_alerts_section,
+    render_health_timeline,
     render_trace_summary,
     summarize_trace,
     write_chrome,
     write_jsonl,
 )
+from .obs.health import VERDICT_VIOLATED
 from .workloads import line_rate_trace
 
 
@@ -125,6 +131,12 @@ def cmd_run(args) -> int:
     )
     profiler = PhaseProfiler() if args.profile else None
     schedule = FaultSchedule.load(args.faults) if args.faults else None
+    # --alerts-out and --fail-on-violation imply the monitor.
+    monitor = (
+        InvariantMonitor()
+        if args.monitor or args.alerts_out or args.fail_on_violation
+        else None
+    )
     stats, _regs = run_mp5(
         compiled,
         trace,
@@ -133,6 +145,7 @@ def cmd_run(args) -> int:
         metrics=metrics,
         profiler=profiler,
         faults=schedule,
+        monitor=monitor,
     )
     for key, value in stats.summary().items():
         print(f"{key:16s} {value}")
@@ -158,14 +171,61 @@ def cmd_run(args) -> int:
     if profiler is not None:
         print()
         print(profiler.report())
+    if monitor is not None:
+        health = monitor.health_report()
+        print()
+        for line in health.summary_lines():
+            print(line)
+        if args.alerts_out:
+            monitor.alerts.save(
+                args.alerts_out,
+                meta={"ticks": stats.ticks, "verdict": health.verdict},
+            )
+            print(f"alerts: {len(monitor.alerts)} -> {args.alerts_out}")
+        if args.fail_on_violation and health.verdict == VERDICT_VIOLATED:
+            return 1
     return 0
 
 
 def cmd_trace_summary(args) -> int:
     """``trace-summary``: stall rankings and flow timelines from a trace."""
-    _header, events = load_trace(args.trace)
+    try:
+        _header, events = load_trace(args.trace)
+    except (ValueError, OSError) as exc:
+        print(f"trace-summary: cannot read {args.trace}: {exc}")
+        return 2
     summary = summarize_trace(events)
     print(render_trace_summary(summary, top=args.top, max_flows=args.flows))
+    if args.alerts:
+        try:
+            header, log = AlertLog.load(args.alerts)
+        except (ValueError, OSError) as exc:
+            print(f"trace-summary: cannot read alerts {args.alerts}: {exc}")
+            return 2
+        print()
+        print(render_alerts_section(header, list(log)))
+    return 0
+
+
+def cmd_monitor_report(args) -> int:
+    """``monitor-report``: render a saved alert log as a per-tick health
+    timeline (sparkline per severity plus the leading alerts)."""
+    try:
+        header, log = AlertLog.load(args.alerts)
+    except (ValueError, OSError) as exc:
+        print(f"monitor-report: cannot read {args.alerts}: {exc}")
+        return 2
+    verdict = header.get("verdict")
+    if verdict is not None:
+        print(f"verdict: {verdict}")
+    print(
+        render_health_timeline(
+            list(log),
+            ticks=header.get("ticks"),
+            width=args.width,
+            max_alerts=args.max_alerts,
+        )
+    )
     return 0
 
 
@@ -374,6 +434,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject faults from a schedule JSON (see `faults generate` "
         "and docs/faults.md)",
     )
+    p.add_argument(
+        "--monitor",
+        action="store_true",
+        help="stream online invariant checks + anomaly detection and "
+        "print the health verdict (see docs/observability.md)",
+    )
+    p.add_argument(
+        "--alerts-out",
+        metavar="PATH",
+        default=None,
+        help="save the alert log as JSONL to PATH (implies --monitor)",
+    )
+    p.add_argument(
+        "--fail-on-violation",
+        action="store_true",
+        help="exit non-zero when the health verdict is 'violated' — any "
+        "critical alert: invariant break or packet loss (implies "
+        "--monitor)",
+    )
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser(
@@ -387,7 +466,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--flows", type=int, default=5, help="flows to show timelines for"
     )
+    p.add_argument(
+        "--alerts",
+        metavar="PATH",
+        default=None,
+        help="also render an alert log saved with `run --alerts-out`",
+    )
     p.set_defaults(func=cmd_trace_summary)
+
+    p = sub.add_parser(
+        "monitor-report",
+        help="render an alert log (from `run --alerts-out`) as a health "
+        "timeline",
+    )
+    p.add_argument("alerts", help="alert-log JSONL file")
+    p.add_argument(
+        "--width", type=int, default=60, help="timeline columns (default 60)"
+    )
+    p.add_argument(
+        "--max-alerts",
+        type=int,
+        default=20,
+        help="alert rows to list under the timeline (default 20)",
+    )
+    p.set_defaults(func=cmd_monitor_report)
 
     p = sub.add_parser("equiv", help="check functional equivalence")
     add_program_args(p, packets_default=2000)

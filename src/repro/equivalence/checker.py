@@ -139,6 +139,10 @@ class DegradedReport:
     * **conservation** — offered = egressed + dropped + in flight at the
       horizon (``unaccounted``; nonzero only when ``max_ticks`` cut the
       run short, e.g. under a never-ending stall).
+    * **online invariants** — the streaming :class:`~repro.obs.monitor.
+      InvariantMonitor` rode along and reported no structural invariant
+      violations (``monitor_violations``; packet loss is excluded — drops
+      under faults are expected and audited by the buckets above).
     """
 
     offered: int
@@ -151,6 +155,9 @@ class DegradedReport:
         default_factory=list
     )
     stats: Optional[SwitchStats] = None
+    health: Optional[str] = None
+    monitor_violations: int = 0
+    monitor_breakdown: Dict[str, int] = field(default_factory=dict)
 
     @property
     def accounting_ok(self) -> bool:
@@ -161,7 +168,11 @@ class DegradedReport:
 
     @property
     def contract_holds(self) -> bool:
-        return self.order_violations == 0 and self.accounting_ok
+        return (
+            self.order_violations == 0
+            and self.accounting_ok
+            and self.monitor_violations == 0
+        )
 
     def summary(self) -> str:
         lines = [
@@ -173,6 +184,17 @@ class DegradedReport:
             f"survivor C1       : {self.order_violations} out-of-order "
             f"accesses across {len(self.violating_states)} states",
         ]
+        if self.health is not None:
+            lines.append(
+                f"online monitor    : {self.health} "
+                f"({self.monitor_violations} invariant violations"
+                + (
+                    f" {self.monitor_breakdown}"
+                    if self.monitor_breakdown
+                    else ""
+                )
+                + ")"
+            )
         for key in self.violating_states[:5]:
             lines.append(f"  out of order: {key}")
         return "\n".join(lines)
@@ -191,6 +213,7 @@ def check_degraded(
     faults=None,
     max_ticks: Optional[int] = None,
     engine: str = "fast",
+    monitor: bool = True,
 ) -> DegradedReport:
     """Run ``trace`` under a fault schedule and audit the degraded
     contract (survivor C1 + drop accounting; see :class:`DegradedReport`).
@@ -198,8 +221,13 @@ def check_degraded(
     ``engine`` selects ``"fast"`` (:class:`~repro.mp5.switch.MP5Switch`)
     or ``"reference"`` (the dense engine) — the differential fault tests
     run both and additionally require identical stats/registers/events.
+    With ``monitor`` (default) an :class:`~repro.obs.monitor.
+    InvariantMonitor` streams alongside the run and its verdict feeds
+    ``contract_holds`` — the post-hoc audit and the online checks must
+    agree.
     """
     from ..mp5.reference import ReferenceSwitch  # cycle-free late import
+    from ..obs.monitor import InvariantMonitor
 
     config = config or MP5Config()
     packets = clone_packets(trace)
@@ -209,6 +237,9 @@ def check_degraded(
     switch = switch_cls(program, config)
     if faults is not None:
         switch.attach_faults(faults)
+    live_monitor = InvariantMonitor() if monitor else None
+    if live_monitor is not None:
+        switch.attach_observability(monitor=live_monitor)
     stats = switch.run(packets, max_ticks=max_ticks, record_access_order=True)
 
     dropped_ids = {pkt.pkt_id for pkt in packets if pkt.dropped}
@@ -227,6 +258,17 @@ def check_degraded(
         if bad:
             violations += bad
             violating.append(key)
+    health = None
+    monitor_violations = 0
+    monitor_breakdown: Dict[str, int] = {}
+    if live_monitor is not None:
+        health = live_monitor.health_report().verdict
+        monitor_violations = live_monitor.invariant_violations()
+        monitor_breakdown = {
+            name: count
+            for name, count in sorted(live_monitor.violations.items())
+            if name != "lossless_delivery"
+        }
     return DegradedReport(
         offered=stats.offered,
         egressed=stats.egressed,
@@ -236,6 +278,9 @@ def check_degraded(
         order_violations=violations,
         violating_states=sorted(violating),
         stats=stats,
+        health=health,
+        monitor_violations=monitor_violations,
+        monitor_breakdown=monitor_breakdown,
     )
 
 

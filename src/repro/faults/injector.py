@@ -253,6 +253,25 @@ class FaultInjector:
                     return False, event.delay
         return False, 0
 
+    def active_windows(self) -> List[Dict]:
+        """The fault windows currently open, as evidence-ready dicts.
+
+        The invariant monitor (:mod:`repro.obs.monitor`) tags every
+        alert raised during a fault with this list, so an alert log
+        names the schedule window — kind, target, [start, end) — that
+        was active when delivery degraded. Ordered by schedule position,
+        so both engines report identical evidence."""
+        return [
+            {
+                "kind": event.kind,
+                "pipe": event.pipeline,
+                "stage": event.stage,
+                "start": event.start,
+                "end": event.end,
+            }
+            for _idx, event in sorted(self._active, key=lambda e: e[0])
+        ]
+
     def note_dropped(self, pkt_id: int) -> None:
         """A data packet dropped; any still-undelivered (delayed) phantom
         of its is void — delivering it would wedge a FIFO head forever."""

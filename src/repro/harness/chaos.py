@@ -35,6 +35,8 @@ from ..faults import (
 )
 from ..mp5.config import MP5Config
 from ..mp5.switch import run_mp5
+from ..obs.health import worst_verdict
+from ..obs.monitor import InvariantMonitor
 from ..workloads.synthetic import make_sensitivity_program, sensitivity_trace
 from .parallel import parallel_map
 from .report import format_table
@@ -74,6 +76,9 @@ class ChaosPoint:
     phantoms_lost: float
     remap_moves: float
     seeds: int
+    # Online-monitor verdicts (worst across seeds; -1 = no critical alert).
+    health: str = "ok"
+    first_violation_tick: int = -1
 
 
 def schedule_for(
@@ -127,12 +132,14 @@ def schedule_for(
     )
 
 
-def _chaos_run(task) -> Tuple[float, float, int, int, int, int]:
+def _chaos_run(task) -> Tuple[float, float, int, int, int, int, str, int]:
     """One (kind, intensity, seed) simulation.
 
     Module-level and tuple-driven so it can cross a process boundary
     (see :func:`repro.harness.sensitivity._seed_point`); the result is a
-    pure function of the task regardless of which worker runs it.
+    pure function of the task regardless of which worker runs it. An
+    :class:`InvariantMonitor` rides along and its health verdict and
+    first critical-alert tick travel back as picklable scalars.
     """
     settings, kind, intensity, seed = task
     program = make_sensitivity_program(
@@ -157,9 +164,13 @@ def _chaos_run(task) -> Tuple[float, float, int, int, int, int]:
         1, settings.num_packets // max(settings.num_pipelines, 1)
     )
     schedule = schedule_for(kind, intensity, settings)
+    monitor = InvariantMonitor()
     stats, _ = run_mp5(
-        program, trace, config, max_ticks=max_ticks, faults=schedule
+        program, trace, config, max_ticks=max_ticks, faults=schedule,
+        monitor=monitor,
     )
+    health = monitor.health_report()
+    first_tick = health.first_critical_tick
     return (
         stats.throughput_normalized(),
         stats.delivery_ratio,
@@ -167,6 +178,8 @@ def _chaos_run(task) -> Tuple[float, float, int, int, int, int]:
         stats.dropped,
         stats.phantoms_lost,
         stats.emergency_remap_moves,
+        health.verdict,
+        -1 if first_tick is None else first_tick,
     )
 
 
@@ -201,6 +214,7 @@ def run_chaos_sweep(
     points = []
     for i, (kind, intensity) in enumerate(cells):
         rows = chunk(i)
+        first_ticks = [r[7] for r in rows if r[7] >= 0]
         points.append(
             ChaosPoint(
                 kind=kind,
@@ -214,13 +228,16 @@ def run_chaos_sweep(
                 phantoms_lost=float(np.mean([r[4] for r in rows])),
                 remap_moves=float(np.mean([r[5] for r in rows])),
                 seeds=len(seeds),
+                health=worst_verdict(*[r[6] for r in rows]),
+                first_violation_tick=min(first_ticks) if first_ticks else -1,
             )
         )
     return points
 
 
 def render_chaos(points: List[ChaosPoint]) -> str:
-    """Render the sweep as a table (throughput / delivery / recovery)."""
+    """Render the sweep as a table (throughput / delivery / recovery /
+    online-monitor health)."""
     rows = [
         (
             p.kind,
@@ -230,11 +247,23 @@ def render_chaos(points: List[ChaosPoint]) -> str:
             f"{p.recovery_ticks:+.1f}",
             f"{p.drops:.1f}",
             f"{p.remap_moves:.1f}",
+            p.health,
+            "-" if p.first_violation_tick < 0 else str(p.first_violation_tick),
         )
         for p in points
     ]
     return format_table(
-        ["fault", "intensity", "throughput", "delivery", "recovery", "drops", "moves"],
+        [
+            "fault",
+            "intensity",
+            "throughput",
+            "delivery",
+            "recovery",
+            "drops",
+            "moves",
+            "health",
+            "first@",
+        ],
         rows,
         title="Chaos sweep: degradation and recovery vs fault intensity",
     )

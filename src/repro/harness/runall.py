@@ -38,16 +38,18 @@ SCALES = {
 def _observability_run(out: Path, knobs: Dict[str, object]) -> Dict[str, object]:
     """One instrumented sensitivity run: trace + metrics + stall summary.
 
-    Runs the §4.3.3 default configuration with a :class:`TraceRecorder`
-    and :class:`MetricsRegistry` attached, and writes ``trace.json``
-    (Chrome trace_event format, one lane per pipeline x stage — open in
-    Perfetto), ``trace.jsonl``, ``metrics.json``, and
-    ``trace_summary.txt`` into ``out``. Returns the artifact paths
-    relative to ``out`` (what lands in ``results.json``).
+    Runs the §4.3.3 default configuration with a :class:`TraceRecorder`,
+    :class:`MetricsRegistry`, and :class:`InvariantMonitor` attached,
+    and writes ``trace.json`` (Chrome trace_event format, one lane per
+    pipeline x stage — open in Perfetto), ``trace.jsonl``,
+    ``metrics.json``, ``alerts.jsonl``, and ``trace_summary.txt`` into
+    ``out``. Returns the artifact paths plus the health verdict relative
+    to ``out`` (what lands in ``results.json``).
     """
     from ..mp5.config import MP5Config
     from ..mp5.switch import run_mp5
     from ..obs import (
+        InvariantMonitor,
         MetricsRegistry,
         TraceRecorder,
         render_trace_summary,
@@ -72,24 +74,33 @@ def _observability_run(out: Path, knobs: Dict[str, object]) -> Dict[str, object]
     )
     recorder = TraceRecorder()
     metrics = MetricsRegistry(window=100)
-    run_mp5(
+    monitor = InvariantMonitor()
+    stats, _ = run_mp5(
         program,
         trace,
         MP5Config(num_pipelines=params["num_pipelines"]),
         recorder=recorder,
         metrics=metrics,
+        monitor=monitor,
     )
     write_chrome(recorder.events, out / "trace.json")
     write_jsonl(recorder.events, out / "trace.jsonl")
     metrics.save(out / "metrics.json")
+    health = monitor.health_report()
+    monitor.alerts.save(
+        out / "alerts.jsonl",
+        meta={"ticks": stats.ticks, "verdict": health.verdict},
+    )
     summary_text = render_trace_summary(summarize_trace(recorder.events))
     (out / "trace_summary.txt").write_text(summary_text + "\n")
     return {
         "trace": "trace.json",
         "trace_jsonl": "trace.jsonl",
         "metrics": "metrics.json",
+        "alerts": "alerts.jsonl",
         "trace_summary": "trace_summary.txt",
         "events": len(recorder.events),
+        "health": health.to_dict(),
     }
 
 

@@ -369,6 +369,8 @@ class ReferenceSwitch(MP5Switch):
 
         if self._metrics is not None:
             self._metrics.maybe_roll(tick)
+        if self._monitor is not None:
+            self._monitor.end_tick(tick, self)
 
         self.tick += 1
 
@@ -383,6 +385,7 @@ def run_mp5_reference(
     metrics=None,
     profiler=None,
     faults=None,
+    monitor=None,
 ) -> Tuple[SwitchStats, Dict[str, List[int]]]:
     """Run a trace through the dense reference engine (see module doc).
 
@@ -393,9 +396,15 @@ def run_mp5_reference(
     :class:`repro.faults.FaultSchedule`, as in :func:`run_mp5`.
     """
     switch = ReferenceSwitch(program, config)
-    if recorder is not None or metrics is not None or profiler is not None:
+    if (
+        recorder is not None
+        or metrics is not None
+        or profiler is not None
+        or monitor is not None
+    ):
         switch.attach_observability(
-            recorder=recorder, metrics=metrics, profiler=profiler
+            recorder=recorder, metrics=metrics, profiler=profiler,
+            monitor=monitor,
         )
     if faults is not None:
         switch.attach_faults(faults)

@@ -175,7 +175,9 @@ class MP5Switch:
         # Observability sinks (repro.obs). All default to None and every
         # hot-path hook hides behind a single attribute check, so a run
         # with nothing attached executes the same code it always did.
-        self.obs = None  # TraceRecorder (duck-typed emitter methods)
+        self.obs = None  # event sink (recorder/monitor, possibly teed)
+        self._recorder = None  # TraceRecorder (duck-typed emitters)
+        self._monitor = None  # InvariantMonitor, checked per tick
         self._metrics = None  # MetricsRegistry, polled per window
         self._metrics_latency = None  # latency histogram shortcut
         self._profiler = None  # PhaseProfiler around _step's phases
@@ -311,14 +313,17 @@ class MP5Switch:
     # ------------------------------------------------------------------
 
     def attach_observability(
-        self, recorder=None, metrics=None, profiler=None
+        self, recorder=None, metrics=None, profiler=None, monitor=None
     ) -> None:
         """Attach observability sinks (see :mod:`repro.obs`) to this run.
 
         ``recorder`` receives per-packet lifecycle events, ``metrics``
-        is a registry polled at window boundaries for time series, and
-        ``profiler`` times the phases of every tick. Must be called
-        before :meth:`run`; any subset may be attached.
+        is a registry polled at window boundaries for time series,
+        ``profiler`` times the phases of every tick, and ``monitor`` is
+        an :class:`~repro.obs.monitor.InvariantMonitor` checking
+        invariants online (it consumes the same event stream as the
+        recorder; with both attached the stream is teed). Must be
+        called before :meth:`run`; any subset may be attached.
         """
         if self._ran:
             raise ConfigError(
@@ -326,12 +331,24 @@ class MP5Switch:
                 "instrumentation hooks are bound at tick time"
             )
         if recorder is not None:
-            self.obs = recorder
+            self._recorder = recorder
         if profiler is not None:
             self._profiler = profiler
         if metrics is not None:
             self._metrics = metrics
             self._register_metric_sources(metrics)
+        if monitor is not None:
+            self._monitor = monitor
+            monitor.bind(self)
+        if self._recorder is not None and self._monitor is not None:
+            from ..obs.monitor import TeeEmitter
+
+            self.obs = TeeEmitter(self._recorder, self._monitor)
+        else:
+            # Explicit None test: an empty TraceRecorder is falsy (len 0).
+            self.obs = (
+                self._recorder if self._recorder is not None else self._monitor
+            )
 
     def attach_faults(self, schedule) -> None:
         """Attach a :class:`repro.faults.FaultSchedule` to this run.
@@ -353,10 +370,13 @@ class MP5Switch:
 
         self._faults = FaultInjector(schedule, self.config.num_pipelines)
 
-    def _register_metric_sources(self, metrics) -> None:
+    def _register_metric_sources(self, metrics, latency: bool = True) -> None:
         """Publish the switch's components into the registry as pull
         samplers: their existing cumulative counters are read once per
-        window, so publishing adds no per-packet cost."""
+        window, so publishing adds no per-packet cost. ``latency=False``
+        registers everything except the per-egress latency histogram
+        (used by the monitor's private registry, which must not steal
+        the hot-path histogram shortcut from an attached registry)."""
         stats = self.stats
         for name in (
             "egressed",
@@ -404,7 +424,8 @@ class MP5Switch:
                 lambda: self.crossbar.total_crossings,
                 cumulative=True,
             )
-        self._metrics_latency = metrics.histogram("latency")
+        if latency:
+            self._metrics_latency = metrics.histogram("latency")
 
     def run(
         self,
@@ -450,6 +471,10 @@ class MP5Switch:
             self._step(pending)
         if self._metrics is not None:
             self._metrics.roll(self.tick)  # close the final partial window
+        if self._monitor is not None:
+            self._monitor.end_run(
+                self.tick, self, drained=not pending and self._live == 0
+            )
         self.stats.ticks = self.tick
         return self.stats
 
@@ -744,6 +769,9 @@ class MP5Switch:
         metrics = self._metrics
         if metrics is not None:
             metrics.maybe_roll(tick)
+        monitor = self._monitor
+        if monitor is not None:
+            monitor.end_tick(tick, self)
         if prof is not None:
             prof.lap("telemetry")
             prof.end_tick()
@@ -1107,15 +1135,22 @@ def run_mp5(
     metrics=None,
     profiler=None,
     faults=None,
+    monitor=None,
 ) -> Tuple[SwitchStats, Dict[str, List[int]]]:
     """Convenience: run a trace through a fresh switch; returns the run
-    statistics and the final register state. ``recorder``, ``metrics``
-    and ``profiler`` are optional :mod:`repro.obs` sinks; ``faults`` an
-    optional :class:`repro.faults.FaultSchedule`."""
+    statistics and the final register state. ``recorder``, ``metrics``,
+    ``profiler`` and ``monitor`` are optional :mod:`repro.obs` sinks;
+    ``faults`` an optional :class:`repro.faults.FaultSchedule`."""
     switch = MP5Switch(program, config)
-    if recorder is not None or metrics is not None or profiler is not None:
+    if (
+        recorder is not None
+        or metrics is not None
+        or profiler is not None
+        or monitor is not None
+    ):
         switch.attach_observability(
-            recorder=recorder, metrics=metrics, profiler=profiler
+            recorder=recorder, metrics=metrics, profiler=profiler,
+            monitor=monitor,
         )
     if faults is not None:
         switch.attach_faults(faults)

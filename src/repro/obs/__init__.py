@@ -20,10 +20,28 @@ nothing attached, the fast path executes the same code it does today.
 See ``docs/observability.md`` for the event schema and workflows.
 """
 
+from .alerts import (
+    Alert,
+    AlertLog,
+    AnomalyDetector,
+    DetectorConfig,
+    SEVERITIES,
+)
 from .events import EVENT_TYPES, canonical_form, events_by_tick
+from .health import (
+    HealthReport,
+    VERDICTS,
+    render_health_timeline,
+    worst_verdict,
+)
 from .metrics import Counter, Gauge, MetricsRegistry, WindowedHistogram
+from .monitor import INVARIANTS, InvariantMonitor, TeeEmitter
 from .profiler import PhaseProfiler
-from .summary import render_trace_summary, summarize_trace
+from .summary import (
+    render_alerts_section,
+    render_trace_summary,
+    summarize_trace,
+)
 from .trace import (
     TraceRecorder,
     chrome_trace,
@@ -35,12 +53,22 @@ from .trace import (
 )
 
 __all__ = [
+    "Alert",
+    "AlertLog",
+    "AnomalyDetector",
     "Counter",
+    "DetectorConfig",
     "EVENT_TYPES",
     "Gauge",
+    "HealthReport",
+    "INVARIANTS",
+    "InvariantMonitor",
     "MetricsRegistry",
     "PhaseProfiler",
+    "SEVERITIES",
+    "TeeEmitter",
     "TraceRecorder",
+    "VERDICTS",
     "WindowedHistogram",
     "canonical_form",
     "chrome_trace",
@@ -48,8 +76,11 @@ __all__ = [
     "events_from_chrome",
     "load_trace",
     "read_jsonl",
+    "render_alerts_section",
+    "render_health_timeline",
     "render_trace_summary",
     "summarize_trace",
+    "worst_verdict",
     "write_chrome",
     "write_jsonl",
 ]

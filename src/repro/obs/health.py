@@ -1,0 +1,214 @@
+"""Health verdicts and the per-tick health timeline renderer.
+
+A :class:`HealthReport` folds a run's alert stream plus the monitor's
+conservation counters into one verdict:
+
+* ``ok`` — zero warnings, zero criticals (info alerts don't count),
+* ``degraded`` — the anomaly detector flagged something but no
+  invariant is known broken,
+* ``violated`` — at least one critical alert: an invariant check
+  failed or a packet was lost.
+
+:func:`render_health_timeline` draws the alert stream as a plain-text
+sparkline table (one row per severity, ticks bucketed across the run)
+— what the ``monitor-report`` CLI subcommand prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .alerts import (
+    Alert,
+    SEVERITY_CRITICAL,
+    SEVERITY_INFO,
+    SEVERITY_WARNING,
+)
+
+VERDICT_OK = "ok"
+VERDICT_DEGRADED = "degraded"
+VERDICT_VIOLATED = "violated"
+VERDICTS = (VERDICT_OK, VERDICT_DEGRADED, VERDICT_VIOLATED)
+
+# Sparkline glyphs, blank through full block.
+_SPARK = " ▁▂▃▄▅▆▇█"
+
+
+def worst_verdict(*verdicts: str) -> str:
+    """The most severe of the given verdicts (``ok`` < ``degraded`` <
+    ``violated``); unknown strings rank as ``violated``."""
+    rank = {v: i for i, v in enumerate(VERDICTS)}
+    return max(verdicts, key=lambda v: rank.get(v, len(VERDICTS)))
+
+
+@dataclass
+class HealthReport:
+    """Aggregated monitor + alert state for one run."""
+
+    verdict: str
+    ticks: int
+    alerts_total: int
+    by_severity: Dict[str, int] = field(default_factory=dict)
+    by_kind: Dict[str, int] = field(default_factory=dict)
+    violations: Dict[str, int] = field(default_factory=dict)
+    first_critical: Optional[Dict] = None
+    injected: int = 0
+    egressed: int = 0
+    dropped: int = 0
+    drained: bool = True
+
+    @classmethod
+    def from_alerts(
+        cls,
+        alerts: List[Alert],
+        ticks: int = 0,
+        violations: Optional[Dict[str, int]] = None,
+        injected: int = 0,
+        egressed: int = 0,
+        dropped: int = 0,
+        drained: bool = True,
+    ) -> "HealthReport":
+        by_severity: Dict[str, int] = {}
+        by_kind: Dict[str, int] = {}
+        first_critical: Optional[Dict] = None
+        for alert in alerts:
+            by_severity[alert.severity] = by_severity.get(alert.severity, 0) + 1
+            by_kind[alert.kind] = by_kind.get(alert.kind, 0) + 1
+            if alert.severity == SEVERITY_CRITICAL and first_critical is None:
+                first_critical = alert.to_dict()
+        if by_severity.get(SEVERITY_CRITICAL):
+            verdict = VERDICT_VIOLATED
+        elif by_severity.get(SEVERITY_WARNING):
+            verdict = VERDICT_DEGRADED
+        else:
+            verdict = VERDICT_OK
+        return cls(
+            verdict=verdict,
+            ticks=ticks,
+            alerts_total=len(alerts),
+            by_severity=by_severity,
+            by_kind=by_kind,
+            violations=dict(violations or {}),
+            first_critical=first_critical,
+            injected=injected,
+            egressed=egressed,
+            dropped=dropped,
+            drained=drained,
+        )
+
+    @property
+    def first_critical_tick(self) -> Optional[int]:
+        if self.first_critical is None:
+            return None
+        return self.first_critical["tick"]
+
+    def to_dict(self) -> Dict:
+        return {
+            "verdict": self.verdict,
+            "ticks": self.ticks,
+            "alerts_total": self.alerts_total,
+            "by_severity": self.by_severity,
+            "by_kind": self.by_kind,
+            "violations": self.violations,
+            "first_critical": self.first_critical,
+            "injected": self.injected,
+            "egressed": self.egressed,
+            "dropped": self.dropped,
+            "drained": self.drained,
+        }
+
+    def summary_lines(self) -> List[str]:
+        lines = [
+            f"health: {self.verdict}  "
+            f"({self.alerts_total} alerts over {self.ticks} ticks; "
+            f"injected={self.injected} egressed={self.egressed} "
+            f"dropped={self.dropped})"
+        ]
+        if self.by_severity:
+            parts = [
+                f"{severity}={count}"
+                for severity, count in sorted(self.by_severity.items())
+            ]
+            lines.append("  severities: " + " ".join(parts))
+        if self.violations:
+            parts = [
+                f"{name}={count}"
+                for name, count in sorted(self.violations.items())
+            ]
+            lines.append("  violations: " + " ".join(parts))
+        if self.first_critical is not None:
+            alert = self.first_critical
+            what = alert.get("invariant") or alert["kind"]
+            lines.append(
+                f"  first violation: tick {alert['tick']} — {what}: "
+                f"{alert['message']}"
+            )
+            if alert.get("evidence"):
+                lines.append(f"    evidence: {alert['evidence']}")
+        return lines
+
+
+# ----------------------------------------------------------------------
+# monitor-report rendering
+# ----------------------------------------------------------------------
+
+
+def _spark_row(counts: List[int]) -> str:
+    peak = max(counts)
+    if peak == 0:
+        return " " * len(counts)
+    top = len(_SPARK) - 1
+    out = []
+    for count in counts:
+        # Any nonzero count gets at least the lowest visible glyph.
+        level = 0 if count == 0 else max(1, round(count * top / peak))
+        out.append(_SPARK[level])
+    return "".join(out)
+
+
+def render_health_timeline(
+    alerts: List[Alert],
+    ticks: Optional[int] = None,
+    width: int = 60,
+    max_alerts: int = 20,
+) -> str:
+    """Plain-text per-tick health timeline for ``monitor-report``.
+
+    One sparkline row per severity, alert ticks bucketed into at most
+    ``width`` columns, followed by the first ``max_alerts`` alerts.
+    """
+    if ticks is None or ticks <= 0:
+        ticks = max((a.tick for a in alerts), default=0) + 1
+    width = max(1, min(width, ticks))
+    span = ticks / width
+    lines: List[str] = []
+    lines.append(
+        f"{len(alerts)} alerts over {ticks} ticks "
+        f"({span:.1f} ticks per column)"
+    )
+    for severity in (SEVERITY_CRITICAL, SEVERITY_WARNING, SEVERITY_INFO):
+        counts = [0] * width
+        total = 0
+        for alert in alerts:
+            if alert.severity != severity:
+                continue
+            bucket = min(int(alert.tick / span), width - 1)
+            counts[bucket] += 1
+            total += 1
+        lines.append(f"{severity:>8} |{_spark_row(counts)}| {total}")
+    axis = f"tick 0 .. {ticks - 1}"
+    lines.append(f"{'':>8} {axis}")
+    if alerts:
+        lines.append("")
+        lines.append(f"first {min(max_alerts, len(alerts))} alerts:")
+        header = f"  {'tick':>6}  {'severity':<8}  {'kind':<20}  message"
+        lines.append(header)
+        for alert in alerts[:max_alerts]:
+            lines.append(
+                f"  {alert.tick:>6}  {alert.severity:<8}  "
+                f"{alert.kind:<20}  {alert.message}"
+            )
+        if len(alerts) > max_alerts:
+            lines.append(f"  ... {len(alerts) - max_alerts} more")
+    return "\n".join(lines)

@@ -217,3 +217,39 @@ def render_trace_summary(
         if len(pkts) > 4:
             parts.append(f"    ... {len(pkts) - 4} more packets")
     return "\n".join(parts)
+
+
+def render_alerts_section(
+    header: Dict, alerts: Sequence, max_alerts: int = 10
+) -> str:
+    """Render a saved alert log (see :class:`repro.obs.alerts.AlertLog`)
+    as the ``Alerts`` section ``trace-summary --alerts`` appends."""
+    verdict = header.get("verdict", "?")
+    parts: List[str] = [
+        f"Alerts ({len(alerts)} recorded, verdict: {verdict})"
+    ]
+    by_severity: Dict[str, int] = {}
+    for alert in alerts:
+        by_severity[alert.severity] = by_severity.get(alert.severity, 0) + 1
+    if not alerts:
+        parts.append("  (none)")
+        return "\n".join(parts)
+    parts.append(
+        "  "
+        + " ".join(
+            f"{severity}={count}"
+            for severity, count in sorted(by_severity.items())
+        )
+    )
+    parts.append(
+        _table(
+            ("tick", "severity", "kind", "message"),
+            [
+                (alert.tick, alert.severity, alert.kind, alert.message)
+                for alert in alerts[:max_alerts]
+            ],
+        )
+    )
+    if len(alerts) > max_alerts:
+        parts.append(f"  ... {len(alerts) - max_alerts} more")
+    return "\n".join(parts)

@@ -120,3 +120,106 @@ class TestObservabilityCli:
     def test_reproduce_trace_requires_out(self, capsys):
         assert main(["reproduce", "--scale", "tiny", "--trace"]) == 2
         assert "--out" in capsys.readouterr().out
+
+    def test_trace_summary_rejects_empty_file(self, tmp_path, capsys):
+        empty = tmp_path / "empty.json"
+        empty.write_text("")
+        assert main(["trace-summary", str(empty)]) == 2
+        out = capsys.readouterr().out
+        assert "cannot read" in out
+        assert "Traceback" not in out
+
+    def test_trace_summary_rejects_truncated_file(self, tmp_path, capsys):
+        truncated = tmp_path / "truncated.jsonl"
+        truncated.write_text('{"format": "mp5-trace-events"')
+        assert main(["trace-summary", str(truncated)]) == 2
+        assert "cannot read" in capsys.readouterr().out
+
+
+class TestMonitorCli:
+    def test_run_monitor_prints_health(self, capsys):
+        code = main(
+            ["run", "heavy_hitter", "--packets", "300", "--monitor"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "health: ok" in out
+
+    def test_fail_on_violation_fault_free_passes(self, capsys):
+        code = main(
+            [
+                "run", "heavy_hitter", "--packets", "300",
+                "--fail-on-violation",
+            ]
+        )
+        assert code == 0
+        assert "health: ok" in capsys.readouterr().out
+
+    def test_fail_on_violation_crossbar_fails(self, tmp_path, capsys):
+        alerts = tmp_path / "alerts.jsonl"
+        code = main(
+            [
+                "run", "heavy_hitter", "--packets", "300",
+                "--faults", "examples/faults/crossbar.json",
+                "--alerts-out", str(alerts), "--fail-on-violation",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "health: violated" in out
+        assert "first violation: tick" in out
+        assert "crossbar" in out
+        assert alerts.exists()
+        header = json.loads(alerts.read_text().splitlines()[0])
+        assert header["verdict"] == "violated"
+
+        assert main(["monitor-report", str(alerts)]) == 0
+        report = capsys.readouterr().out
+        assert "verdict: violated" in report
+        assert "critical" in report
+
+    def test_trace_summary_alerts_section(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        alerts = tmp_path / "alerts.jsonl"
+        code = main(
+            [
+                "run", "heavy_hitter", "--packets", "300",
+                "--faults", "examples/faults/crossbar.json",
+                "--trace", str(trace), "--trace-format", "jsonl",
+                "--alerts-out", str(alerts),
+            ]
+        )
+        assert code == 0
+        code = main(
+            ["trace-summary", str(trace), "--alerts", str(alerts)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Alerts (" in out
+        assert "verdict: violated" in out
+
+    def test_monitor_report_rejects_empty_file(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["monitor-report", str(empty)]) == 2
+        out = capsys.readouterr().out
+        assert "cannot read" in out
+        assert "Traceback" not in out
+
+    def test_monitor_report_rejects_truncated_file(self, tmp_path, capsys):
+        truncated = tmp_path / "alerts.jsonl"
+        truncated.write_text('{"format": "mp5-alert-log"')
+        assert main(["monitor-report", str(truncated)]) == 2
+        assert "cannot read" in capsys.readouterr().out
+
+    def test_chaos_table_has_health_column(self, capsys):
+        code = main(
+            [
+                "chaos", "--packets", "200", "--seeds", "1",
+                "--intensities", "1.0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "health" in out
+        assert "ok" in out
