@@ -21,12 +21,19 @@ with a :class:`repro.obs.TraceRecorder` and metrics registry attached,
 so the observability overhead (both enabled and disabled) is tracked
 next to the raw numbers. **engine_monitored** does the same with only
 the :class:`repro.obs.InvariantMonitor` attached — the cost of the
-online invariant checks.
+online invariant checks. **engine_vector** times the vector (batch
+SoA) engine on the same 2000-packet workload and quotes its speedup
+over the fast engine measured in the same process; **vector_50k** is
+the vector engine on a 50000-packet stream — the workload size behind
+``reproduce --scale large``.
 
 Every completed run (including ``--quick``) also appends one line to
 ``benchmarks/BENCH_history.jsonl`` — git SHA, timestamp, and all
 measurements — so perf is trackable across commits; CI uploads the
-file as a workflow artifact.
+file as a workflow artifact. ``--check-regression`` turns that log
+into a gate: each timed measurement is compared against the most
+recent history entry for the same measurement and workload, and the
+run exits nonzero on a >``--max-slowdown`` (default 15%) slowdown.
 
 Usage::
 
@@ -47,7 +54,7 @@ import time
 from pathlib import Path
 
 from repro.harness.runall import run_all
-from repro.mp5 import MP5Config, run_mp5
+from repro.mp5 import ENGINES, MP5Config, run_mp5
 from repro.obs import InvariantMonitor, MetricsRegistry, TraceRecorder
 from repro.workloads import (
     clone_packets,
@@ -66,10 +73,15 @@ SEED_BASELINE = {
 
 
 def bench_engine(
-    rounds: int, observed: bool = False, monitored: bool = False
+    rounds: int,
+    observed: bool = False,
+    monitored: bool = False,
+    engine: str = "fast",
+    num_packets: int = 2000,
 ) -> dict:
     program = make_sensitivity_program(4, 512)
-    trace = sensitivity_trace(2000, 4, 4, 512, seed=0)
+    trace = sensitivity_trace(num_packets, 4, 4, 512, seed=0)
+    runner = ENGINES[engine]
     times = []
     ticks = None
     events = None
@@ -80,7 +92,7 @@ def bench_engine(
         metrics = MetricsRegistry(window=100) if observed else None
         monitor = InvariantMonitor() if monitored else None
         start = time.perf_counter()
-        stats, _ = run_mp5(
+        stats, _ = runner(
             program,
             batch,
             MP5Config(num_pipelines=4),
@@ -90,7 +102,7 @@ def bench_engine(
         )
         times.append(time.perf_counter() - start)
         ticks = stats.ticks
-        assert stats.egressed == 2000
+        assert stats.egressed == num_packets
         if observed:
             events = len(recorder.events)
         if monitored:
@@ -98,20 +110,25 @@ def bench_engine(
             assert monitor.health_report().verdict == "ok"
     best = min(times)
     median = statistics.median(times)
+    workload = f"sensitivity {num_packets} pkts, k=4, m=4, r=512"
+    if engine != "fast":
+        workload += f", {engine} engine"
     report = {
-        "workload": "sensitivity 2000 pkts, k=4, m=4, r=512",
+        "workload": workload,
         "rounds": rounds,
         "ticks": ticks,
         "seconds_min": round(best, 4),
         "seconds_median": round(median, 4),
         "ticks_per_sec": round(ticks / best),
-        "speedup_vs_seed_min": round(
-            SEED_BASELINE["engine_seconds_min"] / best, 2
-        ),
-        "speedup_vs_seed_median": round(
-            SEED_BASELINE["engine_seconds_median"] / median, 2
-        ),
     }
+    if num_packets == 2000:
+        # The seed baseline was measured on this exact workload only.
+        report["speedup_vs_seed_min"] = round(
+            SEED_BASELINE["engine_seconds_min"] / best, 2
+        )
+        report["speedup_vs_seed_median"] = round(
+            SEED_BASELINE["engine_seconds_median"] / median, 2
+        )
     if observed:
         report["events"] = events
     if monitored:
@@ -160,6 +177,74 @@ def check_baseline(engine: dict, baseline: dict, max_regression: float) -> int:
         f"{1 + max_regression:.0%}) -> {verdict}"
     )
     return 0 if verdict == "OK" else 1
+
+
+def load_history_latest(path: Path) -> dict:
+    """Map each timed measurement to its most recent history entry.
+
+    A history line flattens one report, so any value that is a dict with
+    ``workload`` and ``seconds_min`` keys is a timed measurement. The
+    map is keyed by ``(measurement name, workload string)`` — the
+    traced/monitored variants share a workload string with the plain
+    engine run but must never be compared against each other — and
+    later lines overwrite earlier ones.
+    """
+    latest: dict = {}
+    if not path.exists():
+        return latest
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        for key, value in record.items():
+            if (
+                isinstance(value, dict)
+                and "workload" in value
+                and "seconds_min" in value
+            ):
+                latest[(key, value["workload"])] = value
+    return latest
+
+
+def check_regression(report: dict, latest: dict, max_slowdown: float) -> int:
+    """Gate every timed measurement against its last history entry.
+
+    Unlike ``check_baseline`` (which pins the fast engine to the
+    committed BENCH_mp5.json), this compares each measurement's
+    ``seconds_min`` to the most recent ``BENCH_history.jsonl`` record
+    with the same workload string, so new measurements (e.g. the vector
+    engine) are covered from their second run onward. Returns nonzero
+    if any measurement slowed down more than ``max_slowdown``.
+    """
+    failures = []
+    compared = 0
+    for key, value in report.items():
+        if not (
+            isinstance(value, dict)
+            and "workload" in value
+            and "seconds_min" in value
+        ):
+            continue
+        prev = latest.get((key, value["workload"]))
+        if prev is None or prev["seconds_min"] <= 0:
+            continue
+        compared += 1
+        ratio = value["seconds_min"] / prev["seconds_min"]
+        verdict = "OK" if ratio <= 1 + max_slowdown else "REGRESSION"
+        print(
+            f"regression check: {key} ({value['workload']}): "
+            f"{value['seconds_min']:.4f}s vs last {prev['seconds_min']:.4f}s "
+            f"({ratio:.2%}, limit {1 + max_slowdown:.0%}) -> {verdict}"
+        )
+        if verdict != "OK":
+            failures.append(key)
+    if not compared:
+        print("regression check: no matching history entries to compare")
+    return 1 if failures else 0
 
 
 def bench_chaos_smoke(jobs: int) -> dict:
@@ -231,6 +316,20 @@ def main() -> int:
         "(default 0.10 = 10%%)",
     )
     parser.add_argument(
+        "--check-regression",
+        action="store_true",
+        help="exit 1 if any timed measurement slowed down more than "
+        "--max-slowdown vs the last BENCH_history.jsonl entry with the "
+        "same workload",
+    )
+    parser.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=0.15,
+        help="allowed fractional slowdown for --check-regression "
+        "(default 0.15 = 15%%)",
+    )
+    parser.add_argument(
         "--out",
         default=str(Path(__file__).resolve().parent / "BENCH_mp5.json"),
     )
@@ -249,6 +348,18 @@ def main() -> int:
     engine = bench_engine(rounds)
     engine_traced = bench_engine(rounds, observed=True)
     engine_monitored = bench_engine(rounds, monitored=True)
+    engine_vector = bench_engine(rounds, engine="vector")
+    # Vector speedup is quoted against the fast engine on the same
+    # workload in the same process — the number the PR gates on.
+    engine_vector["speedup_vs_fast_min"] = round(
+        engine["seconds_min"] / engine_vector["seconds_min"], 2
+    )
+    engine_vector["speedup_vs_fast_median"] = round(
+        engine["seconds_median"] / engine_vector["seconds_median"], 2
+    )
+    vector_50k = bench_engine(
+        1 if args.quick else 3, engine="vector", num_packets=50000
+    )
     overhead = engine_traced["seconds_min"] / engine["seconds_min"] - 1
     monitor_overhead = engine_monitored["seconds_min"] / engine["seconds_min"] - 1
     chaos = bench_chaos_smoke(args.jobs)
@@ -260,6 +371,8 @@ def main() -> int:
         "engine_monitored": dict(
             engine_monitored, overhead_vs_unmonitored=round(monitor_overhead, 4)
         ),
+        "engine_vector": engine_vector,
+        "vector_50k": vector_50k,
         "chaos_smoke": chaos,
         "seed_baseline": SEED_BASELINE,
     }
@@ -270,11 +383,20 @@ def main() -> int:
         if not report["sweep"]["results_json_identical"]:
             raise SystemExit("serial and parallel results.json diverged")
         out_path.write_text(json.dumps(report, indent=2) + "\n")
-    append_history(report, args.quick, Path(args.history))
+    history_path = Path(args.history)
+    # Snapshot the per-workload history *before* appending this run, so
+    # the regression gate compares against the previous run, not itself.
+    history_latest = (
+        load_history_latest(history_path) if args.check_regression else {}
+    )
+    append_history(report, args.quick, history_path)
     print(json.dumps(report, indent=2))
+    code = 0
     if args.check_baseline:
-        return check_baseline(engine, stored_baseline, args.max_regression)
-    return 0
+        code |= check_baseline(engine, stored_baseline, args.max_regression)
+    if args.check_regression:
+        code |= check_regression(report, history_latest, args.max_slowdown)
+    return code
 
 
 if __name__ == "__main__":

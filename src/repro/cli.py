@@ -55,7 +55,7 @@ from .harness import (
     sweep_register_size,
     sweep_stateful_stages,
 )
-from .mp5 import MP5Config, run_mp5
+from .mp5 import ENGINES, MP5Config, run_mp5
 from .obs import (
     AlertLog,
     InvariantMonitor,
@@ -137,7 +137,7 @@ def cmd_run(args) -> int:
         if args.monitor or args.alerts_out or args.fail_on_violation
         else None
     )
-    stats, _regs = run_mp5(
+    stats, _regs = ENGINES[args.engine](
         compiled,
         trace,
         MP5Config(num_pipelines=args.pipelines, seed=args.seed),
@@ -301,7 +301,11 @@ def cmd_table1(_args) -> int:
 
 def cmd_fig7(args) -> int:
     """``fig7``: regenerate one Figure 7 panel."""
-    settings = SweepSettings(num_packets=args.packets, seeds=tuple(range(args.seeds)))
+    settings = SweepSettings(
+        num_packets=args.packets,
+        seeds=tuple(range(args.seeds)),
+        engine=args.engine,
+    )
     sweeps = {
         "a": (sweep_pipelines, "7a"),
         "b": (sweep_stateful_stages, "7b"),
@@ -315,7 +319,9 @@ def cmd_fig7(args) -> int:
 
 def cmd_fig8(args) -> int:
     settings = RealAppSettings(
-        num_packets=args.packets, seeds=tuple(range(args.seeds))
+        num_packets=args.packets,
+        seeds=tuple(range(args.seeds)),
+        engine=args.engine,
     )
     print(render_figure8(run_figure8(settings=settings, jobs=args.jobs)))
     return 0
@@ -331,6 +337,7 @@ def cmd_reproduce(args) -> int:
         progress=lambda msg: print(f"[{msg}]"),
         jobs=args.jobs,
         observe=args.trace,
+        engine=args.engine,
     )
     if args.out is None:
         for name, text in artifacts.items():
@@ -397,6 +404,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("run", help="simulate on MP5 and print statistics")
     add_program_args(p)
+    p.add_argument(
+        "--engine",
+        choices=sorted(ENGINES),
+        default="fast",
+        help="simulation engine: dense = executable specification, "
+        "fast = sparse worklist (default), vector = batch SoA engine "
+        "(falls back to fast when faults/observability are attached; "
+        "see docs/simulator.md)",
+    )
     p.add_argument(
         "--trace",
         metavar="PATH",
@@ -545,24 +561,47 @@ def build_parser() -> argparse.ArgumentParser:
             "0 = one per CPU; results are identical at any job count",
         )
 
+    def add_engine_arg(p):
+        p.add_argument(
+            "--engine",
+            choices=sorted(ENGINES),
+            default="fast",
+            help="simulation engine (results are identical for every "
+            "engine; vector is the batch fast path)",
+        )
+
     p = sub.add_parser("fig7", help="regenerate a Figure 7 panel")
     p.add_argument("panel", choices=("a", "b", "c", "d"))
     p.add_argument("--packets", type=int, default=4000)
     p.add_argument("--seeds", type=int, default=2)
     add_jobs_arg(p)
+    add_engine_arg(p)
     p.set_defaults(func=cmd_fig7)
 
     p = sub.add_parser("fig8", help="regenerate Figure 8")
     p.add_argument("--packets", type=int, default=4000)
     p.add_argument("--seeds", type=int, default=2)
     add_jobs_arg(p)
+    add_engine_arg(p)
     p.set_defaults(func=cmd_fig8)
 
     p = sub.add_parser(
         "reproduce", help="regenerate every table/figure into a directory"
     )
     p.add_argument("--out", default=None, help="output directory")
-    p.add_argument("--scale", choices=("tiny", "small", "full"), default="full")
+    p.add_argument(
+        "--scale",
+        choices=("tiny", "small", "full", "large"),
+        default="full",
+    )
+    p.add_argument(
+        "--engine",
+        choices=sorted(ENGINES),
+        default=None,
+        help="engine for the Figure 7/8 simulations (default: the "
+        "scale's preference — vector at --scale large, else fast); "
+        "results are identical for every engine",
+    )
     p.add_argument(
         "--trace",
         action="store_true",

@@ -1,0 +1,355 @@
+"""TAC-to-NumPy compilation for the batch (vector) engine.
+
+:mod:`repro.compiler.jit` lowers a stage's instruction list to one
+Python function over scalar packet state; this module lowers the same
+list to one function over *columns* — structure-of-arrays packet state
+where every header field and every PHV temp is a contiguous ``int64``
+array indexed by packet row. A kernel invocation executes the stage for
+a whole batch of packets at once:
+
+    kernel.fn(H, registers, E, rows, acc=None)
+
+* ``H``    — dict field name -> int64[N] (all packets; raw header
+  values, wrapped on read exactly like the scalar engines);
+* ``registers`` — dict array name -> int64 NumPy array (shared state);
+* ``E``    — dict temp name -> int64[N] (the PHV columns);
+* ``rows`` — int64 index array selecting the packets to process;
+* ``acc``  — optional dict array name -> bool[len(rows)]; a lane is set
+  when the packet actually executed a register access on that array
+  (i.e. its guard evaluated true), which is what the wasted-slot
+  accounting for conservative phantoms needs.
+
+Semantics are bit-identical to the scalar JIT / interpreter: 32-bit
+two's-complement wrap on arithmetic, C-style truncating division and
+modulo, shift counts masked to 5 bits, guarded register reads producing
+0 on a false guard, raw (unwrapped) register and header stores.
+Builtin calls (``hash2`` etc.) fall back to a per-row Python loop —
+they are rare and arbitrary Python.
+
+The caller is responsible for ordering: register read-modify-write
+chains are only correct when no two rows in one invocation touch the
+same register slot (the vector engine partitions batches into such
+"waves"; see :mod:`repro.mp5.vector`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..domino.builtins import BUILTINS
+from ..errors import CompilerError
+from .jit import _wrapped
+from .tac import Const, OpKind, TacInstr, Temp, _to_signed32
+
+_counter = itertools.count()
+
+_WRAPPED_BINOPS = {"+": "+", "-": "-", "*": "*", "&": "&", "|": "|", "^": "^"}
+_COMPARISONS = {"==", "!=", "<", "<=", ">", ">="}
+
+
+def _truthy(x):
+    return np.asarray(x) != 0
+
+
+def _maskn(g, n: int) -> np.ndarray:
+    """Broadcast a guard value to a bool[n] lane mask."""
+    m = np.asarray(g) != 0
+    if m.ndim == 0:
+        return np.full(n, bool(m)) if n else np.zeros(0, dtype=bool)
+    return m
+
+
+def _divv(a, b):
+    """C-style truncating division, 0 on division by zero, wrapped."""
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    bb = np.where(b == 0, 1, b)
+    q = np.abs(a) // np.abs(bb)
+    q = np.where((a < 0) != (bb < 0), -q, q)
+    return np.where(b == 0, 0, ((q + 2147483648) & 4294967295) - 2147483648)
+
+
+def _modv(a, b):
+    """``a - b * trunc(a / b)``, 0 on division by zero, wrapped."""
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    bb = np.where(b == 0, 1, b)
+    q = np.abs(a) // np.abs(bb)
+    q = np.where((a < 0) != (bb < 0), -q, q)
+    r = a - bb * q
+    return np.where(b == 0, 0, ((r + 2147483648) & 4294967295) - 2147483648)
+
+
+def _callv(fn, args: Tuple, n: int) -> np.ndarray:
+    """Per-row builtin call; args cast to Python ints so arbitrary-
+    precision builtin arithmetic (hash mixing) cannot overflow int64."""
+    cols = [np.broadcast_to(np.asarray(a, dtype=np.int64), (n,)) for a in args]
+    out = np.empty(n, dtype=np.int64)
+    for i in range(n):
+        out[i] = _to_signed32(fn(*(int(c[i]) for c in cols)))
+    return out
+
+
+def _regset(arr, idx, val, mask=None) -> None:
+    """Masked scatter into a register column or header column."""
+    if mask is None:
+        if np.ndim(idx) == 0 and np.ndim(val) != 0:
+            # Constant index: every row writes the same slot, last wins.
+            arr[idx] = val[-1]
+        else:
+            arr[idx] = val
+    else:
+        idx = np.broadcast_to(np.asarray(idx), mask.shape)
+        val = np.broadcast_to(np.asarray(val), mask.shape)
+        arr[idx[mask]] = val[mask]
+
+
+def _acc_set(acc, reg: str) -> None:
+    if acc is not None:
+        lane = acc.get(reg)
+        if lane is not None:
+            lane[:] = True
+
+
+def _acc_or(acc, reg: str, mask) -> None:
+    if acc is not None:
+        lane = acc.get(reg)
+        if lane is not None:
+            lane |= np.broadcast_to(mask, lane.shape)
+
+
+@dataclass(frozen=True)
+class VectorKernel:
+    """One compiled stage plus the metadata the engine plans with."""
+
+    fn: Callable
+    fields_read: frozenset
+    fields_written: frozenset
+    temps_in: Tuple[str, ...]  # loaded from E before the stage
+    temps_out: Tuple[str, ...]  # stored to E after the stage
+    stateful: Tuple[TacInstr, ...]  # REG_READ/REG_WRITE, program order
+    source: str
+
+
+def _var(temp: Temp, names: Dict[Temp, str]) -> str:
+    name = names.get(temp)
+    if name is None:
+        name = f"v{len(names)}"
+        names[temp] = name
+    return name
+
+
+def _operand(op, names: Dict[Temp, str]) -> str:
+    if isinstance(op, Const):
+        return repr(op.value)
+    return _var(op, names)
+
+
+def _emit(instr: TacInstr, names: Dict[Temp, str], lines: List[str]) -> None:
+    kind = instr.kind
+    pad = "    "
+    if kind is OpKind.READ_FIELD:
+        lines.append(
+            f"{pad}{_var(instr.dest, names)} = "
+            f"{_wrapped(f'H[{instr.field_name!r}][rows]')}"
+        )
+        return
+    if kind is OpKind.WRITE_FIELD:
+        value = _operand(instr.args[0], names)
+        if instr.guard is None:
+            lines.append(f"{pad}H[{instr.field_name!r}][rows] = {value}")
+        else:
+            g = _operand(instr.guard, names)
+            lines.append(f"{pad}_m = _maskn({g}, _n)")
+            lines.append(
+                f"{pad}_regset(H[{instr.field_name!r}], rows, {value}, _m)"
+            )
+        return
+    if kind is OpKind.CONST:
+        if not isinstance(instr.args[0], Const):
+            raise CompilerError("vjit: CONST with non-constant operand")
+        lines.append(
+            f"{pad}{_var(instr.dest, names)} = "
+            f"{_to_signed32(instr.args[0].value)!r}"
+        )
+        return
+    if kind is OpKind.UNARY:
+        a = _operand(instr.args[0], names)
+        dest = _var(instr.dest, names)
+        if instr.op == "-":
+            lines.append(f"{pad}{dest} = {_wrapped(f'-({a})')}")
+            return
+        if instr.op == "!":
+            lines.append(f"{pad}{dest} = _np.where(_truthy({a}), 0, 1)")
+            return
+        raise CompilerError(f"vjit: unknown unary op {instr.op!r}")
+    if kind is OpKind.BINARY:
+        _emit_binary(instr, names, lines)
+        return
+    if kind is OpKind.CALL:
+        args = ", ".join(_operand(a, names) for a in instr.args)
+        lines.append(
+            f"{pad}{_var(instr.dest, names)} = "
+            f"_callv(_builtins[{instr.op!r}], ({args},), _n)"
+        )
+        return
+    if kind is OpKind.SELECT:
+        g = _operand(instr.args[0], names)
+        a = _operand(instr.args[1], names)
+        b = _operand(instr.args[2], names)
+        lines.append(
+            f"{pad}{_var(instr.dest, names)} = "
+            f"_np.where(_truthy({g}), {a}, {b})"
+        )
+        return
+    if kind is OpKind.REG_READ:
+        dest = _var(instr.dest, names)
+        idx = _operand(instr.args[0], names)
+        lines.append(f"{pad}_a = registers[{instr.reg!r}]")
+        lines.append(f"{pad}_i = ({idx}) % _a.shape[0]")
+        if instr.guard is None:
+            lines.append(f"{pad}{dest} = _a[_i]")
+            lines.append(f"{pad}_acc_set(acc, {instr.reg!r})")
+        else:
+            g = _operand(instr.guard, names)
+            lines.append(f"{pad}_m = _maskn({g}, _n)")
+            lines.append(f"{pad}{dest} = _np.where(_m, _a[_i], 0)")
+            lines.append(f"{pad}_acc_or(acc, {instr.reg!r}, _m)")
+        return
+    if kind is OpKind.REG_WRITE:
+        idx = _operand(instr.args[0], names)
+        value = _operand(instr.args[1], names)
+        lines.append(f"{pad}_a = registers[{instr.reg!r}]")
+        lines.append(f"{pad}_i = ({idx}) % _a.shape[0]")
+        if instr.guard is None:
+            lines.append(f"{pad}_regset(_a, _i, {value})")
+            lines.append(f"{pad}_acc_set(acc, {instr.reg!r})")
+        else:
+            g = _operand(instr.guard, names)
+            lines.append(f"{pad}_m = _maskn({g}, _n)")
+            lines.append(f"{pad}_regset(_a, _i, {value}, _m)")
+            lines.append(f"{pad}_acc_or(acc, {instr.reg!r}, _m)")
+        return
+    raise CompilerError(f"vjit: unknown instruction kind {kind}")
+
+
+def _emit_binary(
+    instr: TacInstr, names: Dict[Temp, str], lines: List[str]
+) -> None:
+    a = _operand(instr.args[0], names)
+    b = _operand(instr.args[1], names)
+    dest = _var(instr.dest, names)
+    op = instr.op
+    pad = "    "
+    if op in _WRAPPED_BINOPS:
+        lines.append(
+            f"{pad}{dest} = "
+            f"{_wrapped(f'({a}) {_WRAPPED_BINOPS[op]} ({b})')}"
+        )
+        return
+    if op in _COMPARISONS:
+        lines.append(f"{pad}{dest} = _np.where(({a}) {op} ({b}), 1, 0)")
+        return
+    if op == "/":
+        lines.append(f"{pad}{dest} = _divv({a}, {b})")
+        return
+    if op == "%":
+        lines.append(f"{pad}{dest} = _modv({a}, {b})")
+        return
+    if op == "&&":
+        lines.append(
+            f"{pad}{dest} = _np.where(_truthy({a}) & _truthy({b}), 1, 0)"
+        )
+        return
+    if op == "||":
+        lines.append(
+            f"{pad}{dest} = _np.where(_truthy({a}) | _truthy({b}), 1, 0)"
+        )
+        return
+    if op == "<<":
+        lines.append(
+            f"{pad}{dest} = "
+            f"{_wrapped(f'_i64({a}) << (_i64({b}) & 31)')}"
+        )
+        return
+    if op == ">>":
+        lines.append(
+            f"{pad}{dest} = "
+            f"{_wrapped(f'(_i64({a}) & 4294967295) >> (_i64({b}) & 31)')}"
+        )
+        return
+    raise CompilerError(f"vjit: unknown binary op {op!r}")
+
+
+def _i64(x):
+    return np.asarray(x, dtype=np.int64)
+
+
+def compile_vector_stage(
+    instrs: Sequence[TacInstr], name: str = "stage"
+) -> Optional[VectorKernel]:
+    """Compile one stage's instruction list to a batch kernel."""
+    if not instrs:
+        return None
+    names: Dict[Temp, str] = {}
+    defined: Set[Temp] = set()
+    used_before_def: List[Temp] = []
+    fields_read: Set[str] = set()
+    fields_written: Set[str] = set()
+    stateful: List[TacInstr] = []
+    for instr in instrs:
+        for temp in instr.uses():
+            if temp not in defined and temp not in used_before_def:
+                used_before_def.append(temp)
+        dest = instr.defines()
+        if dest is not None:
+            defined.add(dest)
+        if instr.kind is OpKind.READ_FIELD:
+            fields_read.add(instr.field_name)
+        elif instr.kind is OpKind.WRITE_FIELD:
+            fields_written.add(instr.field_name)
+        if instr.is_stateful:
+            stateful.append(instr)
+
+    lines: List[str] = [
+        f"def _{name}(H, registers, E, rows, acc=None):",
+        "    _n = rows.shape[0]",
+    ]
+    for temp in used_before_def:
+        lines.append(f"    {_var(temp, names)} = E[{temp.name!r}][rows]")
+    for instr in instrs:
+        _emit(instr, names, lines)
+    temps_out = sorted(defined, key=lambda t: t.name)
+    for temp in temps_out:
+        lines.append(f"    E[{temp.name!r}][rows] = {_var(temp, names)}")
+
+    source = "\n".join(lines)
+    scope = {
+        "_np": np,
+        "_builtins": BUILTINS,
+        "_truthy": _truthy,
+        "_maskn": _maskn,
+        "_divv": _divv,
+        "_modv": _modv,
+        "_callv": _callv,
+        "_regset": _regset,
+        "_acc_set": _acc_set,
+        "_acc_or": _acc_or,
+        "_i64": _i64,
+    }
+    exec(compile(source, f"<vjit:{name}:{next(_counter)}>", "exec"), scope)
+    fn = scope[f"_{name}"]
+    fn.__doc__ = source
+    return VectorKernel(
+        fn=fn,
+        fields_read=frozenset(fields_read),
+        fields_written=frozenset(fields_written),
+        temps_in=tuple(t.name for t in used_before_def),
+        temps_out=tuple(t.name for t in temps_out),
+        stateful=tuple(stateful),
+        source=source,
+    )

@@ -25,7 +25,12 @@ Determinism contract for task functions:
 
 If a pool cannot be created or breaks mid-run (sandboxed environments
 forbidding ``fork``, worker OOM-kills), the sweep transparently falls
-back to the serial path rather than failing the reproduction run.
+back to the serial path rather than failing the reproduction run. A
+pool that never managed to run anything marks the environment as
+pool-hostile, so a multi-sweep reproduction pays the doomed spawn
+attempt once, not once per figure panel; a pool that breaks after
+having delivered results is assumed transient and re-created for the
+next sweep (``shutdown_pool`` resets both states).
 """
 
 from __future__ import annotations
@@ -44,6 +49,15 @@ R = TypeVar("R")
 # not once per figure panel.
 _pool: Optional[ProcessPoolExecutor] = None
 _pool_jobs: int = 0
+# True once the cached pool has completed a map: a failure on a proven
+# pool is transient (worker OOM-kill) and worth retrying next sweep; a
+# failure before any success means the environment cannot spawn
+# workers at all, and retrying would pay the doomed spawn attempt once
+# per sweep family.
+_pool_proven: bool = False
+# Memoized "this environment cannot run a pool": later sweep families
+# skip straight to the serial path. Cleared by shutdown_pool().
+_pool_unavailable: bool = False
 
 
 def default_jobs() -> int:
@@ -63,27 +77,42 @@ def resolve_jobs(jobs: Optional[int]) -> int:
 
 
 def _get_pool(jobs: int) -> ProcessPoolExecutor:
-    global _pool, _pool_jobs
+    global _pool, _pool_jobs, _pool_proven
     if _pool is not None and _pool_jobs != jobs:
         _pool.shutdown(wait=False)
         _pool = None
     if _pool is None:
         _pool = ProcessPoolExecutor(max_workers=jobs)
         _pool_jobs = jobs
+        _pool_proven = False
     return _pool
 
 
 def shutdown_pool() -> None:
-    """Tear down the cached worker pool (idempotent; re-created lazily)."""
-    global _pool
+    """Tear down the cached worker pool (idempotent; re-created lazily).
+
+    Also clears the memoized pool-unavailable verdict, so a caller that
+    knows the environment changed can force a fresh spawn attempt.
+    """
+    global _pool, _pool_proven, _pool_unavailable
     if _pool is not None:
         _pool.shutdown(wait=True)
         _pool = None
+    _pool_proven = False
+    _pool_unavailable = False
 
 
 def _discard_pool() -> None:
-    """Drop a broken pool without waiting on its (dead) workers."""
-    global _pool
+    """Drop a broken pool without waiting on its (dead) workers.
+
+    A pool that broke before ever finishing a map means the environment
+    cannot spawn workers (sandbox forbidding ``fork``); memoize that so
+    subsequent sweep families go straight to the serial path instead of
+    repeating the doomed spawn attempt once per family.
+    """
+    global _pool, _pool_unavailable
+    if not _pool_proven:
+        _pool_unavailable = True
     if _pool is not None:
         _pool.shutdown(wait=False)
         _pool = None
@@ -105,16 +134,19 @@ def parallel_map(
     task list serially — correct because tasks are pure functions of
     their arguments.
     """
+    global _pool_proven
     tasks = list(tasks)
     jobs = resolve_jobs(jobs)
-    if jobs <= 1 or len(tasks) <= 1:
+    if jobs <= 1 or len(tasks) <= 1 or _pool_unavailable:
         return [fn(task) for task in tasks]
     # Chunk so each worker round-trip amortizes pickling over several
     # tasks; cap at 4 waves per worker to keep the tail balanced.
     chunksize = max(1, len(tasks) // (jobs * 4))
     try:
         pool = _get_pool(jobs)
-        return list(pool.map(fn, tasks, chunksize=chunksize))
+        results = list(pool.map(fn, tasks, chunksize=chunksize))
+        _pool_proven = True
+        return results
     except (BrokenProcessPool, OSError, PermissionError, RuntimeError):
         _discard_pool()
         return [fn(task) for task in tasks]

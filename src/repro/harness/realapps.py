@@ -15,8 +15,8 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..apps import ALL_APPS, FIGURE8_APPS, Application
+from ..mp5 import ENGINES
 from ..mp5.config import MP5Config
-from ..mp5.switch import run_mp5
 from .parallel import parallel_map
 from .report import format_table
 
@@ -44,6 +44,7 @@ class RealAppSettings:
     num_ports: int = 64
     max_ticks: Optional[int] = None
     fifo_capacity: Optional[int] = None  # None = adaptive (no loss), as §4.3.1
+    engine: str = "fast"  # dense | fast | vector (see repro.mp5.ENGINES)
 
 
 def _run_app_serial(
@@ -57,7 +58,7 @@ def _run_app_serial(
         seed=seed,
         num_ports=settings.num_ports,
     )
-    stats, _ = run_mp5(
+    stats, _ = ENGINES[settings.engine](
         program,
         trace,
         MP5Config(

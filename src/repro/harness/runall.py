@@ -15,6 +15,7 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Callable, Dict, Optional
 
+from ..mp5 import ENGINES
 from .microbench import MicrobenchSettings, render_microbench, run_d2, run_d3, run_d4
 from .realapps import RealAppSettings, render_figure8, run_figure8
 from .sensitivity import (
@@ -32,6 +33,18 @@ SCALES = {
     "tiny": dict(num_packets=600, seeds=(0,), micro_seeds=(0,)),  # CI smoke
     "small": dict(num_packets=2000, seeds=(0,), micro_seeds=(0, 1)),
     "full": dict(num_packets=5000, seeds=(0, 1), micro_seeds=tuple(range(10))),
+    # Statistically heavier tier enabled by the vector engine: 50k-packet
+    # streams, multi-seed. The microbenchmarks keep a smaller stream --
+    # they need record_access_order and static-shard configs, which only
+    # the scalar engines support, so 50k packets there would dominate the
+    # wall clock without the batch speedup.
+    "large": dict(
+        num_packets=50000,
+        seeds=(0, 1),
+        micro_seeds=(0,),
+        micro_packets=5000,
+        engine="vector",
+    ),
 }
 
 
@@ -110,6 +123,7 @@ def run_all(
     progress: Optional[Callable[[str], None]] = None,
     jobs: Optional[int] = None,
     observe: bool = False,
+    engine: Optional[str] = None,
 ) -> Dict[str, str]:
     """Regenerate every artifact; returns {artifact: rendered text}.
 
@@ -121,20 +135,33 @@ def run_all(
     runs. ``observe`` additionally records one instrumented run (trace,
     metrics, stall summary) into ``out_dir`` — off by default so
     ``results.json`` stays byte-identical with earlier releases.
+    ``engine`` selects the simulation engine for the Figure 7 sweeps
+    and Figure 8 (``dense``/``fast``/``vector``; default: the scale's
+    preference — ``vector`` at ``scale=large``, else ``fast``). All
+    engines produce identical numbers, so the choice never appears in
+    ``results.json`` and outputs diff clean across engines.
     """
     if scale not in SCALES:
         raise ValueError(f"scale must be one of {sorted(SCALES)}")
     knobs = SCALES[scale]
+    if engine is None:
+        engine = str(knobs.get("engine", "fast"))
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {sorted(ENGINES)}")
     say = progress or (lambda _msg: None)
 
     sweep_settings = SweepSettings(
-        num_packets=knobs["num_packets"], seeds=knobs["seeds"]
+        num_packets=knobs["num_packets"], seeds=knobs["seeds"], engine=engine
     )
+    # The microbenchmarks always run the fast engine: they depend on
+    # record_access_order and static-shard configurations, which are
+    # outside the vector engine's supported envelope.
     micro_settings = MicrobenchSettings(
-        num_packets=knobs["num_packets"], seeds=knobs["micro_seeds"]
+        num_packets=int(knobs.get("micro_packets", knobs["num_packets"])),
+        seeds=knobs["micro_seeds"],
     )
     app_settings = RealAppSettings(
-        num_packets=knobs["num_packets"], seeds=knobs["seeds"]
+        num_packets=knobs["num_packets"], seeds=knobs["seeds"], engine=engine
     )
 
     artifacts: Dict[str, str] = {}

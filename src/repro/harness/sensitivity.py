@@ -20,8 +20,8 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..mp5 import ENGINES
 from ..mp5.config import MP5Config
-from ..mp5.switch import run_mp5
 from ..workloads.synthetic import make_sensitivity_program, sensitivity_trace
 from .parallel import parallel_map
 from .report import ascii_chart, format_table
@@ -64,6 +64,7 @@ class SweepSettings:
     seeds: Sequence[int] = (0, 1, 2)
     pattern: str = "uniform"
     max_ticks_factor: int = 40  # safety cap: ticks <= factor * packets / k
+    engine: str = "fast"  # dense | fast | vector (see repro.mp5.ENGINES)
 
 
 def _seed_point(task) -> tuple:
@@ -102,7 +103,9 @@ def _seed_point(task) -> tuple:
             seed=seed,
             num_ports=params["num_ports"],
         )
-        stats, _ = run_mp5(program, trace, config, max_ticks=max_ticks)
+        stats, _ = ENGINES[settings.engine](
+            program, trace, config, max_ticks=max_ticks
+        )
         scores.append(stats.throughput_normalized())
     return scores[0], scores[1]
 

@@ -16,6 +16,25 @@ The four design decisions of §3 map onto this package:
   correctness condition **C1**: every register state is accessed in
   packet-arrival order (accounting in :mod:`repro.mp5.stats`).
 
+Three engines execute the same semantics and are differentially tested
+against each other (``tests/test_fastpath_equivalence.py``,
+``tests/test_vector_equivalence.py``):
+
+* ``dense`` — :class:`~repro.mp5.reference.ReferenceSwitch`, the
+  executable specification (full per-tick occupancy scan);
+* ``fast`` — :class:`~repro.mp5.switch.MP5Switch`, the sparse worklist
+  engine, and the only one that supports every config knob, faults and
+  observability;
+* ``vector`` — :class:`~repro.mp5.vector.VectorSwitch`, the
+  structure-of-arrays NumPy batch engine; falls back to ``fast`` when a
+  run needs something the batch reduction cannot express.
+
+Pick one by name through :data:`ENGINES` (the ``--engine`` CLI flag)::
+
+    from repro.mp5 import ENGINES
+
+    stats, registers = ENGINES["vector"](program, trace, config)
+
 Public surface::
 
     from repro.mp5 import MP5Switch, MP5Config, run_mp5
@@ -33,8 +52,21 @@ from .reference import ReferenceSwitch, run_mp5_reference
 from .sharding import ShardedArray, ShardingRuntime
 from .stats import C1Report, SwitchStats, c1_metrics, c1_violations
 from .switch import FLOW_ORDER_ARRAY, MP5Switch, run_mp5
+from .vector import VectorSwitch, VectorUnsupported, run_mp5_vector
+
+#: Engine registry: every runner shares the signature of
+#: :func:`~repro.mp5.switch.run_mp5` and produces identical results.
+ENGINES = {
+    "dense": run_mp5_reference,
+    "fast": run_mp5,
+    "vector": run_mp5_vector,
+}
 
 __all__ = [
+    "ENGINES",
+    "VectorSwitch",
+    "VectorUnsupported",
+    "run_mp5_vector",
     "CrossbarTelemetry",
     "DataPacket",
     "FLOW_ORDER_ARRAY",

@@ -170,6 +170,7 @@ class MP5Switch:
         self.stats = SwitchStats()
         self.tick = 0
         self._live = 0  # packets injected and not yet egressed/dropped
+        self._idle_teleports = 0  # idle stretches compressed by run()
         self._ran = False
         self._record_access_order = False
         # Observability sinks (repro.obs). All default to None and every
@@ -465,9 +466,50 @@ class MP5Switch:
         self.stats.arrival_ticks = [p.arrival for p in packets]
 
         pending = deque(packets)
+        # Idle-tick compression: when no stage holds live work and the
+        # next arrival is known, the intervening ticks are no-ops — jump
+        # the tick counter instead of stepping them (generalizes the
+        # tail teleport). Engaged only when nothing can observe the
+        # skipped ticks: faults, the monitor, metrics windows, and the
+        # profiler all see every tick, so any of them disables it.
+        # Remap boundary ticks always execute — leftover access counters
+        # can move indices on an otherwise idle tick.
+        idle_ok = (
+            self.config.idle_compression
+            and self._faults is None
+            and self._monitor is None
+            and self._metrics is None
+            and self._profiler is None
+        )
+        period = self.config.remap_period
+        remap_on = self.config.remap_algorithm != "none"
+        all_fifos = list(self.fifos.values())
         while pending or self._live > 0:
             if max_ticks is not None and self.tick >= max_ticks:
                 break
+            if (
+                idle_ok
+                and self._live == 0
+                and pending
+                and not self._phantom_mail
+                and not self._egress_mail
+                and not (remap_on and self.tick > 0 and self.tick % period == 0)
+                # Stale phantoms of dropped packets keep draining on
+                # otherwise idle ticks — only truly empty queues skip.
+                and all(f._total == 0 for f in all_fifos)
+            ):
+                arrival = pending[0].arrival
+                target = int(arrival) if arrival == int(arrival) else int(arrival) + 1
+                if remap_on:
+                    boundary = (self.tick // period + 1) * period
+                    if boundary < target:
+                        target = boundary
+                if max_ticks is not None and max_ticks < target:
+                    target = max_ticks
+                if target > self.tick:
+                    self.tick = target
+                    self._idle_teleports += 1
+                    continue
             self._step(pending)
         if self._metrics is not None:
             self._metrics.roll(self.tick)  # close the final partial window

@@ -1,0 +1,110 @@
+"""Unit tests for the perf-regression gate in benchmarks/run_bench.py.
+
+The gate compares each timed measurement's ``seconds_min`` against the
+most recent ``BENCH_history.jsonl`` entry for the same measurement
+name and workload string, and fails the run on a >``--max-slowdown``
+slowdown. These tests drive the two pure functions directly — the
+actual measurements are exercised by CI's bench-smoke job.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "benchmarks" / "run_bench.py"
+
+spec = importlib.util.spec_from_file_location("run_bench", BENCH_PATH)
+run_bench = importlib.util.module_from_spec(spec)
+sys.modules.setdefault("run_bench", run_bench)
+spec.loader.exec_module(run_bench)
+
+
+def _history_line(**measurements):
+    return json.dumps(
+        {"timestamp": "t", "git_sha": "abc", "quick": True, **measurements}
+    )
+
+
+def _measure(workload, seconds_min):
+    return {"workload": workload, "seconds_min": seconds_min}
+
+
+def test_load_history_latest_keeps_last_entry(tmp_path):
+    path = tmp_path / "hist.jsonl"
+    path.write_text(
+        _history_line(engine=_measure("w1", 0.5))
+        + "\n"
+        + _history_line(engine=_measure("w1", 0.4), vector_50k=_measure("w2", 2.0))
+        + "\n"
+    )
+    latest = run_bench.load_history_latest(path)
+    assert latest[("engine", "w1")]["seconds_min"] == 0.4
+    assert latest[("vector_50k", "w2")]["seconds_min"] == 2.0
+
+
+def test_load_history_latest_keys_by_measurement_name(tmp_path):
+    """engine / engine_traced share a workload string but must never be
+    compared against each other — tracing costs ~60% by design."""
+    path = tmp_path / "hist.jsonl"
+    path.write_text(
+        _history_line(
+            engine=_measure("w", 0.1), engine_traced=_measure("w", 0.16)
+        )
+        + "\n"
+    )
+    latest = run_bench.load_history_latest(path)
+    assert latest[("engine", "w")]["seconds_min"] == 0.1
+    assert latest[("engine_traced", "w")]["seconds_min"] == 0.16
+
+
+def test_load_history_tolerates_junk(tmp_path):
+    path = tmp_path / "hist.jsonl"
+    path.write_text(
+        "not json\n\n" + _history_line(engine=_measure("w", 0.3)) + "\n"
+    )
+    assert run_bench.load_history_latest(path) == {
+        ("engine", "w"): _measure("w", 0.3)
+    }
+
+
+def test_load_history_missing_file(tmp_path):
+    assert run_bench.load_history_latest(tmp_path / "absent.jsonl") == {}
+
+
+def test_check_regression_passes_within_limit(capsys):
+    report = {"engine": _measure("w", 0.113)}
+    latest = {("engine", "w"): _measure("w", 0.100)}
+    assert run_bench.check_regression(report, latest, 0.15) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_check_regression_fails_beyond_limit(capsys):
+    report = {"engine": _measure("w", 0.120)}
+    latest = {("engine", "w"): _measure("w", 0.100)}
+    assert run_bench.check_regression(report, latest, 0.15) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_check_regression_skips_new_measurements(capsys):
+    """A measurement with no history (first run after adding it) is not
+    a failure; the gate reports nothing to compare."""
+    report = {"vector_50k": _measure("new workload", 1.0)}
+    assert run_bench.check_regression(report, {}, 0.15) == 0
+    assert "no matching history" in capsys.readouterr().out
+
+
+def test_check_regression_ignores_untimed_sections():
+    report = {
+        "seed_baseline": {"commit": "275ecc4"},
+        "chaos_smoke": {"workload": "chaos", "serial_seconds": 0.1},
+        "engine": _measure("w", 0.09),
+    }
+    latest = {("engine", "w"): _measure("w", 0.10)}
+    assert run_bench.check_regression(report, latest, 0.15) == 0
+
+
+def test_faster_is_never_a_regression():
+    report = {"engine": _measure("w", 0.01)}
+    latest = {("engine", "w"): _measure("w", 0.10)}
+    assert run_bench.check_regression(report, latest, 0.15) == 0

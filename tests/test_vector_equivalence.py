@@ -1,0 +1,356 @@
+"""Differential testing: vector (batch SoA) engine vs fast and dense.
+
+:class:`~repro.mp5.vector.VectorSwitch` replaces per-tick, per-packet
+stepping with an epoch reduction over structure-of-arrays state. Its
+admission rule is exactness: for every supported (program, config,
+trace) it must produce the *identical* :class:`SwitchStats` and final
+register state as the fast engine (itself pinned to the dense
+reference by ``test_fastpath_equivalence``). Anything it cannot
+reproduce bit-for-bit must raise :class:`VectorUnsupported` or fall
+back — never approximate.
+
+This module asserts both halves of that contract: native agreement
+over the sensitivity workload, every real application, fuzzed
+programs, and the supported config matrix; and fallback equivalence
+(silent for configs/program shapes, a one-line warning for
+faults/observability) for everything else — plus the end-to-end check
+that ``run_all`` produces byte-identical ``results.json`` under
+``engine="vector"`` and ``engine="fast"``.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.apps import ALL_APPS
+from repro.cli import main
+from repro.compiler import compile_program
+from repro.faults import FaultSchedule
+from repro.harness.runall import run_all
+from repro.mp5 import (
+    ENGINES,
+    FLOW_ORDER_ARRAY,
+    MP5Config,
+    VectorSwitch,
+    VectorUnsupported,
+    run_mp5,
+    run_mp5_reference,
+    run_mp5_vector,
+)
+from repro.mp5.vector import config_fallback_reason
+from repro.obs import InvariantMonitor
+from repro.workloads import line_rate_trace
+from repro.workloads.synthetic import make_sensitivity_program, sensitivity_trace
+
+from tests.test_fuzz_equivalence import FIELDS, random_program
+
+
+def _vector_native(program, trace, config, max_ticks=None):
+    """Run the vector engine with no fallback permitted: an unsupported
+    input fails the test instead of silently downgrading coverage."""
+    switch = VectorSwitch(program, config)
+    stats = switch.run(trace, max_ticks=max_ticks)
+    registers = {
+        name: values
+        for name, values in switch.registers.items()
+        if name != FLOW_ORDER_ARRAY
+    }
+    return stats, registers
+
+
+def _assert_vector_agrees(
+    program, trace_factory, config, max_ticks=None, dense=True
+):
+    """Vector vs fast (and optionally dense) on identical inputs; the
+    trace is regenerated per engine because runs mutate packets."""
+    vec_stats, vec_regs = _vector_native(
+        program, trace_factory(), config, max_ticks=max_ticks
+    )
+    fast_stats, fast_regs = run_mp5(
+        program, trace_factory(), config, max_ticks=max_ticks
+    )
+    assert vec_stats == fast_stats
+    assert vec_regs == fast_regs
+    if dense:
+        ref_stats, ref_regs = run_mp5_reference(
+            program, trace_factory(), config, max_ticks=max_ticks
+        )
+        assert vec_stats == ref_stats
+        assert vec_regs == ref_regs
+    return vec_stats
+
+
+# ---------------------------------------------------------------------------
+# Sensitivity workload (Figure 7 configurations)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("k", (1, 2, 4))
+@pytest.mark.parametrize("seed", (0, 1))
+def test_vector_agrees_sensitivity(k, seed):
+    program = make_sensitivity_program(num_stateful=4, register_size=64)
+
+    def trace_factory():
+        return sensitivity_trace(250, k, 4, 64, seed=seed)
+
+    stats = _assert_vector_agrees(
+        program, trace_factory, MP5Config(num_pipelines=k)
+    )
+    assert stats.egressed == 250
+
+
+def test_vector_agrees_skewed_pattern():
+    program = make_sensitivity_program(num_stateful=4, register_size=64)
+
+    def trace_factory():
+        return sensitivity_trace(250, 4, 4, 64, pattern="skewed", seed=0)
+
+    _assert_vector_agrees(program, trace_factory, MP5Config(num_pipelines=4))
+
+
+# Every config knob the vector engine supports natively; the fallback
+# matrix below covers the rest.
+NATIVE_CONFIGS = {
+    "remap_none": dict(remap_algorithm="none"),
+    "remap_optimal": dict(remap_algorithm="optimal"),
+    "short_remap_period": dict(remap_period=3),
+    "random_initial_shard": dict(initial_shard="random"),
+    "flow_order": dict(flow_order_field="f0"),
+    "no_jit": dict(jit=False),
+}
+
+
+@pytest.mark.parametrize("name", sorted(NATIVE_CONFIGS))
+def test_vector_agrees_on_native_config(name):
+    program = make_sensitivity_program(num_stateful=4, register_size=64)
+
+    def trace_factory():
+        return sensitivity_trace(250, 4, 4, 64, seed=0)
+
+    stats = _assert_vector_agrees(
+        program,
+        trace_factory,
+        MP5Config(num_pipelines=4, **NATIVE_CONFIGS[name]),
+    )
+    assert stats.egressed == 250
+
+
+@pytest.mark.parametrize("max_ticks", (0, 1, 37, 120))
+def test_vector_agrees_truncated_run(max_ticks):
+    """max_ticks cuts mid-flight: packets stuck in the tail must not
+    egress, and partial register state must match exactly."""
+    program = make_sensitivity_program(num_stateful=4, register_size=64)
+
+    def trace_factory():
+        return sensitivity_trace(200, 4, 4, 64, seed=0)
+
+    _assert_vector_agrees(
+        program,
+        trace_factory,
+        MP5Config(num_pipelines=4),
+        max_ticks=max_ticks,
+    )
+
+
+def test_vector_agrees_phantom_latency():
+    """Delayed phantoms shift every FIFO insert; stateful_firewall has
+    slack before its first stateful stage."""
+    app = ALL_APPS["stateful_firewall"]
+    program = app.compile()
+
+    def trace_factory():
+        return app.workload(200, 4, seed=0)
+
+    _assert_vector_agrees(
+        program,
+        trace_factory,
+        MP5Config(num_pipelines=4, phantom_latency=1),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Real applications (Figure 8 workloads)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("app_name", sorted(ALL_APPS))
+@pytest.mark.parametrize("k", (1, 4))
+def test_vector_agrees_real_app(app_name, k):
+    app = ALL_APPS[app_name]
+    program = app.compile()
+
+    def trace_factory():
+        return app.workload(250, k, seed=0)
+
+    _assert_vector_agrees(program, trace_factory, MP5Config(num_pipelines=k))
+
+
+# ---------------------------------------------------------------------------
+# Fuzzed programs
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_vector_agrees_fuzzed_program(seed):
+    rng = np.random.default_rng(3000 + seed)
+    source = random_program(rng)
+    program = compile_program(source, name=f"vp{seed}")
+    k = int(rng.integers(1, 5))
+
+    def trace_factory():
+        return line_rate_trace(
+            200,
+            k,
+            lambda r, i: {f: int(r.integers(0, 32)) for f in FIELDS},
+            seed=seed,
+        )
+
+    config = MP5Config(num_pipelines=k)
+    try:
+        _assert_vector_agrees(program, trace_factory, config)
+    except VectorUnsupported:
+        # Out of the vector envelope: the wrapper must still match the
+        # fast engine via its silent fallback.
+        vec = run_mp5_vector(program, trace_factory(), config)
+        fast = run_mp5(program, trace_factory(), config)
+        assert vec == fast
+
+
+# ---------------------------------------------------------------------------
+# Fallback matrix
+# ---------------------------------------------------------------------------
+
+FALLBACK_CONFIGS = {
+    "ideal_queues": dict(ideal_queues=True),
+    "no_phantoms": dict(enable_phantoms=False),
+    "tiny_fifo": dict(fifo_capacity=2),
+    "ecn": dict(ecn_threshold=4),
+    "starvation": dict(starvation_threshold=5),
+    "phantom_loss": dict(phantom_loss_rate=0.2),
+    "crossbar": dict(record_crossbar=True),
+    "affinity_spray": dict(spray_policy="affinity"),
+}
+
+
+@pytest.mark.parametrize("name", sorted(FALLBACK_CONFIGS))
+def test_unsupported_config_falls_back_silently(name, capsys):
+    config = MP5Config(num_pipelines=4, **FALLBACK_CONFIGS[name])
+    assert config_fallback_reason(config) is not None
+    program = make_sensitivity_program(num_stateful=4, register_size=64)
+    vec = run_mp5_vector(
+        program, sensitivity_trace(200, 4, 4, 64, seed=0), config
+    )
+    fast = run_mp5(
+        program, sensitivity_trace(200, 4, 4, 64, seed=0), config
+    )
+    assert vec == fast
+    assert capsys.readouterr().err == ""  # config fallback stays quiet
+
+
+def test_observability_falls_back_with_warning(capsys):
+    program = make_sensitivity_program(num_stateful=4, register_size=64)
+    config = MP5Config(num_pipelines=4)
+    monitor = InvariantMonitor()
+    vec = run_mp5_vector(
+        program,
+        sensitivity_trace(200, 4, 4, 64, seed=0),
+        config,
+        monitor=monitor,
+    )
+    err = capsys.readouterr().err
+    assert "falling back to the fast engine" in err
+    assert monitor.health_report().verdict == "ok"  # sink really attached
+    fast = run_mp5(
+        program, sensitivity_trace(200, 4, 4, 64, seed=0), config
+    )
+    assert vec == fast
+
+
+def test_faults_fall_back_with_warning(capsys):
+    program = make_sensitivity_program(num_stateful=4, register_size=64)
+    config = MP5Config(num_pipelines=4)
+    schedule = FaultSchedule.load("examples/faults/slowdown.json")
+    vec = run_mp5_vector(
+        program,
+        sensitivity_trace(200, 4, 4, 64, seed=0),
+        config,
+        faults=schedule,
+    )
+    assert "faults attached" in capsys.readouterr().err
+    fast = run_mp5(
+        program,
+        sensitivity_trace(200, 4, 4, 64, seed=0),
+        config,
+        faults=FaultSchedule.load("examples/faults/slowdown.json"),
+    )
+    assert vec == fast
+
+
+def test_cli_vector_fallback_warns_once(capsys):
+    """``--engine vector --monitor`` must run, warn on stderr, and print
+    the same statistics block as any other engine."""
+    assert main(
+        ["run", "heavy_hitter", "--packets", "300", "--engine", "vector",
+         "--monitor"]
+    ) == 0
+    captured = capsys.readouterr()
+    assert captured.err.count("falling back to the fast engine") == 1
+    assert "throughput" in captured.out
+
+
+def test_cli_vector_native_no_warning(capsys):
+    assert main(
+        ["run", "heavy_hitter", "--packets", "300", "--engine", "vector"]
+    ) == 0
+    captured = capsys.readouterr()
+    assert "falling back" not in captured.err
+    assert "throughput" in captured.out
+
+
+# ---------------------------------------------------------------------------
+# Engine registry and end-to-end reproduction
+# ---------------------------------------------------------------------------
+
+
+def test_engine_registry_complete():
+    assert set(ENGINES) == {"dense", "fast", "vector"}
+    program = make_sensitivity_program(num_stateful=2, register_size=16)
+    results = [
+        ENGINES[name](
+            program, sensitivity_trace(120, 2, 2, 16, seed=0),
+            MP5Config(num_pipelines=2),
+        )
+        for name in ("dense", "fast", "vector")
+    ]
+    assert results[0] == results[1] == results[2]
+
+
+def test_runall_results_identical_across_engines(tmp_path):
+    """The acceptance check behind the CI differential smoke job:
+    ``reproduce --scale tiny`` writes byte-identical ``results.json``
+    (Table 1, microbenchmarks, Figure 7, Figure 8) for both engines."""
+    fast_dir = tmp_path / "fast"
+    vec_dir = tmp_path / "vector"
+    run_all(out_dir=str(fast_dir), scale="tiny", engine="fast")
+    run_all(out_dir=str(vec_dir), scale="tiny", engine="vector")
+    fast_bytes = (fast_dir / "results.json").read_bytes()
+    vec_bytes = (vec_dir / "results.json").read_bytes()
+    assert fast_bytes == vec_bytes
+    data = json.loads(vec_bytes)
+    assert "engine" not in data  # the engine choice must never leak
+
+
+def test_runall_rejects_unknown_engine():
+    with pytest.raises(ValueError):
+        run_all(scale="tiny", engine="warp")
+
+
+def test_large_scale_defined():
+    from repro.harness.runall import SCALES
+
+    knobs = SCALES["large"]
+    assert knobs["num_packets"] == 50000
+    assert len(knobs["seeds"]) > 1  # multi-seed tier
+    assert knobs["engine"] == "vector"
+    assert knobs["micro_packets"] < knobs["num_packets"]
