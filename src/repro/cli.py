@@ -146,6 +146,8 @@ def cmd_run(args) -> int:
         profiler=profiler,
         faults=schedule,
         monitor=monitor,
+        native=args.native,
+        epoch_jobs=args.epoch_jobs,
     )
     for key, value in stats.summary().items():
         print(f"{key:16s} {value}")
@@ -305,6 +307,8 @@ def cmd_fig7(args) -> int:
         num_packets=args.packets,
         seeds=tuple(range(args.seeds)),
         engine=args.engine,
+        native=args.native,
+        epoch_jobs=args.epoch_jobs,
     )
     sweeps = {
         "a": (sweep_pipelines, "7a"),
@@ -322,6 +326,8 @@ def cmd_fig8(args) -> int:
         num_packets=args.packets,
         seeds=tuple(range(args.seeds)),
         engine=args.engine,
+        native=args.native,
+        epoch_jobs=args.epoch_jobs,
     )
     print(render_figure8(run_figure8(settings=settings, jobs=args.jobs)))
     return 0
@@ -338,6 +344,8 @@ def cmd_reproduce(args) -> int:
         jobs=args.jobs,
         observe=args.trace,
         engine=args.engine,
+        native=args.native,
+        epoch_jobs=args.epoch_jobs,
     )
     if args.out is None:
         for name, text in artifacts.items():
@@ -394,6 +402,27 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--packet-size", type=int, default=64)
         p.add_argument("--seed", type=int, default=0)
 
+    def add_native_args(p):
+        """Vector-engine acceleration knobs (exact: results never change,
+        only the wall clock). Other engines accept and ignore them."""
+        p.add_argument(
+            "--native",
+            action="store_true",
+            default=None,
+            help="vector engine: run stateful service through fused "
+            "per-stage kernels (Numba-jitted when installed, plain "
+            "Python otherwise); byte-identical to the NumPy path",
+        )
+        p.add_argument(
+            "--epoch-jobs",
+            type=int,
+            default=None,
+            metavar="N",
+            help="vector engine: worker processes for residue-class "
+            "parallel service over shared memory (0 = one per CPU); "
+            "results are byte-identical at any worker count",
+        )
+
     p = sub.add_parser("compile", help="compile and show the pipeline layout")
     p.add_argument("program")
     p.set_defaults(func=cmd_compile)
@@ -413,6 +442,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(falls back to fast when faults/observability are attached; "
         "see docs/simulator.md)",
     )
+    add_native_args(p)
     p.add_argument(
         "--trace",
         metavar="PATH",
@@ -576,6 +606,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seeds", type=int, default=2)
     add_jobs_arg(p)
     add_engine_arg(p)
+    add_native_args(p)
     p.set_defaults(func=cmd_fig7)
 
     p = sub.add_parser("fig8", help="regenerate Figure 8")
@@ -583,6 +614,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seeds", type=int, default=2)
     add_jobs_arg(p)
     add_engine_arg(p)
+    add_native_args(p)
     p.set_defaults(func=cmd_fig8)
 
     p = sub.add_parser(
@@ -591,7 +623,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None, help="output directory")
     p.add_argument(
         "--scale",
-        choices=("tiny", "small", "full", "large"),
+        choices=("tiny", "small", "full", "large", "xlarge"),
         default="full",
     )
     p.add_argument(
@@ -599,9 +631,10 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(ENGINES),
         default=None,
         help="engine for the Figure 7/8 simulations (default: the "
-        "scale's preference — vector at --scale large, else fast); "
-        "results are identical for every engine",
+        "scale's preference — vector at --scale large/xlarge, else "
+        "fast); results are identical for every engine",
     )
+    add_native_args(p)
     p.add_argument(
         "--trace",
         action="store_true",
@@ -639,6 +672,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    # One CLI invocation = one warning budget: a fallback notice prints
+    # once per run, but repeated in-process invocations (tests, REPL)
+    # each start fresh.
+    from .mp5.vector import reset_fallback_warnings
+
+    reset_fallback_warnings()
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)

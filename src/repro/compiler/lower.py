@@ -1,0 +1,282 @@
+"""TAC flattening: one stage's instruction list as SSA statements.
+
+The native backend (:mod:`repro.compiler.native`) wants each stage as a
+flat list of *statements over named scalar values* — no Temp objects,
+no operand dispatch, every constant inlined — so a code generator can
+walk the list once and print one line (or a short guarded block) per
+statement. This is the Taichi ``lower_ast`` idiom: eliminate the
+expression tree, make the body SSA, and leave only
+``binary/unary(binary/unary)`` statements behind.
+
+Our TAC (:mod:`repro.compiler.tac`) is already straight-line and
+single-assignment, so lowering here is mostly *resolution*: map every
+:class:`~repro.compiler.tac.Temp` to a stable local name in first-use
+order (the same ``v0, v1, ...`` scheme the scalar and vector JITs use),
+classify which temps are stage inputs (defined by an earlier stage,
+loaded from the PHV) versus stage outputs (published back to the PHV),
+and annotate each statement with everything its emitter needs — the
+register array for state accesses, the header field for loads/stores,
+the guard variable for predicated execution.
+
+The result is backend-neutral: the same :class:`StageSSA` could drive a
+C emitter or a Numba emitter (it drives the latter). Statements carry
+no NumPy or Numba specifics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..errors import CompilerError
+from .tac import Const, OpKind, TacInstr, Temp, _to_signed32
+
+#: Operand of a lowered statement: a local variable name or an inlined
+#: 32-bit-wrapped integer constant.
+Value = Union[str, int]
+
+
+@dataclass(frozen=True)
+class SSAStmt:
+    """One flattened statement.
+
+    ``kind`` is one of:
+
+    * ``field_load``   — ``dest = wrap(H[field][row])``
+    * ``field_store``  — ``H[field][row] = args[0]``            [guard]
+    * ``const``        — ``dest = args[0]`` (already wrapped)
+    * ``unary``        — ``dest = op args[0]``
+    * ``binary``       — ``dest = args[0] op args[1]``
+    * ``call``         — ``dest = builtin op(*args)`` (native-inadmissible)
+    * ``select``       — ``dest = args[0] ? args[1] : args[2]``
+    * ``reg_load``     — ``dest = reg[args[0] mod size]``       [guard]
+    * ``reg_store``    — ``reg[args[0] mod size] = args[1]``    [guard]
+
+    A ``guard`` names a 0/1 local; guarded register statements perform
+    *no state access at all* when it is 0 (a guarded ``reg_load``
+    defines ``dest = 0``), exactly like the TAC evaluator.
+    """
+
+    kind: str
+    dest: Optional[str] = None
+    op: str = ""
+    args: Tuple[Value, ...] = ()
+    guard: Optional[str] = None
+    reg: Optional[str] = None
+    field: Optional[str] = None
+
+    def render(self) -> str:
+        """Human-readable one-line form (tests and debugging)."""
+        g = f" if {self.guard}" if self.guard else ""
+        if self.kind == "field_load":
+            return f"{self.dest} = load p.{self.field}"
+        if self.kind == "field_store":
+            return f"p.{self.field} = {self.args[0]}{g}"
+        if self.kind == "const":
+            return f"{self.dest} = {self.args[0]}"
+        if self.kind == "unary":
+            return f"{self.dest} = {self.op} {self.args[0]}"
+        if self.kind == "binary":
+            return f"{self.dest} = {self.args[0]} {self.op} {self.args[1]}"
+        if self.kind == "call":
+            joined = ", ".join(str(a) for a in self.args)
+            return f"{self.dest} = {self.op}({joined})"
+        if self.kind == "select":
+            a, b, c = self.args
+            return f"{self.dest} = {a} ? {b} : {c}"
+        if self.kind == "reg_load":
+            return f"{self.dest} = {self.reg}[{self.args[0]}]{g}"
+        if self.kind == "reg_store":
+            return f"{self.reg}[{self.args[0]}] = {self.args[1]}{g}"
+        raise AssertionError(self.kind)
+
+
+@dataclass
+class StageSSA:
+    """One stage, flattened: the unit the native emitter consumes."""
+
+    name: str
+    stmts: List[SSAStmt] = field(default_factory=list)
+    #: header fields, sorted — read and written sets drive the kernel's
+    #: column signature
+    fields_read: Tuple[str, ...] = ()
+    fields_written: Tuple[str, ...] = ()
+    #: PHV temps loaded before / published after the stage, in the same
+    #: order the scalar/vector JITs use
+    temps_in: Tuple[str, ...] = ()
+    temps_out: Tuple[str, ...] = ()
+    #: register arrays touched, sorted
+    regs: Tuple[str, ...] = ()
+    #: local-variable name of each loaded PHV temp / published temp
+    temp_vars: Dict[str, str] = field(default_factory=dict)
+    #: True when the stage contains a ``call`` statement (builtins are
+    #: arbitrary Python -> outside the native envelope)
+    has_call: bool = False
+
+    def render(self) -> str:
+        lines = [f"stage {self.name}:"]
+        for t in self.temps_in:
+            lines.append(f"  {self.temp_vars[t]} = phv.{t}")
+        lines.extend(f"  {s.render()}" for s in self.stmts)
+        for t in self.temps_out:
+            lines.append(f"  phv.{t} = {self.temp_vars[t]}")
+        return "\n".join(lines)
+
+
+def _value(op, names: Dict[Temp, str]) -> Value:
+    if isinstance(op, Const):
+        return _to_signed32(op.value)
+    return names[op]
+
+
+def lower_stage(
+    instrs: Sequence[TacInstr], name: str = "stage"
+) -> Optional[StageSSA]:
+    """Flatten one stage's TAC into a :class:`StageSSA`; None if empty.
+
+    Deterministic: the same instruction list always lowers to the same
+    statement list and the same variable names, so emitted kernels (and
+    their compilation caches) are stable across runs.
+    """
+    if not instrs:
+        return None
+    names: Dict[Temp, str] = {}
+    defined: Set[Temp] = set()
+    used_before_def: List[Temp] = []
+    fields_read: List[str] = []
+    fields_written: List[str] = []
+    regs: Set[str] = set()
+    has_call = False
+
+    def var(temp: Temp) -> str:
+        got = names.get(temp)
+        if got is None:
+            got = f"v{len(names)}"
+            names[temp] = got
+        return got
+
+    # Pass 1: discover stage inputs (temps used before any definition)
+    # in first-use order, mirroring compile_instrs / compile_vector_stage.
+    for instr in instrs:
+        for temp in instr.uses():
+            if temp not in defined and temp not in used_before_def:
+                used_before_def.append(temp)
+        dest = instr.defines()
+        if dest is not None:
+            defined.add(dest)
+    for temp in used_before_def:
+        var(temp)  # inputs claim the first variable names
+
+    stmts: List[SSAStmt] = []
+    for instr in instrs:
+        kind = instr.kind
+        guard = names[instr.guard] if instr.guard is not None else None
+        if kind is OpKind.READ_FIELD:
+            if instr.field_name not in fields_read:
+                fields_read.append(instr.field_name)
+            stmts.append(
+                SSAStmt(
+                    "field_load", dest=var(instr.dest), field=instr.field_name
+                )
+            )
+        elif kind is OpKind.WRITE_FIELD:
+            if instr.field_name not in fields_written:
+                fields_written.append(instr.field_name)
+            stmts.append(
+                SSAStmt(
+                    "field_store",
+                    field=instr.field_name,
+                    args=(_value(instr.args[0], names),),
+                    guard=guard,
+                )
+            )
+        elif kind is OpKind.CONST:
+            if not isinstance(instr.args[0], Const):
+                raise CompilerError("lower: CONST with non-constant operand")
+            stmts.append(
+                SSAStmt(
+                    "const",
+                    dest=var(instr.dest),
+                    args=(_to_signed32(instr.args[0].value),),
+                )
+            )
+        elif kind is OpKind.UNARY:
+            stmts.append(
+                SSAStmt(
+                    "unary",
+                    dest=var(instr.dest),
+                    op=instr.op,
+                    args=(_value(instr.args[0], names),),
+                )
+            )
+        elif kind is OpKind.BINARY:
+            stmts.append(
+                SSAStmt(
+                    "binary",
+                    dest=var(instr.dest),
+                    op=instr.op,
+                    args=(
+                        _value(instr.args[0], names),
+                        _value(instr.args[1], names),
+                    ),
+                )
+            )
+        elif kind is OpKind.CALL:
+            has_call = True
+            stmts.append(
+                SSAStmt(
+                    "call",
+                    dest=var(instr.dest),
+                    op=instr.op,
+                    args=tuple(_value(a, names) for a in instr.args),
+                )
+            )
+        elif kind is OpKind.SELECT:
+            stmts.append(
+                SSAStmt(
+                    "select",
+                    dest=var(instr.dest),
+                    args=tuple(_value(a, names) for a in instr.args),
+                )
+            )
+        elif kind is OpKind.REG_READ:
+            regs.add(instr.reg)
+            stmts.append(
+                SSAStmt(
+                    "reg_load",
+                    dest=var(instr.dest),
+                    reg=instr.reg,
+                    args=(_value(instr.args[0], names),),
+                    guard=guard,
+                )
+            )
+        elif kind is OpKind.REG_WRITE:
+            regs.add(instr.reg)
+            stmts.append(
+                SSAStmt(
+                    "reg_store",
+                    reg=instr.reg,
+                    args=(
+                        _value(instr.args[0], names),
+                        _value(instr.args[1], names),
+                    ),
+                    guard=guard,
+                )
+            )
+        else:
+            raise CompilerError(f"lower: unknown instruction kind {kind}")
+
+    temps_out = sorted(defined, key=lambda t: t.name)
+    temp_vars = {t.name: names[t] for t in used_before_def}
+    temp_vars.update({t.name: names[t] for t in temps_out})
+    return StageSSA(
+        name=name,
+        stmts=stmts,
+        fields_read=tuple(fields_read),
+        fields_written=tuple(fields_written),
+        temps_in=tuple(t.name for t in used_before_def),
+        temps_out=tuple(t.name for t in temps_out),
+        regs=tuple(sorted(regs)),
+        temp_vars=temp_vars,
+        has_call=has_call,
+    )

@@ -45,6 +45,21 @@ SCALES = {
         micro_packets=5000,
         engine="vector",
     ),
+    # Million-packet tier: Figure 8 streams 1M packets per (app, k,
+    # seed) point through the vector engine with the fused native
+    # kernel tier on. The Figure 7 sweeps stay at 50k -- their cost
+    # scales with the pipeline sweep (k=16 quadruples the stream) and
+    # the statistics converge well before 1M -- as do the scalar-only
+    # microbenchmarks.
+    "xlarge": dict(
+        num_packets=1_000_000,
+        seeds=(0,),
+        micro_seeds=(0,),
+        micro_packets=5000,
+        sensitivity_packets=50_000,
+        engine="vector",
+        native=True,
+    ),
 }
 
 
@@ -124,6 +139,8 @@ def run_all(
     jobs: Optional[int] = None,
     observe: bool = False,
     engine: Optional[str] = None,
+    native: Optional[bool] = None,
+    epoch_jobs: Optional[int] = None,
 ) -> Dict[str, str]:
     """Regenerate every artifact; returns {artifact: rendered text}.
 
@@ -137,9 +154,14 @@ def run_all(
     ``results.json`` stays byte-identical with earlier releases.
     ``engine`` selects the simulation engine for the Figure 7 sweeps
     and Figure 8 (``dense``/``fast``/``vector``; default: the scale's
-    preference — ``vector`` at ``scale=large``, else ``fast``). All
-    engines produce identical numbers, so the choice never appears in
-    ``results.json`` and outputs diff clean across engines.
+    preference — ``vector`` at ``scale=large``/``xlarge``, else
+    ``fast``). All engines produce identical numbers, so the choice
+    never appears in ``results.json`` and outputs diff clean across
+    engines. ``native`` and ``epoch_jobs`` forward to the vector
+    engine's fused-kernel tier and epoch-parallel executor (ignored by
+    the scalar engines); both are exact, so they never change
+    ``results.json`` either — only the wall clock. ``native=None``
+    defers to the scale's preference (on at ``xlarge``).
     """
     if scale not in SCALES:
         raise ValueError(f"scale must be one of {sorted(SCALES)}")
@@ -148,10 +170,18 @@ def run_all(
         engine = str(knobs.get("engine", "fast"))
     if engine not in ENGINES:
         raise ValueError(f"engine must be one of {sorted(ENGINES)}")
+    if native is None:
+        native = knobs.get("native")
     say = progress or (lambda _msg: None)
 
     sweep_settings = SweepSettings(
-        num_packets=knobs["num_packets"], seeds=knobs["seeds"], engine=engine
+        num_packets=int(
+            knobs.get("sensitivity_packets", knobs["num_packets"])
+        ),
+        seeds=knobs["seeds"],
+        engine=engine,
+        native=native,
+        epoch_jobs=epoch_jobs,
     )
     # The microbenchmarks always run the fast engine: they depend on
     # record_access_order and static-shard configurations, which are
@@ -161,7 +191,11 @@ def run_all(
         seeds=knobs["micro_seeds"],
     )
     app_settings = RealAppSettings(
-        num_packets=knobs["num_packets"], seeds=knobs["seeds"], engine=engine
+        num_packets=knobs["num_packets"],
+        seeds=knobs["seeds"],
+        engine=engine,
+        native=native,
+        epoch_jobs=epoch_jobs,
     )
 
     artifacts: Dict[str, str] = {}

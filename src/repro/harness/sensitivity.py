@@ -65,6 +65,8 @@ class SweepSettings:
     pattern: str = "uniform"
     max_ticks_factor: int = 40  # safety cap: ticks <= factor * packets / k
     engine: str = "fast"  # dense | fast | vector (see repro.mp5.ENGINES)
+    native: Optional[bool] = None  # vector engine: fused kernel tier
+    epoch_jobs: Optional[int] = None  # vector engine: service workers
 
 
 def _seed_point(task) -> tuple:
@@ -104,7 +106,12 @@ def _seed_point(task) -> tuple:
             num_ports=params["num_ports"],
         )
         stats, _ = ENGINES[settings.engine](
-            program, trace, config, max_ticks=max_ticks
+            program,
+            trace,
+            config,
+            max_ticks=max_ticks,
+            native=settings.native,
+            epoch_jobs=settings.epoch_jobs,
         )
         scores.append(stats.throughput_normalized())
     return scores[0], scores[1]

@@ -27,7 +27,12 @@ against each other (``tests/test_fastpath_equivalence.py``,
   observability;
 * ``vector`` — :class:`~repro.mp5.vector.VectorSwitch`, the
   structure-of-arrays NumPy batch engine; falls back to ``fast`` when a
-  run needs something the batch reduction cannot express.
+  run needs something the batch reduction cannot express. Its run
+  splits into an exact timing sweep and a service replay
+  (:mod:`repro.mp5.epochs`), which optionally engages the fused native
+  kernel tier (:mod:`repro.compiler.native`, ``native=True``) and
+  residue-class multi-core execution (``epoch_jobs``) — both
+  byte-identical to the plain NumPy path.
 
 Pick one by name through :data:`ENGINES` (the ``--engine`` CLI flag)::
 
@@ -43,8 +48,10 @@ Public surface::
     stats, registers = run_mp5(program, trace, MP5Config(num_pipelines=4))
 """
 
+from ..compiler.native import native_available, native_unavailable_reason
 from .config import MP5Config
 from .crossbar import CrossbarTelemetry
+from .epochs import EpochSchedule, build_epoch_schedule, execute_service
 from .fifo import IdealOrderBuffer, Slot, StageFifoGroup
 from .packet import DataPacket, PhantomPacket, StateAccess
 from .partition import LogicalPartition, PartitionedMP5, PartitionResult
@@ -64,8 +71,13 @@ ENGINES = {
 
 __all__ = [
     "ENGINES",
+    "EpochSchedule",
     "VectorSwitch",
     "VectorUnsupported",
+    "build_epoch_schedule",
+    "execute_service",
+    "native_available",
+    "native_unavailable_reason",
     "run_mp5_vector",
     "CrossbarTelemetry",
     "DataPacket",

@@ -1,0 +1,870 @@
+"""Epoch schedule construction and (parallel) service execution.
+
+The batch engine's run splits into two exact phases, hinging on one
+structural fact the scalar engines establish: **every access index is
+resolved at the resolution stage** (stage 0 plus the stateless transit
+stages before the first plan stage), which contains no stateful
+instructions. Register *values* therefore never influence the timing
+layer — injection ticks, FIFO group membership, pop chains, access and
+in-flight counters, and every remap decision derived from them.
+
+* **Phase A** (:func:`build_epoch_schedule`) — the sequential sweep
+  over remap epochs. It injects packets, maintains the per-(plan,
+  pipeline) FIFO groups and their pop chains
+  (``pop[j] = max(pop[j-1] + 1, insert[j])``), drives the real
+  :class:`~repro.mp5.sharding.ShardingRuntime` at every boundary, and
+  records *who pops when, from which pipeline* — but performs no
+  stateful service. Its output, the :class:`EpochSchedule`, is the
+  run's task DAG: per-plan pop streams in epoch order, independent of
+  both the native tier and the worker count.
+
+* **Phase B** (:func:`execute_service`) — replays the schedule against
+  register state, plan by plan. Per-row order only matters *within* a
+  register slot, so each plan admits three executions that are exact by
+  construction: the NumPy wave decomposition (PR 5 semantics,
+  per-epoch chunk), a fused per-row kernel over the whole stream in
+  service order (:mod:`repro.compiler.native` — Numba-jitted or plain
+  Python), and, for ``wave``-category plans, a **residue-class
+  partition**: rows with ``index % nparts == w`` touch register slots
+  and SoA rows disjoint from every other part, so the parts execute on
+  separate workers against one ``multiprocessing.shared_memory``
+  segment and the merged state is byte-identical at any worker count.
+
+Workers come from the PR 1 pool (:mod:`repro.harness.parallel`) with an
+initializer that attaches the segment and compiles kernels once per
+worker. Any pool or shared-memory failure restores the pre-plan
+snapshot and re-executes in process — silent, like every other engine
+fallback, because the serial path is bit-for-bit the same reduction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..compiler.native import compile_native_stage, native_available
+from ..compiler.tac import Const
+from ..domino.builtins import hash2
+
+
+def _parallel():
+    """The pool module, imported lazily: ``repro.harness`` pulls in the
+    workload package, which imports ``repro.mp5`` — importing it at
+    module scope would close that cycle during interpreter startup."""
+    from ..harness import parallel
+
+    return parallel
+
+
+_FAR = 1 << 62  # sentinel horizon: beyond any reachable tick
+
+#: Minimum rows in a plan's stream before residue partitioning is worth
+#: a worker round-trip (below this, pickling dwarfs the service work).
+PARALLEL_MIN_ROWS = 4096
+
+
+class _Group:
+    """One (plan, pipeline) FIFO group: members in packet-id order."""
+
+    __slots__ = ("members", "count", "ptr", "last_pop")
+
+    def __init__(self, capacity: int):
+        self.members = np.empty(capacity, dtype=np.int64)
+        self.count = 0  # filled members (membership fixed at inject)
+        self.ptr = 0  # members already popped
+        self.last_pop = -1
+
+
+class _RegView:
+    """Scalar-JIT-compatible view of an int64 register column: reads
+    come back as Python ints so builtin calls never overflow int64."""
+
+    __slots__ = ("arr",)
+
+    def __init__(self, arr: np.ndarray):
+        self.arr = arr
+
+    def __len__(self) -> int:
+        return self.arr.shape[0]
+
+    def __getitem__(self, i):
+        return int(self.arr[i])
+
+    def __setitem__(self, i, value) -> None:
+        self.arr[i] = value
+
+
+class EpochSchedule:
+    """Phase A's output: the timing of one run, service still pending.
+
+    ``chunks[pi]`` holds plan ``pi``'s pop stream as per-epoch
+    ``(rows, pops)`` pairs in epoch order; the popped pipeline of a row
+    is ``dest[pi][row]`` (group membership is fixed at inject). The
+    remaining arrays are the per-packet timeline the statistics
+    reconstruction consumes.
+    """
+
+    __slots__ = (
+        "inj",
+        "entry_pipe",
+        "acc_idx",
+        "dest",
+        "ins_tick",
+        "pop_tick",
+        "groups",
+        "chunks",
+        "egr_tick",
+        "egr_pipe",
+        "injected",
+        "egr_assigned",
+        "last_egress",
+        "epochs",
+        "cut_limit",
+    )
+
+    def plan_stream(self, pi: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Plan ``pi``'s whole-run pop stream, concatenated epoch order."""
+        pieces = self.chunks[pi]
+        if not pieces:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        if len(pieces) == 1:
+            return pieces[0]
+        rows = np.concatenate([c[0] for c in pieces])
+        pops = np.concatenate([c[1] for c in pieces])
+        return rows, pops
+
+    def service_order(self, pi: int) -> np.ndarray:
+        """Plan ``pi``'s rows sorted into global (tick, pipeline)
+        service order — the scalar engines' serialization order. Keys
+        are unique: each (plan, pipeline) group pops once per tick."""
+        rows, pops = self.plan_stream(pi)
+        if rows.size == 0:
+            return rows
+        return rows[np.lexsort((self.dest[pi][rows], pops))]
+
+    def dag_signature(self) -> str:
+        """Digest of the task DAG — everything Phase B consumes. Equal
+        signatures mean equal service work regardless of worker count
+        or kernel tier (the determinism contract's test hook)."""
+        digest = hashlib.sha256()
+        digest.update(np.int64(self.epochs).tobytes())
+        digest.update(np.int64(self.injected).tobytes())
+        for pi, pieces in enumerate(self.chunks):
+            digest.update(np.int64(len(pieces)).tobytes())
+            for rows, pops in pieces:
+                digest.update(rows.tobytes())
+                digest.update(pops.tobytes())
+                digest.update(self.dest[pi][rows].tobytes())
+            idx = self.acc_idx[pi]
+            if idx is not None:
+                digest.update(idx.tobytes())
+        digest.update(self.egr_tick.tobytes())
+        digest.update(self.egr_pipe.tobytes())
+        return digest.hexdigest()
+
+    def partition(
+        self, pi: int, nparts: int
+    ) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Split plan ``pi``'s stream into residue classes by access
+        index: part ``w`` gets rows with ``index % nparts == w``.
+
+        Parts touch disjoint register slots and disjoint SoA rows, so
+        they commute — the parallel executor's unit of work. Each part
+        is ``(rows, idxs, offsets)`` with rows concatenated in epoch
+        order and ``offsets`` marking the epoch-chunk boundaries the
+        NumPy wave decomposition preserves. Empty parts are dropped.
+        """
+        pieces = self.chunks[pi]
+        idx_col = self.acc_idx[pi]
+        parts_rows: List[List[np.ndarray]] = [[] for _ in range(nparts)]
+        parts_idx: List[List[np.ndarray]] = [[] for _ in range(nparts)]
+        for rows, _pops in pieces:
+            idxs = idx_col[rows]
+            residue = idxs % nparts
+            for w in range(nparts):
+                sel = residue == w
+                if np.any(sel):
+                    parts_rows[w].append(rows[sel])
+                    parts_idx[w].append(idxs[sel])
+        out = []
+        for w in range(nparts):
+            if not parts_rows[w]:
+                continue
+            lens = np.fromiter(
+                (r.shape[0] for r in parts_rows[w]),
+                dtype=np.int64,
+                count=len(parts_rows[w]),
+            )
+            offsets = np.concatenate(([0], np.cumsum(lens)))
+            out.append(
+                (
+                    np.concatenate(parts_rows[w]),
+                    np.concatenate(parts_idx[w]),
+                    offsets,
+                )
+            )
+        return out
+
+
+def build_epoch_schedule(
+    switch, packets: Sequence, H: Dict, E: Dict, R: Dict,
+    max_ticks: Optional[int],
+) -> EpochSchedule:
+    """Phase A: sweep the epochs, recording timing but deferring service.
+
+    Mutates the sharding runtime (access counters, remaps) and — for
+    injected rows only — the stateless columns written by the
+    resolution and pre-plan transit kernels. ``switch.stats`` receives
+    the remap-move count; everything else lands on the returned
+    schedule.
+    """
+    cfg = switch.config
+    stats = switch.stats
+    k = cfg.num_pipelines
+    depth = switch.depth
+    N = len(packets)
+    vplans = switch._vplans
+    nplans = len(vplans)
+    kernels = switch._vkernels
+    sharder = switch.sharder
+    # Last executable tick: the run loop breaks before tick max_ticks.
+    cut_limit = (max_ticks - 1) if max_ticks is not None else None
+
+    sched = EpochSchedule()
+    sched.cut_limit = cut_limit
+
+    # Injection schedule. Injection never blocks fault-free (every
+    # stage-0 slot vacates within its tick), so with round-robin spray
+    # the j-th arrival enters pipeline j % k, and within each residue
+    # class ticks follow t_i = max(ceil(arrival_i), t_{i-1}+1) — a
+    # running maximum.
+    arrival = getattr(switch, "_arrival_f", None)
+    if arrival is None or arrival.shape[0] != N:
+        arrival = np.fromiter(
+            (float(p.arrival) for p in packets), dtype=np.float64, count=N
+        )
+    ceil_a = np.ceil(arrival).astype(np.int64)
+    inj = np.empty(N, dtype=np.int64)
+    for r in range(min(k, N)):
+        sel = np.arange(r, N, k)
+        i_local = np.arange(sel.shape[0], dtype=np.int64)
+        inj[sel] = i_local + np.maximum.accumulate(ceil_a[sel] - i_local)
+    entry_pipe = np.arange(N, dtype=np.int64) % k
+    sched.inj = inj
+    sched.entry_pipe = entry_pipe
+
+    acc_idx = [
+        np.full(N, -1, dtype=np.int64) if p.has_index else None
+        for p in vplans
+    ]
+    dest = [np.zeros(N, dtype=np.int64) for _ in vplans]
+    ins_tick = [np.full(N, -1, dtype=np.int64) for _ in vplans]
+    pop_tick = [np.full(N, -1, dtype=np.int64) for _ in vplans]
+    groups = [[_Group(N) for _ in range(k)] for _ in vplans]
+    chunks: List[List[Tuple[np.ndarray, np.ndarray]]] = [[] for _ in vplans]
+    egr_tick = np.full(N, -1, dtype=np.int64)
+    egr_pipe = np.full(N, -1, dtype=np.int64)
+    sched.acc_idx = acc_idx
+    sched.dest = dest
+    sched.ins_tick = ins_tick
+    sched.pop_tick = pop_tick
+    sched.groups = groups
+    sched.chunks = chunks
+    sched.egr_tick = egr_tick
+    sched.egr_pipe = egr_pipe
+
+    period = cfg.remap_period
+    remap_on = cfg.remap_algorithm != "none"
+    inj_ptr = 0
+    injected = 0
+    egr_assigned = 0
+    last_egress = -1
+    epoch_start = 0
+    epochs = 0
+
+    def process_inject(rows: np.ndarray) -> None:
+        nonlocal egr_assigned, last_egress
+        # The resolution stage and pre-plan transit stages are
+        # stateless by admission, so running them here — before any
+        # service executes — reads and writes only the rows' own
+        # columns, exactly as the interleaved engine did.
+        kern0 = kernels[0]
+        if kern0 is not None:
+            kern0.fn(H, R, E, rows)
+        for u in switch._transit_after_inject:
+            kernels[u].fn(H, R, E, rows)
+        t_rows = inj[rows]
+        if not vplans:
+            et = t_rows + (depth - 1)
+            rows_e = rows
+            if cut_limit is not None:
+                keep = et <= cut_limit
+                rows_e = rows[keep]
+                et = et[keep]
+            if rows_e.size:
+                egr_tick[rows_e] = et
+                egr_pipe[rows_e] = entry_pipe[rows_e]
+                egr_assigned += rows_e.shape[0]
+                last_egress = max(last_egress, int(et[-1]))
+            return
+        for pi, plan in enumerate(vplans):
+            state = sharder.arrays[plan.base]
+            if plan.is_flow:
+                size = plan.size
+                fkey = H[cfg.flow_order_field]
+                iv = np.empty(rows.shape[0], dtype=np.int64)
+                for pos, row in enumerate(rows.tolist()):
+                    key = int(fkey[row])
+                    iv[pos] = hash2(key, 0x5F0E) % size
+                    pkt = packets[row]
+                    if pkt.flow_id is None:
+                        pkt.flow_id = key
+            elif plan.has_index:
+                op = plan.index_operand
+                if isinstance(op, Const):
+                    iv = np.full(
+                        rows.shape[0], op.value % plan.size, dtype=np.int64
+                    )
+                else:
+                    iv = E[op.name][rows] % plan.size
+            else:
+                iv = None
+            if iv is not None:
+                counts = np.bincount(iv, minlength=plan.size)
+                state.access_counts += counts
+                state.in_flight += counts.astype(state.in_flight.dtype)
+                dv = state.index_to_pipeline[iv].astype(np.int64)
+                acc_idx[pi][rows] = iv
+            else:
+                dv = np.full(
+                    rows.shape[0],
+                    int(state.index_to_pipeline[0]),
+                    dtype=np.int64,
+                )
+            dest[pi][rows] = dv
+            if k == 1:
+                g = groups[pi][0]
+                n = rows.shape[0]
+                g.members[g.count : g.count + n] = rows
+                g.count += n
+            else:
+                for pipe in range(k):
+                    sel = rows[dv == pipe]
+                    if sel.size:
+                        g = groups[pi][pipe]
+                        g.members[g.count : g.count + sel.size] = sel
+                        g.count += sel.size
+        ins_tick[0][rows] = t_rows + (vplans[0].stage - 1)
+
+    while True:
+        boundary = (epoch_start + period) if remap_on else None
+        cut = _FAR
+        if boundary is not None:
+            cut = boundary
+        if cut_limit is not None and cut_limit < cut:
+            cut = cut_limit
+
+        hi = int(np.searchsorted(inj, cut, side="right"))
+        if hi > inj_ptr:
+            rows = np.arange(inj_ptr, hi, dtype=np.int64)
+            inj_ptr = hi
+            injected += rows.shape[0]
+            process_inject(rows)
+
+        for pi, plan in enumerate(vplans):
+            ipt = ins_tick[pi]
+            popped = []
+            for pipe in range(k):
+                g = groups[pi][pipe]
+                avail = g.count - g.ptr
+                if avail <= 0:
+                    continue
+                max_pops = cut - g.last_pop
+                if max_pops <= 0:
+                    continue
+                take = min(avail, max_pops)
+                seg_rows = g.members[g.ptr : g.ptr + take]
+                seg_ins = ipt[seg_rows]
+                unknown = np.nonzero(seg_ins < 0)[0]
+                if unknown.size:
+                    take = int(unknown[0])
+                    if take == 0:
+                        continue
+                    seg_rows = seg_rows[:take]
+                    seg_ins = seg_ins[:take]
+                j = np.arange(seg_rows.shape[0], dtype=np.int64)
+                base = np.maximum(seg_ins, g.last_pop + 1)
+                pops = j + np.maximum.accumulate(base - j)
+                cnt = int(np.searchsorted(pops, cut, side="right"))
+                if cnt == 0:
+                    continue
+                rows_p = seg_rows[:cnt]
+                pops = pops[:cnt]
+                g.ptr += cnt
+                g.last_pop = int(pops[-1])
+                pop_tick[pi][rows_p] = pops
+                popped.append((rows_p, pops))
+            if not popped:
+                continue
+            if len(popped) == 1:
+                rows_p, pops = popped[0]
+            else:
+                rows_p = np.concatenate([c[0] for c in popped])
+                pops = np.concatenate([c[1] for c in popped])
+            chunks[pi].append((rows_p, pops))
+            if plan.has_index and not plan.is_flow:
+                state = sharder.arrays[plan.base]
+                state.in_flight -= np.bincount(
+                    acc_idx[pi][rows_p], minlength=plan.size
+                ).astype(state.in_flight.dtype)
+            if pi + 1 < nplans:
+                delta = vplans[pi + 1].stage - plan.stage
+                ins_tick[pi + 1][rows_p] = pops + delta
+            else:
+                # The run loop breaks before tick max_ticks, so an
+                # egress scheduled past the cutoff never executes: the
+                # packet is stuck in the tail.
+                et = pops + (depth - plan.stage)
+                rows_e = rows_p
+                if cut_limit is not None:
+                    keep = et <= cut_limit
+                    rows_e = rows_p[keep]
+                    et = et[keep]
+                if rows_e.size:
+                    egr_tick[rows_e] = et
+                    egr_pipe[rows_e] = dest[pi][rows_e]
+                    egr_assigned += rows_e.shape[0]
+                    last_egress = max(last_egress, int(et.max()))
+
+        if not remap_on:
+            break
+        if cut_limit is not None and boundary > cut_limit:
+            break
+        # The scalar run loop is alive at the boundary tick iff packets
+        # are still pending injection or in flight there — only then
+        # does the remap phase of that tick execute.
+        alive = (
+            inj_ptr < N
+            or injected > egr_assigned
+            or last_egress >= boundary
+        )
+        if alive:
+            moved = sharder.end_epoch(cfg.remap_algorithm)
+            stats.remap_moves += moved
+            epoch_start = boundary
+            epochs += 1
+        else:
+            break
+
+    sched.injected = injected
+    sched.egr_assigned = egr_assigned
+    sched.last_egress = last_egress
+    sched.epochs = epochs
+    return sched
+
+
+# ---------------------------------------------------------------------------
+# Phase B: service execution
+# ---------------------------------------------------------------------------
+
+
+def resolve_native_mode(native: Optional[bool]) -> str:
+    """``off`` (default / ``native=False``), ``njit`` (``native=True``
+    with Numba importable) or ``python`` (``native=True`` without it:
+    the fused kernels run as plain Python — same source, same results,
+    visible in ``native_unavailable_reason()``)."""
+    if not native:
+        return "off"
+    return "njit" if native_available() else "python"
+
+
+def _native_kernel(switch, stage: int, track_reg: Optional[str], mode: str):
+    """Fused kernel for one stage, or None when outside the native
+    envelope. Cached on the program object like the vjit kernels."""
+    if mode == "off":
+        return None
+    cache = getattr(switch.program, "_native_kernel_cache", None)
+    if cache is None:
+        cache = {}
+        try:
+            switch.program._native_kernel_cache = cache
+        except AttributeError:
+            pass
+    key = (stage, track_reg, mode)
+    if key not in cache:
+        from ..compiler.native import NativeUnsupported
+
+        try:
+            cache[key] = compile_native_stage(
+                switch._stage_instrs[stage],
+                f"s{stage}",
+                track_reg=track_reg,
+                force_python=(mode == "python"),
+            )
+        except NativeUnsupported:
+            cache[key] = None
+    return cache[key]
+
+
+def _native_cols(nkern, H: Dict, E: Dict, R: Dict) -> List[np.ndarray]:
+    return (
+        [H[f] for f in nkern.fields]
+        + [E[t] for t in nkern.temps]
+        + [R[r] for r in nkern.regs]
+    )
+
+
+def _wave_service(kern, H, R, E, base, conservative, rows_p, idxs) -> int:
+    """One epoch chunk of a wave plan, PR 5 semantics: rows touching
+    distinct indices execute together; same-index rows execute in
+    successive waves in pop order (the chunk's concatenation order is
+    pop order per pipeline, and one index maps to one pipeline within
+    an epoch)."""
+    wasted = 0
+    n = rows_p.shape[0]
+    # Fast path: no index repeats in the chunk -> one wave.
+    if n == 1 or int(np.bincount(idxs).max()) <= 1:
+        if conservative:
+            lane = np.zeros(n, dtype=bool)
+            kern.fn(H, R, E, rows_p, {base: lane})
+            return int(n - np.count_nonzero(lane))
+        kern.fn(H, R, E, rows_p)
+        return 0
+    order = np.argsort(idxs, kind="stable")
+    sorted_idx = idxs[order]
+    new_group = np.empty(n, dtype=bool)
+    new_group[0] = True
+    new_group[1:] = sorted_idx[1:] != sorted_idx[:-1]
+    starts = np.maximum.accumulate(np.where(new_group, np.arange(n), 0))
+    rank = np.arange(n) - starts
+    waves = np.empty(n, dtype=np.int64)
+    waves[order] = rank
+    n_waves = int(rank.max()) + 1
+    if conservative:
+        for w in range(n_waves):
+            sel = rows_p[waves == w]
+            lane = np.zeros(sel.shape[0], dtype=bool)
+            kern.fn(H, R, E, sel, {base: lane})
+            wasted += int(sel.shape[0] - np.count_nonzero(lane))
+    elif n_waves == 1:
+        kern.fn(H, R, E, rows_p)
+    else:
+        for w in range(n_waves):
+            kern.fn(H, R, E, rows_p[waves == w])
+    return wasted
+
+
+def _run_wave_partition(
+    kern, nkern, H, R, E, base, conservative, rows, idxs, offsets
+) -> int:
+    """Service one residue part of a wave plan: the fused per-row loop
+    when a native kernel is in force (rows are in per-index pop order,
+    which is all the per-row loop needs), else the NumPy wave
+    decomposition chunk by chunk."""
+    if nkern is not None:
+        return int(nkern.fn(rows, *_native_cols(nkern, H, E, R)))
+    wasted = 0
+    for lo, hi in zip(offsets[:-1], offsets[1:]):
+        if hi > lo:
+            wasted += _wave_service(
+                kern, H, R, E, base, conservative, rows[lo:hi], idxs[lo:hi]
+            )
+    return wasted
+
+
+# Per-worker state for the epoch pool: set once by the initializer,
+# read by every task. Lives at module level so tasks pickle as plain
+# (plan, rows, idxs, offsets) tuples.
+_WORKER: Optional[dict] = None
+
+
+def _epoch_worker_init(seg_name, layout, stage_instrs, metas, mode) -> None:
+    """Pool initializer: attach the SoA segment and map its columns.
+    Kernels compile lazily per plan on first use (and are cached), so a
+    worker that only ever serves one plan compiles one stage."""
+    global _WORKER
+    from multiprocessing import shared_memory
+
+    seg = shared_memory.SharedMemory(name=seg_name)
+    cols = {
+        (kind, name): np.ndarray(
+            (count,), dtype=np.int64, buffer=seg.buf, offset=offset
+        )
+        for kind, name, offset, count in layout
+    }
+    _WORKER = {
+        "seg": seg,  # keep a reference: GC would detach the buffer
+        "cols": cols,
+        "instrs": stage_instrs,
+        "metas": metas,
+        "mode": mode,
+        "kernels": {},
+    }
+
+
+def _worker_plan(pi: int):
+    """Compile-and-cache the kernels plan ``pi`` needs in this worker."""
+    ctx = _WORKER
+    got = ctx["kernels"].get(pi)
+    if got is None:
+        from ..compiler.native import NativeUnsupported
+        from ..compiler.vjit import compile_vector_stage
+
+        stage, base, conservative = ctx["metas"][pi]
+        instrs = ctx["instrs"][stage]
+        kern = compile_vector_stage(instrs, name=f"w{stage}")
+        nkern = None
+        if ctx["mode"] == "njit":
+            try:
+                nkern = compile_native_stage(
+                    instrs,
+                    f"w{stage}",
+                    track_reg=base if conservative else None,
+                )
+            except NativeUnsupported:
+                nkern = None
+            if nkern is not None and not nkern.jitted:
+                nkern = None  # plain-Python rows loop loses to waves
+        cols = ctx["cols"]
+        H = {
+            f: cols[("H", f)]
+            for f in kern.fields_read | kern.fields_written
+        }
+        E = {t: cols[("E", t)] for t in set(kern.temps_in) | set(kern.temps_out)}
+        R = {r: cols[("R", r)] for r in {i.reg for i in kern.stateful}}
+        got = (kern, nkern, H, E, R, base, conservative)
+        ctx["kernels"][pi] = got
+    return got
+
+
+def _epoch_worker_run(task) -> int:
+    pi, rows, idxs, offsets = task
+    kern, nkern, H, E, R, base, conservative = _worker_plan(pi)
+    return _run_wave_partition(
+        kern, nkern, H, R, E, base, conservative, rows, idxs, offsets
+    )
+
+
+def _share_columns(H: Dict, E: Dict, R: Dict):
+    """Copy every SoA column into one shared-memory segment and return
+    (segment, layout, H', E', R') with the dicts rebuilt as views."""
+    from multiprocessing import shared_memory
+
+    entries = (
+        [("H", name, arr) for name, arr in sorted(H.items())]
+        + [("E", name, arr) for name, arr in sorted(E.items())]
+        + [("R", name, arr) for name, arr in sorted(R.items())]
+    )
+    total = sum(arr.shape[0] for _, _, arr in entries) * 8
+    seg = shared_memory.SharedMemory(create=True, size=max(total, 8))
+    _parallel().register_shared_segment(seg.name)
+    layout = []
+    views: Dict[Tuple[str, str], np.ndarray] = {}
+    offset = 0
+    for kind, name, arr in entries:
+        count = arr.shape[0]
+        view = np.ndarray((count,), dtype=np.int64, buffer=seg.buf, offset=offset)
+        view[:] = arr
+        layout.append((kind, name, offset, count))
+        views[(kind, name)] = view
+        offset += count * 8
+    H2 = {name: views[("H", name)] for name in H}
+    E2 = {name: views[("E", name)] for name in E}
+    R2 = {name: views[("R", name)] for name in R}
+    return seg, layout, H2, E2, R2
+
+
+def execute_service(
+    switch,
+    schedule: EpochSchedule,
+    H: Dict,
+    E: Dict,
+    R: Dict,
+    native: Optional[bool] = None,
+    epoch_jobs: Optional[int] = None,
+) -> int:
+    """Phase B: run every plan's deferred service, in plan order.
+
+    Mutates ``H``/``E``/``R`` in place (via shared-memory staging when
+    workers are used) and returns the wasted-slot count. The result is
+    identical — and, once serialized, byte-identical — for every
+    combination of ``native`` and ``epoch_jobs``, including every
+    fallback path.
+    """
+    vplans = switch._vplans
+    mode = resolve_native_mode(native)
+    jobs = _parallel().resolve_jobs(epoch_jobs)
+    use_pool = (
+        jobs > 1
+        and not _parallel().pool_unavailable()
+        and any(
+            p.category == "wave"
+            and sum(c[0].shape[0] for c in schedule.chunks[pi])
+            >= PARALLEL_MIN_ROWS
+            for pi, p in enumerate(vplans)
+        )
+    )
+    seg = None
+    originals = None
+    if use_pool:
+        try:
+            originals = (H, E, R)
+            seg, layout, H, E, R = _share_columns(H, E, R)
+            metas = [(p.stage, p.base, p.conservative) for p in vplans]
+            initargs = (seg.name, layout, switch._stage_instrs, metas, mode)
+        except (OSError, ValueError):
+            if seg is not None:
+                _parallel().unregister_shared_segment(seg.name)
+                seg.close()
+                seg.unlink()
+            seg = None
+            H, E, R = originals
+            originals = None
+            use_pool = False
+    wasted = 0
+    try:
+        for pi, plan in enumerate(vplans):
+            rows_all, _pops = schedule.plan_stream(pi)
+            if rows_all.size:
+                if plan.category == "wave":
+                    wasted += _service_wave_plan(
+                        switch, schedule, pi, plan, H, E, R, mode,
+                        jobs if use_pool else 1,
+                        initargs if use_pool else None,
+                    )
+                elif plan.category == "serial":
+                    wasted += _service_serial_plan(
+                        switch, schedule, pi, plan, H, E, R, mode
+                    )
+                # 'none' (flow-order arrays, kernel-free stages): the
+                # FIFO timing is the whole effect; nothing to execute.
+                for u in switch._transit_after[pi]:
+                    switch._vkernels[u].fn(H, R, E, rows_all)
+    finally:
+        if seg is not None:
+            oH, oE, oR = originals
+            for name, arr in oH.items():
+                arr[:] = H[name]
+            for name, arr in oE.items():
+                arr[:] = E[name]
+            for name, arr in oR.items():
+                arr[:] = R[name]
+            del H, E, R  # drop the views before freeing their buffer
+            seg.close()
+            seg.unlink()
+            _parallel().unregister_shared_segment(seg.name)
+    return wasted
+
+
+def _service_wave_plan(
+    switch, schedule, pi, plan, H, E, R, mode, jobs, initargs
+) -> int:
+    kern = switch._vkernels[plan.stage]
+    track = plan.base if plan.conservative else None
+    # A plain-Python per-row loop loses to the NumPy wave decomposition
+    # for shardable plans; the python tier is reserved for the
+    # serialized path, where it replaces a slower loop.
+    nkern = (
+        _native_kernel(switch, plan.stage, track, mode)
+        if mode == "njit"
+        else None
+    )
+    nparts = jobs
+    if nparts > 1:
+        parts = schedule.partition(pi, nparts)
+        big_enough = all(p[0].shape[0] >= 64 for p in parts)
+        if len(parts) > 1 and big_enough:
+            done = _dispatch_parts(
+                switch, schedule, pi, plan, parts, H, E, R, kern, nkern,
+                initargs,
+            )
+            if done is not None:
+                return done
+        # Partitioning didn't pay (or the pool broke and state was
+        # restored): fall through to the in-process path.
+    idx_col = schedule.acc_idx[pi]
+    if nkern is not None:
+        rows = schedule.service_order(pi)
+        return int(nkern.fn(rows, *_native_cols(nkern, H, E, R)))
+    wasted = 0
+    for rows_p, _pops in schedule.chunks[pi]:
+        wasted += _wave_service(
+            kern, H, R, E, plan.base, plan.conservative, rows_p,
+            idx_col[rows_p],
+        )
+    return wasted
+
+
+def _dispatch_parts(
+    switch, schedule, pi, plan, parts, H, E, R, kern, nkern, initargs
+) -> Optional[int]:
+    """Run a wave plan's residue parts on the pool. Returns the wasted
+    count, or None after restoring state when the pool failed (the
+    caller then re-executes in process; tasks are register-mutating and
+    so never retried blindly)."""
+    # Snapshot everything this plan's service can touch, so a pool that
+    # breaks mid-plan (some parts applied, some not) can be rolled back.
+    rows_all, _ = schedule.plan_stream(pi)
+    snap_reg = {r: R[r].copy() for r in {i.reg for i in kern.stateful}}
+    snap_E = {t: E[t][rows_all].copy() for t in kern.temps_out}
+    snap_H = {f: H[f][rows_all].copy() for f in kern.fields_written}
+    tasks = [(pi, rows, idxs, offsets) for rows, idxs, offsets in parts]
+    try:
+        results = _parallel().pool_map_strict(
+            _epoch_worker_run,
+            tasks,
+            jobs=len(parts),
+            initializer=_epoch_worker_init,
+            initargs=initargs,
+            pool_key="epoch",
+        )
+        return int(sum(results))
+    except _parallel().PoolBroken:
+        for r, arr in snap_reg.items():
+            R[r][:] = arr
+        for t, arr in snap_E.items():
+            E[t][rows_all] = arr
+        for f, arr in snap_H.items():
+            H[f][rows_all] = arr
+        return None
+
+
+def _service_serial_plan(switch, schedule, pi, plan, H, E, R, mode) -> int:
+    """Serialized rows: pinned arrays, co-staged (multi) arrays,
+    constant or in-stage index expressions. Exact by construction —
+    execution in global (tick, pipeline) service order, either as one
+    fused per-row kernel call or as the scalar-JIT dict loop."""
+    stage = plan.stage
+    kern = switch._vkernels[stage]
+    track_wasted = plan.conservative and not plan.multi
+    nkern = _native_kernel(
+        switch, stage, plan.base if track_wasted else None, mode
+    )
+    rows_sorted = schedule.service_order(pi)
+    if nkern is not None:
+        return int(nkern.fn(rows_sorted, *_native_cols(nkern, H, E, R)))
+    fn = switch._vserial_fns[stage]
+    regview = {name: _RegView(arr) for name, arr in R.items()}
+    fields = sorted(kern.fields_read | kern.fields_written)
+    written = sorted(kern.fields_written)
+    temps_in = kern.temps_in
+    temps_out = kern.temps_out
+    wasted = 0
+    for row in rows_sorted.tolist():
+        headers = {f: int(H[f][row]) for f in fields}
+        env = {t: int(E[t][row]) for t in temps_in}
+        if track_wasted:
+            hit: List[str] = []
+            fn(headers, regview, env, lambda reg, i, kind: hit.append(reg))
+            if plan.base not in hit:
+                wasted += 1
+        else:
+            fn(headers, regview, env, None)
+        for f in written:
+            H[f][row] = headers[f]
+        for t in temps_out:
+            E[t][row] = env[t]
+    return wasted

@@ -386,6 +386,8 @@ def run_mp5_reference(
     profiler=None,
     faults=None,
     monitor=None,
+    native=None,
+    epoch_jobs=None,
 ) -> Tuple[SwitchStats, Dict[str, List[int]]]:
     """Run a trace through the dense reference engine (see module doc).
 

@@ -1178,11 +1178,16 @@ def run_mp5(
     profiler=None,
     faults=None,
     monitor=None,
+    native=None,
+    epoch_jobs=None,
 ) -> Tuple[SwitchStats, Dict[str, List[int]]]:
     """Convenience: run a trace through a fresh switch; returns the run
     statistics and the final register state. ``recorder``, ``metrics``,
     ``profiler`` and ``monitor`` are optional :mod:`repro.obs` sinks;
-    ``faults`` an optional :class:`repro.faults.FaultSchedule`."""
+    ``faults`` an optional :class:`repro.faults.FaultSchedule`.
+    ``native``/``epoch_jobs`` are vector-engine performance knobs,
+    accepted (and ignored) so every entry in ``ENGINES`` shares one
+    call signature."""
     switch = MP5Switch(program, config)
     if (
         recorder is not None

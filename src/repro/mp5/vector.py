@@ -33,7 +33,8 @@ represent (bounded FIFOs, phantom loss, ECN, starvation preemption,
 ideal queues, affinity spray, resolvable access guards, write-only
 register arrays, attached faults or observability sinks) make
 :func:`run_mp5_vector` fall back to the fast engine — with a one-line
-warning for faults/observability, silently for config shapes — so
+deduplicated warning for faults/observability and unsupported program
+shapes (including the reason), silently for config shapes — so
 ``--engine vector`` is always safe. Supported runs produce
 :class:`~repro.mp5.stats.SwitchStats` and final registers equal to both
 scalar engines, byte-for-byte once serialized.
@@ -41,26 +42,42 @@ scalar engines, byte-for-byte once serialized.
 
 from __future__ import annotations
 
+import operator
 import sys
 from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from ..compiler.jit import compile_instrs
-from ..compiler.tac import Const, Temp
+from ..compiler.tac import Temp
 from ..compiler.vjit import compile_vector_stage
-from ..domino.builtins import hash2
 from ..errors import ConfigError
 from .config import MP5Config
+from .epochs import build_epoch_schedule, execute_service
 from .packet import DataPacket
 from .stats import SwitchStats
 from .switch import FLOW_ORDER_ARRAY, MP5Switch, run_mp5
 
-_FAR = 1 << 62  # sentinel horizon: beyond any reachable tick
-
 
 class VectorUnsupported(Exception):
     """The program or configuration needs the scalar engines."""
+
+
+# Fallback warnings already emitted, for deduplication: a sweep that
+# falls back does so identically in every cell, so the notice prints
+# once per run (the CLI resets this at entry), not once per cell.
+_warned_fallbacks: set = set()
+
+
+def reset_fallback_warnings() -> None:
+    """Start a fresh warning scope (CLI entry, new reproduction run)."""
+    _warned_fallbacks.clear()
+
+
+def _warn_fallback(message: str) -> None:
+    if message not in _warned_fallbacks:
+        _warned_fallbacks.add(message)
+        print(message, file=sys.stderr)
 
 
 def config_fallback_reason(cfg: MP5Config) -> Optional[str]:
@@ -84,18 +101,6 @@ def config_fallback_reason(cfg: MP5Config) -> Optional[str]:
     return None
 
 
-class _Group:
-    """One (plan, pipeline) FIFO group: members in packet-id order."""
-
-    __slots__ = ("members", "count", "ptr", "last_pop")
-
-    def __init__(self, capacity: int):
-        self.members = np.empty(capacity, dtype=np.int64)
-        self.count = 0  # filled members (membership fixed at inject)
-        self.ptr = 0  # members already popped
-        self.last_pop = -1
-
-
 class _VPlan:
     """One per-packet state access, in stage order."""
 
@@ -117,36 +122,27 @@ class _VPlan:
             setattr(self, key, value)
 
 
-class _RegView:
-    """Scalar-JIT-compatible view of an int64 register column: reads
-    come back as Python ints so builtin calls never overflow int64."""
-
-    __slots__ = ("arr",)
-
-    def __init__(self, arr: np.ndarray):
-        self.arr = arr
-
-    def __len__(self) -> int:
-        return self.arr.shape[0]
-
-    def __getitem__(self, i):
-        return int(self.arr[i])
-
-    def __setitem__(self, i, value) -> None:
-        self.arr[i] = value
-
-
 class VectorSwitch(MP5Switch):
     """Batch engine. Construction raises :class:`VectorUnsupported` for
     program shapes the epoch reduction cannot represent; the config
     gates of :func:`config_fallback_reason` are checked here too so
     direct users get the same contract as the CLI."""
 
-    def __init__(self, program, config: Optional[MP5Config] = None):
+    def __init__(
+        self,
+        program,
+        config: Optional[MP5Config] = None,
+        native: Optional[bool] = None,
+        epoch_jobs: Optional[int] = None,
+    ):
         super().__init__(program, config)
         reason = config_fallback_reason(self.config)
         if reason is not None:
             raise VectorUnsupported(reason)
+        # Performance knobs only — every combination produces identical
+        # (byte-identical once serialized) results; see repro.mp5.epochs.
+        self._native = native
+        self._epoch_jobs = epoch_jobs
         self._build_vector_plan()
 
     # ------------------------------------------------------------------
@@ -318,7 +314,28 @@ class VectorSwitch(MP5Switch):
         packets = [self._coerce(i, entry) for i, entry in enumerate(trace)]
         if any(p.env for p in packets):
             raise VectorUnsupported("pre-seeded packet env")
-        packets.sort(key=lambda p: (p.arrival, p.port, p.pkt_id))
+        if packets:
+            # Stable (arrival, port, pkt_id) sort, same order as the
+            # scalar engines' list.sort but via one lexsort instead of
+            # N tuple-key calls.
+            n = len(packets)
+            # float64 keys: arrivals may carry sub-tick fractions, and
+            # float64 is exact for every tick/port/id magnitude here, so
+            # the lexsort ranks exactly like the Python tuple compare.
+            arr = np.fromiter(
+                (p.arrival for p in packets), dtype=np.float64, count=n
+            )
+            prt = np.fromiter(
+                (p.port for p in packets), dtype=np.float64, count=n
+            )
+            pid = np.fromiter(
+                (p.pkt_id for p in packets), dtype=np.float64, count=n
+            )
+            order = np.lexsort((pid, prt, arr))
+            packets = [packets[i] for i in order.tolist()]
+            # Phase A re-reads arrivals; hand it the sorted array so it
+            # skips a second 1-per-packet scan.
+            self._arrival_f = arr[order]
         for seq, pkt in enumerate(packets):
             pkt.pkt_id = seq  # arrival-ordered ids, the C1 reference order
         stats = self.stats
@@ -336,30 +353,10 @@ class VectorSwitch(MP5Switch):
         cfg = self.config
         stats = self.stats
         k = cfg.num_pipelines
-        depth = self.depth
         N = len(packets)
         vplans = self._vplans
         nplans = len(vplans)
         kernels = self._vkernels
-        sharder = self.sharder
-        # Last executable tick: the run loop breaks before tick max_ticks.
-        cut_limit = (max_ticks - 1) if max_ticks is not None else None
-
-        # Injection schedule. Injection never blocks fault-free (every
-        # stage-0 slot vacates within its tick), so with round-robin
-        # spray the j-th arrival enters pipeline j % k, and within each
-        # residue class ticks follow t_i = max(ceil(arrival_i), t_{i-1}+1)
-        # — a running maximum.
-        arrival = np.fromiter(
-            (float(p.arrival) for p in packets), dtype=np.float64, count=N
-        )
-        ceil_a = np.ceil(arrival).astype(np.int64)
-        inj = np.empty(N, dtype=np.int64)
-        for r in range(min(k, N)):
-            sel = np.arange(r, N, k)
-            i_local = np.arange(sel.shape[0], dtype=np.int64)
-            inj[sel] = i_local + np.maximum.accumulate(ceil_a[sel] - i_local)
-        entry_pipe = np.arange(N, dtype=np.int64) % k
 
         # Structure-of-arrays packet state.
         fields = set()
@@ -375,10 +372,29 @@ class VectorSwitch(MP5Switch):
         if field_list:
             # One pass over the packet dicts: row-major gather, then one
             # transpose — far cheaper than per-field generator scans.
-            raw = np.array(
-                [[p.headers.get(f, 0) for f in field_list] for p in packets],
-                dtype=np.int64,
-            )
+            # itemgetter first (every real workload populates every
+            # field); fall back to .get only when a header is sparse.
+            try:
+                if len(field_list) == 1:
+                    getter = operator.itemgetter(field_list[0])
+                    raw = np.array(
+                        [[getter(p.headers)] for p in packets],
+                        dtype=np.int64,
+                    )
+                else:
+                    getter = operator.itemgetter(*field_list)
+                    raw = np.array(
+                        [getter(p.headers) for p in packets],
+                        dtype=np.int64,
+                    )
+            except KeyError:
+                raw = np.array(
+                    [
+                        [p.headers.get(f, 0) for f in field_list]
+                        for p in packets
+                    ],
+                    dtype=np.int64,
+                )
             H = {
                 f: np.ascontiguousarray(raw[:, pos])
                 for pos, f in enumerate(field_list)
@@ -391,219 +407,40 @@ class VectorSwitch(MP5Switch):
             for name, values in self.registers.items()
         }
 
-        # Per-plan per-packet timeline state.
-        acc_idx = [
-            np.full(N, -1, dtype=np.int64) if p.has_index else None
-            for p in vplans
-        ]
-        dest = [np.zeros(N, dtype=np.int64) for _ in vplans]
-        ins_tick = [np.full(N, -1, dtype=np.int64) for _ in vplans]
-        pop_tick = [np.full(N, -1, dtype=np.int64) for _ in vplans]
-        groups = [[_Group(N) for _ in range(k)] for _ in vplans]
-        egr_tick = np.full(N, -1, dtype=np.int64)
-        egr_pipe = np.full(N, -1, dtype=np.int64)
-        self._regview = {name: _RegView(arr) for name, arr in R.items()}
-        self._wasted = 0
-
-        period = cfg.remap_period
-        remap_on = cfg.remap_algorithm != "none"
-        inj_ptr = 0
-        injected = 0
-        egr_assigned = 0
-        last_egress = -1
-        epoch_start = 0
-
-        def process_inject(rows: np.ndarray) -> None:
-            nonlocal egr_assigned, last_egress
-            kern0 = kernels[0]
-            if kern0 is not None:
-                kern0.fn(H, R, E, rows)
-            for u in self._transit_after_inject:
-                kernels[u].fn(H, R, E, rows)
-            t_rows = inj[rows]
-            if not vplans:
-                et = t_rows + (depth - 1)
-                rows_e = rows
-                if cut_limit is not None:
-                    keep = et <= cut_limit
-                    rows_e = rows[keep]
-                    et = et[keep]
-                if rows_e.size:
-                    egr_tick[rows_e] = et
-                    egr_pipe[rows_e] = entry_pipe[rows_e]
-                    egr_assigned += rows_e.shape[0]
-                    last_egress = max(last_egress, int(et[-1]))
-                return
-            for pi, plan in enumerate(vplans):
-                state = sharder.arrays[plan.base]
-                if plan.is_flow:
-                    size = plan.size
-                    fkey = H[cfg.flow_order_field]
-                    iv = np.empty(rows.shape[0], dtype=np.int64)
-                    for pos, row in enumerate(rows.tolist()):
-                        key = int(fkey[row])
-                        iv[pos] = hash2(key, 0x5F0E) % size
-                        pkt = packets[row]
-                        if pkt.flow_id is None:
-                            pkt.flow_id = key
-                elif plan.has_index:
-                    op = plan.index_operand
-                    if isinstance(op, Const):
-                        iv = np.full(
-                            rows.shape[0], op.value % plan.size, dtype=np.int64
-                        )
-                    else:
-                        iv = E[op.name][rows] % plan.size
-                else:
-                    iv = None
-                if iv is not None:
-                    counts = np.bincount(iv, minlength=plan.size)
-                    state.access_counts += counts
-                    state.in_flight += counts.astype(state.in_flight.dtype)
-                    dv = state.index_to_pipeline[iv].astype(np.int64)
-                    acc_idx[pi][rows] = iv
-                else:
-                    dv = np.full(
-                        rows.shape[0],
-                        int(state.index_to_pipeline[0]),
-                        dtype=np.int64,
-                    )
-                dest[pi][rows] = dv
-                if k == 1:
-                    g = groups[pi][0]
-                    n = rows.shape[0]
-                    g.members[g.count : g.count + n] = rows
-                    g.count += n
-                else:
-                    for pipe in range(k):
-                        sel = rows[dv == pipe]
-                        if sel.size:
-                            g = groups[pi][pipe]
-                            g.members[g.count : g.count + sel.size] = sel
-                            g.count += sel.size
-            ins_tick[0][rows] = t_rows + (vplans[0].stage - 1)
-
-        while True:
-            boundary = (epoch_start + period) if remap_on else None
-            cut = _FAR
-            if boundary is not None:
-                cut = boundary
-            if cut_limit is not None and cut_limit < cut:
-                cut = cut_limit
-
-            hi = int(np.searchsorted(inj, cut, side="right"))
-            if hi > inj_ptr:
-                rows = np.arange(inj_ptr, hi, dtype=np.int64)
-                inj_ptr = hi
-                injected += rows.shape[0]
-                process_inject(rows)
-
-            for pi, plan in enumerate(vplans):
-                ipt = ins_tick[pi]
-                popped = []
-                for pipe in range(k):
-                    g = groups[pi][pipe]
-                    avail = g.count - g.ptr
-                    if avail <= 0:
-                        continue
-                    max_pops = cut - g.last_pop
-                    if max_pops <= 0:
-                        continue
-                    take = min(avail, max_pops)
-                    seg_rows = g.members[g.ptr : g.ptr + take]
-                    seg_ins = ipt[seg_rows]
-                    unknown = np.nonzero(seg_ins < 0)[0]
-                    if unknown.size:
-                        take = int(unknown[0])
-                        if take == 0:
-                            continue
-                        seg_rows = seg_rows[:take]
-                        seg_ins = seg_ins[:take]
-                    j = np.arange(seg_rows.shape[0], dtype=np.int64)
-                    base = np.maximum(seg_ins, g.last_pop + 1)
-                    pops = j + np.maximum.accumulate(base - j)
-                    cnt = int(np.searchsorted(pops, cut, side="right"))
-                    if cnt == 0:
-                        continue
-                    rows_p = seg_rows[:cnt]
-                    pops = pops[:cnt]
-                    g.ptr += cnt
-                    g.last_pop = int(pops[-1])
-                    pop_tick[pi][rows_p] = pops
-                    popped.append((pipe, rows_p, pops))
-                if not popped:
-                    continue
-                # Service every pipeline's pops in one merged batch —
-                # shardable indices are pipe-disjoint within the epoch,
-                # so waves compose across pipelines; serialized stages
-                # re-sort into global (tick, pipe) service order.
-                if len(popped) == 1:
-                    pipe0, rows_p, pops = popped[0]
-                    pipes_p = None
-                else:
-                    rows_p = np.concatenate([c[1] for c in popped])
-                    pops = np.concatenate([c[2] for c in popped])
-                    pipes_p = np.concatenate(
-                        [np.full(c[1].shape[0], c[0], dtype=np.int64) for c in popped]
-                    )
-                self._service_batch(plan, pi, rows_p, pops, pipes_p, acc_idx, H, R, E)
-                if plan.has_index and not plan.is_flow:
-                    state = sharder.arrays[plan.base]
-                    state.in_flight -= np.bincount(
-                        acc_idx[pi][rows_p], minlength=plan.size
-                    ).astype(state.in_flight.dtype)
-                if pi + 1 < nplans:
-                    delta = vplans[pi + 1].stage - plan.stage
-                    ins_tick[pi + 1][rows_p] = pops + delta
-                else:
-                    # The run loop breaks before tick max_ticks, so an
-                    # egress scheduled past the cutoff never executes:
-                    # the packet is stuck in the tail.
-                    et = pops + (depth - plan.stage)
-                    rows_e = rows_p
-                    if cut_limit is not None:
-                        keep = et <= cut_limit
-                        rows_e = rows_p[keep]
-                        et = et[keep]
-                    if rows_e.size:
-                        egr_tick[rows_e] = et
-                        egr_pipe[rows_e] = dest[pi][rows_e]
-                        egr_assigned += rows_e.shape[0]
-                        last_egress = max(last_egress, int(et.max()))
-                for u in self._transit_after[pi]:
-                    kernels[u].fn(H, R, E, rows_p)
-
-            if not remap_on:
-                break
-            if cut_limit is not None and boundary > cut_limit:
-                break
-            # The scalar run loop is alive at the boundary tick iff
-            # packets are still pending injection or in flight there —
-            # only then does the remap phase of that tick execute.
-            alive = (
-                inj_ptr < N
-                or injected > egr_assigned
-                or last_egress >= boundary
-            )
-            if alive:
-                moved = sharder.end_epoch(cfg.remap_algorithm)
-                stats.remap_moves += moved
-                epoch_start = boundary
-            else:
-                break
+        # Phase A: the timing sweep (injection, pop chains, remaps) —
+        # no stateful service yet. Phase B: replay the schedule against
+        # register state, on the native tier and worker pool when asked.
+        # Both live in repro.mp5.epochs; the split is exact because
+        # access indices resolve at the stateless resolution stage.
+        schedule = build_epoch_schedule(self, packets, H, E, R, max_ticks)
+        self._last_schedule = schedule  # test/debug hook: the run's DAG
+        wasted = execute_service(
+            self,
+            schedule,
+            H,
+            E,
+            R,
+            native=self._native,
+            epoch_jobs=self._epoch_jobs,
+        )
+        ins_tick = schedule.ins_tick
+        pop_tick = schedule.pop_tick
+        dest = schedule.dest
+        egr_tick = schedule.egr_tick
+        egr_pipe = schedule.egr_pipe
 
         # ------------------------------------------------------------------
         # Statistics reconstruction (Python-native values, so serialized
         # output is byte-identical with the scalar engines).
         # ------------------------------------------------------------------
-        if egr_assigned == N:
-            stats.ticks = int(last_egress) + 1
+        if schedule.egr_assigned == N:
+            stats.ticks = int(schedule.last_egress) + 1
         else:
             stats.ticks = int(max_ticks)
         last_exec = stats.ticks - 1
 
-        stats.phantoms_generated = injected * nplans
-        stats.wasted_slots = self._wasted
+        stats.phantoms_generated = schedule.injected * nplans
+        stats.wasted_slots = wasted
 
         done = np.nonzero(egr_tick >= 0)[0]
         stats.egressed = int(done.size)
@@ -611,20 +448,29 @@ class VectorSwitch(MP5Switch):
             order = np.lexsort((egr_pipe[done], egr_tick[done]))
             ordered = done[order]
             ticks_sorted = egr_tick[ordered]
-            stats.egress_ticks = [int(t) for t in ticks_sorted]
-            latencies = []
-            flow_egress = stats.flow_egress
-            for pos, row in enumerate(ordered.tolist()):
-                pkt = packets[row]
-                latencies.append(int(ticks_sorted[pos]) - pkt.arrival)
-                if pkt.flow_id is not None:
-                    flow_egress.setdefault(pkt.flow_id, []).append(row)
-            stats.latencies = latencies
+            stats.egress_ticks = ticks_sorted.tolist()
+            # Latency keeps the arrival's Python type (int arrivals give
+            # int latencies, fractional ones floats) exactly like the
+            # scalar engines' per-packet subtraction.
+            arrivals = [p.arrival for p in packets]
+            stats.latencies = [
+                t - arrivals[row]
+                for t, row in zip(
+                    ticks_sorted.tolist(), ordered.tolist()
+                )
+            ]
+            flow_ids = [p.flow_id for p in packets]
+            if any(f is not None for f in flow_ids):
+                flow_egress = stats.flow_egress
+                for row in ordered.tolist():
+                    fid = flow_ids[row]
+                    if fid is not None:
+                        flow_egress.setdefault(fid, []).append(row)
 
         steering = 0
         for pi, plan in enumerate(vplans):
             executed = (ins_tick[pi] >= 0) & (ins_tick[pi] <= last_exec)
-            prev = entry_pipe if pi == 0 else dest[pi - 1]
+            prev = schedule.entry_pipe if pi == 0 else dest[pi - 1]
             steering += int(np.count_nonzero(executed & (dest[pi] != prev)))
         stats.steering_moves = steering
 
@@ -632,7 +478,7 @@ class VectorSwitch(MP5Switch):
         peaks = stats.per_stage_peak_queue
         for pi, plan in enumerate(vplans):
             for pipe in range(k):
-                g = groups[pi][pipe]
+                g = schedule.groups[pi][pipe]
                 if g.count == 0:
                     continue
                 members = g.members[: g.count]
@@ -660,83 +506,6 @@ class VectorSwitch(MP5Switch):
         for name, arr in R.items():
             self.registers[name] = arr.tolist()
 
-    # ------------------------------------------------------------------
-    # Stateful service
-    # ------------------------------------------------------------------
-
-    def _service_batch(
-        self, plan, pi, rows_p, pops, pipes_p, acc_idx, H, R, E
-    ) -> None:
-        stage = plan.stage
-        kern = self._vkernels[stage]
-        if plan.is_flow or kern is None:
-            return
-        if plan.category == "wave":
-            idxs = acc_idx[pi][rows_p]
-            n = rows_p.shape[0]
-            # Fast path: no index repeats in the batch -> one wave.
-            if n == 1 or int(np.bincount(idxs).max()) <= 1:
-                if plan.conservative:
-                    lane = np.zeros(n, dtype=bool)
-                    kern.fn(H, R, E, rows_p, {plan.base: lane})
-                    self._wasted += int(n - np.count_nonzero(lane))
-                else:
-                    kern.fn(H, R, E, rows_p)
-                return
-            order = np.argsort(idxs, kind="stable")
-            sorted_idx = idxs[order]
-            new_group = np.empty(n, dtype=bool)
-            new_group[0] = True
-            if n > 1:
-                new_group[1:] = sorted_idx[1:] != sorted_idx[:-1]
-            starts = np.maximum.accumulate(
-                np.where(new_group, np.arange(n), 0)
-            )
-            rank = np.arange(n) - starts
-            waves = np.empty(n, dtype=np.int64)
-            waves[order] = rank
-            n_waves = int(rank.max()) + 1
-            if plan.conservative:
-                for w in range(n_waves):
-                    sel = rows_p[waves == w]
-                    lane = np.zeros(sel.shape[0], dtype=bool)
-                    kern.fn(H, R, E, sel, {plan.base: lane})
-                    self._wasted += int(
-                        sel.shape[0] - np.count_nonzero(lane)
-                    )
-            elif n_waves == 1:
-                kern.fn(H, R, E, rows_p)
-            else:
-                for w in range(n_waves):
-                    kern.fn(H, R, E, rows_p[waves == w])
-            return
-        # Serialized rows: pinned arrays, co-staged (multi) arrays,
-        # constant or in-stage index expressions. Exact by construction
-        # — scalar execution in global (tick, pipeline) service order.
-        if pipes_p is not None:
-            rows_p = rows_p[np.lexsort((pipes_p, pops))]
-        fn = self._vserial_fns[stage]
-        regview = self._regview
-        fields = sorted(kern.fields_read | kern.fields_written)
-        written = sorted(kern.fields_written)
-        temps_in = kern.temps_in
-        temps_out = kern.temps_out
-        track_wasted = plan.conservative and not plan.multi
-        for row in rows_p.tolist():
-            headers = {f: int(H[f][row]) for f in fields}
-            env = {t: int(E[t][row]) for t in temps_in}
-            if track_wasted:
-                hit: List[str] = []
-                fn(headers, regview, env, lambda reg, i, kind: hit.append(reg))
-                if plan.base not in hit:
-                    self._wasted += 1
-            else:
-                fn(headers, regview, env, None)
-            for f in written:
-                H[f][row] = headers[f]
-            for t in temps_out:
-                E[t][row] = env[t]
-
 
 def run_mp5_vector(
     program,
@@ -749,14 +518,22 @@ def run_mp5_vector(
     profiler=None,
     faults=None,
     monitor=None,
+    native: Optional[bool] = None,
+    epoch_jobs: Optional[int] = None,
 ) -> Tuple[SwitchStats, Dict[str, List[int]]]:
     """Run a trace through the batch engine, falling back to the fast
     engine whenever the vector reduction does not apply.
 
     Faults or observability sinks trigger the fallback with a one-line
     stderr warning (so ``--engine vector`` is always safe in scripts);
-    unsupported configurations and program shapes fall back silently.
-    Either way the returned statistics and registers are identical to
+    unsupported configurations fall back silently and unsupported
+    program shapes warn once with the :class:`VectorUnsupported`
+    reason. Warnings are deduplicated per run — a 1000-cell sweep that
+    falls back prints one line, not 1000 (see
+    :func:`reset_fallback_warnings`). ``native`` and ``epoch_jobs``
+    select the fused-kernel tier and the in-run worker count
+    (:mod:`repro.mp5.epochs`); both are pure performance knobs. Either
+    way the returned statistics and registers are identical to
     :func:`~repro.mp5.switch.run_mp5`.
     """
     entries = trace if isinstance(trace, list) else list(trace)
@@ -769,10 +546,9 @@ def run_mp5_vector(
         or monitor is not None
     ):
         attached = "faults" if faults is not None else "observability"
-        print(
+        _warn_fallback(
             f"vector engine: {attached} attached; falling back to the "
-            "fast engine",
-            file=sys.stderr,
+            "fast engine"
         )
         return run_mp5(
             program,
@@ -795,13 +571,19 @@ def run_mp5_vector(
             # VectorSwitch.run raises VectorUnsupported only in its
             # preamble, before any packet is mutated, so the same
             # entries list can be replayed through the fast engine.
-            switch = VectorSwitch(program, config)
+            switch = VectorSwitch(
+                program, config, native=native, epoch_jobs=epoch_jobs
+            )
             stats = switch.run(
                 entries,
                 max_ticks=max_ticks,
                 record_access_order=record_access_order,
             )
-        except VectorUnsupported:
+        except VectorUnsupported as exc:
+            _warn_fallback(
+                f"vector engine: unsupported program shape ({exc}); "
+                "falling back to the fast engine"
+            )
             stats = None
     if stats is None:
         return run_mp5(

@@ -1,0 +1,196 @@
+"""Epoch/residue-class parallel execution must be invisible in results.
+
+Phase A (:func:`repro.mp5.epochs.build_epoch_schedule`) fixes the run's
+task DAG before any stateful service executes, so the DAG — and every
+downstream artifact — must be identical at any worker count and on any
+kernel tier. These tests pin that contract: schedule determinism,
+residue-partition disjointness/coverage, byte-identical ``results.json``
+across ``epoch_jobs`` and ``native`` settings, graceful rollback when
+the worker pool breaks mid-plan, and the deduplicated fallback warning.
+"""
+
+import numpy as np
+import pytest
+
+import repro.harness.parallel as par
+from repro.cli import main
+from repro.harness.parallel import shutdown_pool
+from repro.harness.runall import SCALES, run_all
+from repro.mp5 import VectorSwitch
+from repro.mp5.vector import _warn_fallback, reset_fallback_warnings
+from repro.workloads import clone_packets
+from repro.workloads.synthetic import make_sensitivity_program, sensitivity_trace
+
+
+@pytest.fixture(autouse=True)
+def _teardown():
+    reset_fallback_warnings()
+    yield
+    reset_fallback_warnings()
+    shutdown_pool()
+
+
+def _run_switch(num_packets=3000, seed=0, native=None, epoch_jobs=None):
+    program = make_sensitivity_program(2, 64)
+    switch = VectorSwitch(program, None, native=native, epoch_jobs=epoch_jobs)
+    stats = switch.run(sensitivity_trace(num_packets, 4, 2, 64, seed=seed))
+    return switch, stats
+
+
+# ---------------------------------------------------------------------------
+# Schedule determinism
+# ---------------------------------------------------------------------------
+
+
+def test_dag_signature_deterministic_across_runs():
+    a, _ = _run_switch()
+    b, _ = _run_switch()
+    assert a._last_schedule.dag_signature() == b._last_schedule.dag_signature()
+
+
+@pytest.mark.parametrize("epoch_jobs", (None, 1, 2, 4))
+def test_dag_signature_independent_of_workers(epoch_jobs):
+    base, _ = _run_switch()
+    other, _ = _run_switch(epoch_jobs=epoch_jobs)
+    assert (
+        other._last_schedule.dag_signature()
+        == base._last_schedule.dag_signature()
+    )
+
+
+def test_dag_signature_independent_of_native_tier():
+    base, _ = _run_switch()
+    native, _ = _run_switch(native=True)
+    assert (
+        native._last_schedule.dag_signature()
+        == base._last_schedule.dag_signature()
+    )
+
+
+def test_dag_signature_varies_with_input():
+    a, _ = _run_switch(seed=0)
+    b, _ = _run_switch(seed=1)
+    assert a._last_schedule.dag_signature() != b._last_schedule.dag_signature()
+
+
+# ---------------------------------------------------------------------------
+# Residue partition
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("nparts", (2, 3, 4))
+def test_partition_covers_stream_disjointly(nparts):
+    switch, _ = _run_switch()
+    sched = switch._last_schedule
+    checked = 0
+    for pi, idx_col in enumerate(sched.acc_idx):
+        if idx_col is None:
+            continue
+        rows_all, _pops = sched.plan_stream(pi)
+        parts = sched.partition(pi, nparts)
+        seen = np.concatenate([rows for rows, _i, _o in parts])
+        # Every row exactly once (order may differ: parts are
+        # residue-major, the stream is epoch-major).
+        assert sorted(seen.tolist()) == sorted(rows_all.tolist())
+        for w_rows, w_idx, offsets in parts:
+            residues = set((w_idx % nparts).tolist())
+            assert len(residues) == 1  # one residue class per part
+            assert np.array_equal(w_idx, idx_col[w_rows])
+            assert offsets[0] == 0 and offsets[-1] == w_rows.shape[0]
+            assert np.all(np.diff(offsets) > 0)
+        checked += 1
+    assert checked  # the sensitivity program has indexed plans
+
+
+# ---------------------------------------------------------------------------
+# End-to-end byte identity
+# ---------------------------------------------------------------------------
+
+
+def test_stats_identical_across_workers_and_tiers():
+    base_switch, base_stats = _run_switch(num_packets=6000)
+    base_regs = dict(base_switch.registers)
+    for kwargs in (
+        dict(native=True),
+        dict(epoch_jobs=2),
+        dict(native=True, epoch_jobs=2),
+        dict(epoch_jobs=4),
+    ):
+        switch, stats = _run_switch(num_packets=6000, **kwargs)
+        assert stats == base_stats, kwargs
+        assert dict(switch.registers) == base_regs, kwargs
+
+
+def test_runall_results_identical_across_epoch_settings(tmp_path):
+    paths = {}
+    for name, kwargs in (
+        ("base", dict()),
+        ("native", dict(native=True)),
+        ("jobs2", dict(epoch_jobs=2)),
+        ("native_jobs2", dict(native=True, epoch_jobs=2)),
+    ):
+        out = tmp_path / name
+        run_all(out_dir=str(out), scale="tiny", engine="vector", **kwargs)
+        paths[name] = (out / "results.json").read_bytes()
+    assert len(set(paths.values())) == 1
+
+
+def test_xlarge_scale_defined():
+    knobs = SCALES["xlarge"]
+    assert knobs["num_packets"] == 1_000_000
+    assert knobs["engine"] == "vector"
+    assert knobs["native"] is True
+    assert knobs["sensitivity_packets"] < knobs["num_packets"]
+
+
+# ---------------------------------------------------------------------------
+# Pool failure rollback
+# ---------------------------------------------------------------------------
+
+
+def test_pool_breakage_rolls_back_and_reexecutes(monkeypatch):
+    """A mid-plan pool failure must not double-apply register updates:
+    the executor restores its snapshot and redoes the plan serially."""
+    base_switch, base_stats = _run_switch(num_packets=12000)
+
+    def boom(*args, **kwargs):
+        raise par.PoolBroken("worker died")
+
+    monkeypatch.setattr(par, "pool_map_strict", boom)
+    switch, stats = _run_switch(num_packets=12000, epoch_jobs=2)
+    assert stats == base_stats
+    assert dict(switch.registers) == dict(base_switch.registers)
+
+
+# ---------------------------------------------------------------------------
+# Fallback warning dedup
+# ---------------------------------------------------------------------------
+
+
+def test_warn_fallback_prints_once(capsys):
+    _warn_fallback("vector engine: test message")
+    _warn_fallback("vector engine: test message")
+    assert capsys.readouterr().err.count("test message") == 1
+    _warn_fallback("vector engine: another message")
+    err = capsys.readouterr().err
+    assert "another message" in err and "test message" not in err
+
+
+def test_warn_fallback_reset(capsys):
+    _warn_fallback("vector engine: resettable")
+    reset_fallback_warnings()
+    _warn_fallback("vector engine: resettable")
+    assert capsys.readouterr().err.count("resettable") == 2
+
+
+def test_cli_invocations_each_warn_once(capsys):
+    """main() resets the warning budget, so two CLI runs in one process
+    warn once each — not once total, not twice per run."""
+    argv = [
+        "run", "heavy_hitter", "--packets", "200",
+        "--engine", "vector", "--monitor",
+    ]
+    for _ in range(2):
+        assert main(argv) == 0
+        err = capsys.readouterr().err
+        assert err.count("falling back to the fast engine") == 1

@@ -1,0 +1,201 @@
+"""The fused native kernel tier must be invisible in the results.
+
+:mod:`repro.compiler.lower` flattens a stage's TAC into SSA;
+:mod:`repro.compiler.native` emits one fused per-row kernel per stage
+from that SSA (Numba-jitted when Numba is importable, plain Python
+otherwise). The admission contract mirrors the vector engine's: any
+stage outside the envelope raises :class:`NativeUnsupported` and the
+engine silently keeps its NumPy path — so for every (program, trace,
+config), ``native=True`` must reproduce the plain vector run (and thus
+the fast engine) bit for bit, with or without Numba installed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import ALL_APPS
+from repro.compiler import compile_program
+from repro.compiler.lower import lower_stage
+from repro.compiler.native import (
+    NativeUnsupported,
+    compile_native_stage,
+    native_available,
+    native_unavailable_reason,
+)
+from repro.domino import get_program
+from repro.mp5 import ENGINES, MP5Config
+from repro.mp5.epochs import resolve_native_mode
+from repro.workloads import line_rate_trace
+from repro.workloads.synthetic import make_sensitivity_program, sensitivity_trace
+
+from tests.test_fuzz_equivalence import FIELDS, random_program
+
+
+def _headers_for(program):
+    fields = list(program.packet_fields)
+
+    def gen(rng, _i):
+        return {f: int(rng.integers(0, 64)) for f in fields}
+
+    return gen
+
+
+def _run(engine_kwargs, program, trace_factory, config=None, max_ticks=None):
+    stats, regs = ENGINES["vector"](
+        program, trace_factory(), config, max_ticks=max_ticks, **engine_kwargs
+    )
+    return stats, regs
+
+
+def _assert_native_matches(program, trace_factory, config=None, max_ticks=None):
+    base_stats, base_regs = _run({}, program, trace_factory, config, max_ticks)
+    nat_stats, nat_regs = _run(
+        {"native": True}, program, trace_factory, config, max_ticks
+    )
+    assert nat_stats == base_stats
+    assert nat_regs == base_regs
+
+
+# ---------------------------------------------------------------------------
+# Lowering
+# ---------------------------------------------------------------------------
+
+
+def _sensitivity_switch():
+    from repro.mp5.vector import VectorSwitch
+
+    return VectorSwitch(make_sensitivity_program(4, 64))
+
+
+def test_lowering_is_deterministic():
+    switch = _sensitivity_switch()
+    for stage, instrs in enumerate(switch._stage_instrs):
+        a = lower_stage(instrs, f"s{stage}")
+        b = lower_stage(instrs, f"s{stage}")
+        if a is None:
+            assert b is None
+            continue
+        assert [s.render() for s in a.stmts] == [s.render() for s in b.stmts]
+        assert a.temps_in == b.temps_in
+        assert a.temps_out == b.temps_out
+        assert a.regs == b.regs
+
+
+def test_native_compile_source_is_deterministic():
+    switch = _sensitivity_switch()
+    compiled = 0
+    for stage, instrs in enumerate(switch._stage_instrs):
+        if not instrs:
+            continue
+        try:
+            k1 = compile_native_stage(instrs, f"s{stage}", force_python=True)
+            k2 = compile_native_stage(instrs, f"s{stage}", force_python=True)
+        except NativeUnsupported:
+            continue
+        assert k1.source == k2.source
+        compiled += 1
+    assert compiled > 0  # the sensitivity program is inside the envelope
+
+
+def test_builtin_call_stage_rejected():
+    """Stages containing builtin CALLs (hash2 etc.) are outside the
+    fused-kernel envelope and must raise, not miscompile."""
+    from repro.mp5.vector import VectorSwitch
+
+    program = compile_program(get_program("flowlet"))
+    switch = VectorSwitch(program)
+    saw_reject = False
+    for stage, instrs in enumerate(switch._stage_instrs):
+        if not instrs:
+            continue
+        try:
+            compile_native_stage(instrs, f"s{stage}", force_python=True)
+        except NativeUnsupported:
+            saw_reject = True
+    assert saw_reject  # flowlet's resolution stage hashes the flow key
+
+
+# ---------------------------------------------------------------------------
+# Gating without Numba
+# ---------------------------------------------------------------------------
+
+
+def test_native_mode_resolution():
+    assert resolve_native_mode(None) == "off"
+    assert resolve_native_mode(False) == "off"
+    expected = "njit" if native_available() else "python"
+    assert resolve_native_mode(True) == expected
+
+
+def test_unavailable_reason_consistent():
+    if native_available():
+        assert native_unavailable_reason() is None
+    else:
+        reason = native_unavailable_reason()
+        assert reason and "numba" in reason.lower()
+
+
+def test_python_tier_kernel_runs():
+    """force_python compiles and executes without Numba present."""
+    switch = _sensitivity_switch()
+    for stage, instrs in enumerate(switch._stage_instrs):
+        if not instrs:
+            continue
+        try:
+            kern = compile_native_stage(instrs, f"s{stage}", force_python=True)
+        except NativeUnsupported:
+            continue
+        assert not kern.jitted
+        assert callable(kern.fn)
+        return
+    pytest.fail("no stage compiled")
+
+
+# ---------------------------------------------------------------------------
+# Differential: native on vs off
+# ---------------------------------------------------------------------------
+
+
+def test_native_matches_sensitivity():
+    program = make_sensitivity_program(4, 128)
+    _assert_native_matches(
+        program, lambda: sensitivity_trace(2500, 4, 4, 128, seed=3)
+    )
+
+
+@pytest.mark.parametrize("app_name", sorted(ALL_APPS))
+def test_native_matches_real_apps(app_name):
+    app = ALL_APPS[app_name]
+    program = app.compile()
+    _assert_native_matches(
+        program,
+        lambda: app.workload(1200, 4, seed=1),
+        MP5Config(num_pipelines=4),
+    )
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_native_matches_fuzzed_programs(seed):
+    rng = np.random.default_rng(900 + seed)
+    source = random_program(rng)
+    program = compile_program(source)
+    fields = list(FIELDS)
+
+    def gen(r, _i):
+        return {f: int(r.integers(0, 32)) for f in fields}
+
+    _assert_native_matches(
+        program,
+        lambda: line_rate_trace(800, 4, gen, seed=seed),
+        MP5Config(num_pipelines=4, seed=seed),
+    )
+
+
+@pytest.mark.parametrize("pipelines", (1, 2, 4))
+def test_native_matches_across_pipeline_counts(pipelines):
+    program = make_sensitivity_program(2, 64)
+    _assert_native_matches(
+        program,
+        lambda: sensitivity_trace(1500, pipelines, 2, 64, seed=5),
+        MP5Config(num_pipelines=pipelines),
+    )

@@ -14,6 +14,12 @@ from repro.harness.realapps import RealAppSettings, run_figure8
 from repro.harness.sensitivity import SweepSettings, sweep_pipelines
 
 
+def _default_pool():
+    """The cached default-key pool executor (None when absent)."""
+    state = par._pools.get(None)
+    return None if state is None else state.pool
+
+
 def _square(x):
     return x * x
 
@@ -73,13 +79,13 @@ def test_pool_reused_across_sweep_families():
     must share a single worker pool (workers pay import cost once)."""
     sweep_settings = SweepSettings(num_packets=150, seeds=(0,))
     first = sweep_pipelines(sweep_settings, values=(1, 2), jobs=2)
-    pool_after_fig7 = par._pool
+    pool_after_fig7 = _default_pool()
     app_settings = RealAppSettings(num_packets=150, seeds=(0,))
     second = run_figure8(
         pipeline_counts=(1, 2), settings=app_settings, jobs=2
     )
     assert pool_after_fig7 is not None
-    assert par._pool is pool_after_fig7
+    assert _default_pool() is pool_after_fig7
     # ...and sharing the pool is invisible in the results.
     assert first == sweep_pipelines(sweep_settings, values=(1, 2), jobs=1)
     assert second == run_figure8(
@@ -91,11 +97,11 @@ def test_pool_recreated_when_jobs_change():
     assert parallel_map(_square, list(range(6)), jobs=2) == [
         x * x for x in range(6)
     ]
-    pool2 = par._pool
+    pool2 = _default_pool()
     assert parallel_map(_square, list(range(6)), jobs=3) == [
         x * x for x in range(6)
     ]
-    assert par._pool is not pool2
+    assert _default_pool() is not pool2
 
 
 def test_unproven_pool_failure_memoized(monkeypatch):
@@ -105,7 +111,7 @@ def test_unproven_pool_failure_memoized(monkeypatch):
     attempts = []
 
     class Doomed:
-        def __init__(self, max_workers):
+        def __init__(self, max_workers, **kwargs):
             attempts.append(max_workers)
             raise OSError("spawn forbidden")
 
@@ -125,8 +131,8 @@ def test_proven_pool_breakage_not_memoized(monkeypatch):
     assert parallel_map(_square, list(range(6)), jobs=2) == [
         x * x for x in range(6)
     ]
-    assert par._pool_proven
-    broken = par._pool
+    assert par._pools[None].proven
+    broken = _default_pool()
 
     def explode(*args, **kwargs):
         raise par.BrokenProcessPool("worker died")
@@ -135,4 +141,4 @@ def test_proven_pool_breakage_not_memoized(monkeypatch):
     assert parallel_map(_square, [7, 8], jobs=2) == [49, 64]  # serial fallback
     assert not par._pool_unavailable
     assert parallel_map(_square, [9, 10], jobs=2) == [81, 100]
-    assert par._pool is not broken
+    assert _default_pool() is not broken

@@ -60,12 +60,20 @@ class TestRunAll:
             run_all(scale="huge")
 
     def test_scales_defined(self):
-        assert set(SCALES) == {"tiny", "small", "full", "large"}
+        assert set(SCALES) == {"tiny", "small", "full", "large", "xlarge"}
         # large is the vector-engine tier: 50k packets, multi-seed,
         # with the (scalar-only) microbenchmarks kept at a smaller
         # stream so they don't dominate the wall clock.
         assert SCALES["large"]["engine"] == "vector"
         assert SCALES["large"]["micro_packets"] < SCALES["large"]["num_packets"]
+        # xlarge is the million-packet native tier; the Figure 7 sweeps
+        # stay at 50k (their cost scales with the pipeline sweep).
+        assert SCALES["xlarge"]["engine"] == "vector"
+        assert SCALES["xlarge"]["native"] is True
+        assert (
+            SCALES["xlarge"]["sensitivity_packets"]
+            < SCALES["xlarge"]["num_packets"]
+        )
 
     def test_no_observability_key_by_default(self, artifacts):
         # observe=False must leave results.json unchanged so serial and
