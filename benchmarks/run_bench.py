@@ -38,6 +38,14 @@ pure dispatch overhead, by design near 1.0x; the tier pays off where
 Numba and cores exist. **vector_1m** times one 1M-packet native run
 (skipped under ``--quick``), the ``scale=xlarge`` per-point workload.
 
+**engine_vector_traced** and **engine_vector_monitored** re-run the
+2000-packet vector workload with a recorder + metrics registry and an
+invariant monitor attached, respectively — the cost of epoch-trace
+reconstruction (``repro.obs.reconstruct``). Both quote their overhead
+against the same-process sinks-off ``engine_vector`` run, which keeps
+its measurement name and workload string, so ``--check-regression``
+continues to gate the zero-overhead disabled path against history.
+
 Every completed run (including ``--quick``) also appends one line to
 ``benchmarks/BENCH_history.jsonl`` — git SHA, timestamp, and all
 measurements — so perf is trackable across commits; CI uploads the
@@ -376,6 +384,21 @@ def main() -> int:
     engine_vector["speedup_vs_fast_median"] = round(
         engine["seconds_median"] / engine_vector["seconds_median"], 2
     )
+    # Observability on the vector engine rides trace reconstruction;
+    # quote its cost against the same-process sinks-off vector run.
+    engine_vector_traced = bench_engine(rounds, observed=True, engine="vector")
+    engine_vector_traced["overhead_vs_untraced"] = round(
+        engine_vector_traced["seconds_min"] / engine_vector["seconds_min"] - 1,
+        4,
+    )
+    engine_vector_monitored = bench_engine(
+        rounds, monitored=True, engine="vector"
+    )
+    engine_vector_monitored["overhead_vs_unmonitored"] = round(
+        engine_vector_monitored["seconds_min"] / engine_vector["seconds_min"]
+        - 1,
+        4,
+    )
     engine_native = bench_engine(rounds, engine="vector", native=True)
     engine_native["speedup_vs_vector_min"] = round(
         engine_vector["seconds_min"] / engine_native["seconds_min"], 2
@@ -410,6 +433,8 @@ def main() -> int:
             engine_monitored, overhead_vs_unmonitored=round(monitor_overhead, 4)
         ),
         "engine_vector": engine_vector,
+        "engine_vector_traced": engine_vector_traced,
+        "engine_vector_monitored": engine_vector_monitored,
         "engine_native": engine_native,
         "vector_50k": vector_50k,
         "native_50k": native_50k,

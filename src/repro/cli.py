@@ -64,6 +64,7 @@ from .obs import (
     TraceRecorder,
     load_trace,
     render_alerts_section,
+    render_epoch_section,
     render_health_timeline,
     render_trace_summary,
     summarize_trace,
@@ -159,10 +160,15 @@ def cmd_run(args) -> int:
             f"({stats.emergency_remap_moves} indices moved)"
         )
     if recorder is not None:
+        # A profiled vector run embeds its epoch/kernel breakdown in the
+        # trace header so `trace-summary` can render the per-epoch view.
+        trace_meta = (
+            {"profiler": profiler.to_dict()} if profiler is not None else None
+        )
         if args.trace_format == "jsonl":
-            write_jsonl(recorder.events, args.trace)
+            write_jsonl(recorder.events, args.trace, meta=trace_meta)
         else:
-            write_chrome(recorder.events, args.trace)
+            write_chrome(recorder.events, args.trace, meta=trace_meta)
         print(
             f"\ntrace: {len(recorder.events)} events -> {args.trace} "
             f"({args.trace_format})"
@@ -179,10 +185,12 @@ def cmd_run(args) -> int:
         for line in health.summary_lines():
             print(line)
         if args.alerts_out:
-            monitor.alerts.save(
-                args.alerts_out,
-                meta={"ticks": stats.ticks, "verdict": health.verdict},
-            )
+            alerts_meta = {"ticks": stats.ticks, "verdict": health.verdict}
+            if profiler is not None and profiler.epochs:
+                # Epoch boundaries are deterministic (unlike timings),
+                # so monitor-report can show the vector run's structure.
+                alerts_meta["epochs"] = [dict(e) for e in profiler.epochs]
+            monitor.alerts.save(args.alerts_out, meta=alerts_meta)
             print(f"alerts: {len(monitor.alerts)} -> {args.alerts_out}")
         if args.fail_on_violation and health.verdict == VERDICT_VIOLATED:
             return 1
@@ -192,12 +200,23 @@ def cmd_run(args) -> int:
 def cmd_trace_summary(args) -> int:
     """``trace-summary``: stall rankings and flow timelines from a trace."""
     try:
-        _header, events = load_trace(args.trace)
+        header, events = load_trace(args.trace)
     except (ValueError, OSError) as exc:
         print(f"trace-summary: cannot read {args.trace}: {exc}")
         return 2
     summary = summarize_trace(events)
     print(render_trace_summary(summary, top=args.top, max_flows=args.flows))
+    if isinstance(header, dict) and "profiler" in header:
+        try:
+            section = render_epoch_section(header["profiler"])
+        except ValueError as exc:
+            print(
+                f"trace-summary: malformed profiler block in "
+                f"{args.trace}: {exc}"
+            )
+            return 2
+        print()
+        print(section)
     if args.alerts:
         try:
             header, log = AlertLog.load(args.alerts)
@@ -220,6 +239,13 @@ def cmd_monitor_report(args) -> int:
     verdict = header.get("verdict")
     if verdict is not None:
         print(f"verdict: {verdict}")
+    epochs = header.get("epochs")
+    if epochs:
+        bounds = ", ".join(
+            f"[{e.get('start')}, {e.get('end')})" for e in epochs[:8]
+        )
+        more = f" ... {len(epochs) - 8} more" if len(epochs) > 8 else ""
+        print(f"vector epochs: {len(epochs)} resolved — {bounds}{more}")
     print(
         render_health_timeline(
             list(log),
@@ -334,15 +360,18 @@ def cmd_fig8(args) -> int:
 
 
 def cmd_reproduce(args) -> int:
-    if args.trace and args.out is None:
-        print("reproduce --trace needs --out to write the trace into")
+    # --monitor / --fail-on-violation ride the same instrumented run
+    # --trace records, so any of the three switches it on.
+    observe = args.trace or args.monitor or args.fail_on_violation
+    if observe and args.out is None:
+        print("reproduce --trace/--monitor needs --out to write into")
         return 2
     artifacts = run_all(
         out_dir=args.out,
         scale=args.scale,
         progress=lambda msg: print(f"[{msg}]"),
         jobs=args.jobs,
-        observe=args.trace,
+        observe=observe,
         engine=args.engine,
         native=args.native,
         epoch_jobs=args.epoch_jobs,
@@ -350,6 +379,12 @@ def cmd_reproduce(args) -> int:
     if args.out is None:
         for name, text in artifacts.items():
             print(f"\n{text}")
+    if observe:
+        header, _log = AlertLog.load(Path(args.out) / "alerts.jsonl")
+        verdict = header.get("verdict", "?")
+        print(f"health verdict: {verdict}")
+        if args.fail_on_violation and verdict == VERDICT_VIOLATED:
+            return 1
     return 0
 
 
@@ -439,8 +474,8 @@ def build_parser() -> argparse.ArgumentParser:
         default="fast",
         help="simulation engine: dense = executable specification, "
         "fast = sparse worklist (default), vector = batch SoA engine "
-        "(falls back to fast when faults/observability are attached; "
-        "see docs/simulator.md)",
+        "with full observability via trace reconstruction (falls back "
+        "to fast only when faults are attached; see docs/simulator.md)",
     )
     add_native_args(p)
     p.add_argument(
@@ -640,6 +675,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also record one instrumented run (trace + metrics + stall "
         "summary) into --out",
+    )
+    p.add_argument(
+        "--monitor",
+        action="store_true",
+        help="run the instrumented run's invariant monitor and print "
+        "its health verdict (implied by --trace, which always attaches "
+        "the monitor)",
+    )
+    p.add_argument(
+        "--fail-on-violation",
+        action="store_true",
+        help="exit non-zero when the instrumented run's health verdict "
+        "is 'violated' (implies --monitor)",
     )
     add_jobs_arg(p)
     p.set_defaults(func=cmd_reproduce)

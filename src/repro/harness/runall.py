@@ -63,23 +63,33 @@ SCALES = {
 }
 
 
-def _observability_run(out: Path, knobs: Dict[str, object]) -> Dict[str, object]:
+def _observability_run(
+    out: Path,
+    knobs: Dict[str, object],
+    engine: str = "fast",
+    native: Optional[bool] = None,
+    epoch_jobs: Optional[int] = None,
+) -> Dict[str, object]:
     """One instrumented sensitivity run: trace + metrics + stall summary.
 
-    Runs the §4.3.3 default configuration with a :class:`TraceRecorder`,
-    :class:`MetricsRegistry`, and :class:`InvariantMonitor` attached,
-    and writes ``trace.json`` (Chrome trace_event format, one lane per
-    pipeline x stage — open in Perfetto), ``trace.jsonl``,
+    Runs the §4.3.3 default configuration on the selected ``engine``
+    with a :class:`TraceRecorder`, :class:`MetricsRegistry`, and
+    :class:`InvariantMonitor` attached, and writes ``trace.json``
+    (Chrome trace_event format, one lane per pipeline x stage — open in
+    Perfetto), ``trace.jsonl``, ``trace_canonical.json`` (the
+    order-independent :func:`canonical_form`, diffable across engines),
     ``metrics.json``, ``alerts.jsonl``, and ``trace_summary.txt`` into
-    ``out``. Returns the artifact paths plus the health verdict relative
-    to ``out`` (what lands in ``results.json``).
+    ``out``. The vector engine reconstructs an identical event stream
+    from its epoch schedule, so every artifact — and the returned block
+    that lands in ``results.json`` — is byte-identical across engines.
     """
+    from ..mp5 import ENGINES
     from ..mp5.config import MP5Config
-    from ..mp5.switch import run_mp5
     from ..obs import (
         InvariantMonitor,
         MetricsRegistry,
         TraceRecorder,
+        canonical_form,
         render_trace_summary,
         summarize_trace,
         write_chrome,
@@ -103,16 +113,21 @@ def _observability_run(out: Path, knobs: Dict[str, object]) -> Dict[str, object]
     recorder = TraceRecorder()
     metrics = MetricsRegistry(window=100)
     monitor = InvariantMonitor()
-    stats, _ = run_mp5(
+    stats, _ = ENGINES[engine](
         program,
         trace,
         MP5Config(num_pipelines=params["num_pipelines"]),
         recorder=recorder,
         metrics=metrics,
         monitor=monitor,
+        native=native,
+        epoch_jobs=epoch_jobs,
     )
     write_chrome(recorder.events, out / "trace.json")
     write_jsonl(recorder.events, out / "trace.jsonl")
+    (out / "trace_canonical.json").write_text(
+        json.dumps(canonical_form(recorder.events), sort_keys=True) + "\n"
+    )
     metrics.save(out / "metrics.json")
     health = monitor.health_report()
     monitor.alerts.save(
@@ -124,6 +139,7 @@ def _observability_run(out: Path, knobs: Dict[str, object]) -> Dict[str, object]
     return {
         "trace": "trace.json",
         "trace_jsonl": "trace.jsonl",
+        "trace_canonical": "trace_canonical.json",
         "metrics": "metrics.json",
         "alerts": "alerts.jsonl",
         "trace_summary": "trace_summary.txt",
@@ -150,8 +166,11 @@ def run_all(
     :mod:`repro.harness.parallel`); artifacts are identical at any job
     count, so ``results.json`` can be diffed across serial and parallel
     runs. ``observe`` additionally records one instrumented run (trace,
-    metrics, stall summary) into ``out_dir`` — off by default so
-    ``results.json`` stays byte-identical with earlier releases.
+    metrics, monitor alerts, stall summary) on the selected engine into
+    ``out_dir`` — off by default so ``results.json`` stays
+    byte-identical with earlier releases. The vector engine
+    reconstructs the identical event stream from its epoch schedule, so
+    the instrumented artifacts also diff clean across engines.
     ``engine`` selects the simulation engine for the Figure 7 sweeps
     and Figure 8 (``dense``/``fast``/``vector``; default: the scale's
     preference — ``vector`` at ``scale=large``/``xlarge``, else
@@ -242,7 +261,10 @@ def run_all(
             (out / f"{name}.txt").write_text(text + "\n")
         if observe:
             say("observability run (trace + metrics)")
-            structured["observability"] = _observability_run(out, knobs)
+            structured["observability"] = _observability_run(
+                out, knobs, engine=engine, native=native,
+                epoch_jobs=epoch_jobs,
+            )
         (out / "results.json").write_text(json.dumps(structured, indent=2))
         say(f"wrote {len(artifacts)} artifacts to {out}/")
     elif observe:

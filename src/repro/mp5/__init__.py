@@ -23,11 +23,13 @@ against each other (``tests/test_fastpath_equivalence.py``,
 * ``dense`` — :class:`~repro.mp5.reference.ReferenceSwitch`, the
   executable specification (full per-tick occupancy scan);
 * ``fast`` — :class:`~repro.mp5.switch.MP5Switch`, the sparse worklist
-  engine, and the only one that supports every config knob, faults and
-  observability;
+  engine, and the only one that supports every config knob and faults;
 * ``vector`` — :class:`~repro.mp5.vector.VectorSwitch`, the
   structure-of-arrays NumPy batch engine; falls back to ``fast`` when a
-  run needs something the batch reduction cannot express. Its run
+  run needs something the batch reduction cannot express (faults,
+  unsupported configs or program shapes). Observability sinks attach
+  natively: the engine reconstructs the scalar engines' event stream
+  from its epoch schedule (:mod:`repro.obs.reconstruct`). Its run
   splits into an exact timing sweep and a service replay
   (:mod:`repro.mp5.epochs`), which optionally engages the fused native
   kernel tier (:mod:`repro.compiler.native`, ``native=True``) and

@@ -122,6 +122,7 @@ class EpochSchedule:
         "last_egress",
         "epochs",
         "cut_limit",
+        "remap_records",
     )
 
     def plan_stream(self, pi: int) -> Tuple[np.ndarray, np.ndarray]:
@@ -235,6 +236,9 @@ def build_epoch_schedule(
 
     sched = EpochSchedule()
     sched.cut_limit = cut_limit
+    # Remap boundaries the scalar run loop would have executed, as
+    # (tick, moved) pairs — the trace reconstruction's ``remap`` events.
+    sched.remap_records = []
 
     # Injection schedule. Injection never blocks fault-free (every
     # stage-0 slot vacates within its tick), so with round-robin spray
@@ -454,6 +458,7 @@ def build_epoch_schedule(
         if alive:
             moved = sharder.end_epoch(cfg.remap_algorithm)
             stats.remap_moves += moved
+            sched.remap_records.append((boundary, moved))
             epoch_start = boundary
             epochs += 1
         else:
@@ -517,12 +522,15 @@ def _native_cols(nkern, H: Dict, E: Dict, R: Dict) -> List[np.ndarray]:
     )
 
 
-def _wave_service(kern, H, R, E, base, conservative, rows_p, idxs) -> int:
+def _wave_service(
+    kern, H, R, E, base, conservative, rows_p, idxs, mask=None
+) -> int:
     """One epoch chunk of a wave plan, PR 5 semantics: rows touching
     distinct indices execute together; same-index rows execute in
     successive waves in pop order (the chunk's concatenation order is
     pop order per pipeline, and one index maps to one pipeline within
-    an epoch)."""
+    an epoch). When ``mask`` is given (trace reconstruction), the rows
+    whose conservative access wasted a slot are flagged in it."""
     wasted = 0
     n = rows_p.shape[0]
     # Fast path: no index repeats in the chunk -> one wave.
@@ -530,6 +538,8 @@ def _wave_service(kern, H, R, E, base, conservative, rows_p, idxs) -> int:
         if conservative:
             lane = np.zeros(n, dtype=bool)
             kern.fn(H, R, E, rows_p, {base: lane})
+            if mask is not None:
+                mask[rows_p[~lane]] = True
             return int(n - np.count_nonzero(lane))
         kern.fn(H, R, E, rows_p)
         return 0
@@ -548,6 +558,8 @@ def _wave_service(kern, H, R, E, base, conservative, rows_p, idxs) -> int:
             sel = rows_p[waves == w]
             lane = np.zeros(sel.shape[0], dtype=bool)
             kern.fn(H, R, E, sel, {base: lane})
+            if mask is not None:
+                mask[sel[~lane]] = True
             wasted += int(sel.shape[0] - np.count_nonzero(lane))
     elif n_waves == 1:
         kern.fn(H, R, E, rows_p)
@@ -685,6 +697,8 @@ def execute_service(
     R: Dict,
     native: Optional[bool] = None,
     epoch_jobs: Optional[int] = None,
+    profiler=None,
+    wasted_out: Optional[List[Optional[np.ndarray]]] = None,
 ) -> int:
     """Phase B: run every plan's deferred service, in plan order.
 
@@ -692,8 +706,16 @@ def execute_service(
     workers are used) and returns the wasted-slot count. The result is
     identical — and, once serialized, byte-identical — for every
     combination of ``native`` and ``epoch_jobs``, including every
-    fallback path.
+    fallback path. ``profiler`` (a
+    :class:`~repro.obs.profiler.PhaseProfiler`) receives per-stage
+    kernel-tier timings and pool gauges; ``wasted_out`` is a per-plan
+    list of bool row masks the trace reconstruction needs — plans with
+    a mask run the mask-capable in-process paths (same results, per the
+    exactness contract) and flag the rows whose conservative access
+    wasted a slot.
     """
+    from time import perf_counter
+
     vplans = switch._vplans
     mode = resolve_native_mode(native)
     jobs = _parallel().resolve_jobs(epoch_jobs)
@@ -715,6 +737,8 @@ def execute_service(
             seg, layout, H, E, R = _share_columns(H, E, R)
             metas = [(p.stage, p.base, p.conservative) for p in vplans]
             initargs = (seg.name, layout, switch._stage_instrs, metas, mode)
+            if profiler is not None:
+                profiler.record_pool(workers=jobs, shared_bytes=seg.size)
         except (OSError, ValueError):
             if seg is not None:
                 _parallel().unregister_shared_segment(seg.name)
@@ -729,18 +753,29 @@ def execute_service(
         for pi, plan in enumerate(vplans):
             rows_all, _pops = schedule.plan_stream(pi)
             if rows_all.size:
+                mask = wasted_out[pi] if wasted_out is not None else None
+                t0 = perf_counter() if profiler is not None else 0.0
+                tier = None
                 if plan.category == "wave":
-                    wasted += _service_wave_plan(
+                    got, tier = _service_wave_plan(
                         switch, schedule, pi, plan, H, E, R, mode,
                         jobs if use_pool else 1,
                         initargs if use_pool else None,
+                        mask=mask,
+                        profiler=profiler,
                     )
+                    wasted += got
                 elif plan.category == "serial":
-                    wasted += _service_serial_plan(
-                        switch, schedule, pi, plan, H, E, R, mode
+                    got, tier = _service_serial_plan(
+                        switch, schedule, pi, plan, H, E, R, mode, mask=mask
                     )
+                    wasted += got
                 # 'none' (flow-order arrays, kernel-free stages): the
                 # FIFO timing is the whole effect; nothing to execute.
+                if profiler is not None and tier is not None:
+                    profiler.record_kernel(
+                        plan.stage, tier, perf_counter() - t0
+                    )
                 for u in switch._transit_after[pi]:
                     switch._vkernels[u].fn(H, R, E, rows_all)
     finally:
@@ -760,19 +795,25 @@ def execute_service(
 
 
 def _service_wave_plan(
-    switch, schedule, pi, plan, H, E, R, mode, jobs, initargs
-) -> int:
+    switch, schedule, pi, plan, H, E, R, mode, jobs, initargs,
+    mask=None, profiler=None,
+):
     kern = switch._vkernels[plan.stage]
     track = plan.base if plan.conservative else None
+    # Per-row wasted-slot capture (trace reconstruction) needs the
+    # chunked NumPy path, which knows which rows lost their lane; the
+    # fused kernels and pool parts only count. Results are identical by
+    # the exactness contract, so forcing the path changes nothing else.
+    capture = mask is not None
     # A plain-Python per-row loop loses to the NumPy wave decomposition
     # for shardable plans; the python tier is reserved for the
     # serialized path, where it replaces a slower loop.
     nkern = (
         _native_kernel(switch, plan.stage, track, mode)
-        if mode == "njit"
+        if mode == "njit" and not capture
         else None
     )
-    nparts = jobs
+    nparts = jobs if not capture else 1
     if nparts > 1:
         parts = schedule.partition(pi, nparts)
         big_enough = all(p[0].shape[0] >= 64 for p in parts)
@@ -782,20 +823,22 @@ def _service_wave_plan(
                 initargs,
             )
             if done is not None:
-                return done
+                if profiler is not None:
+                    profiler.record_pool(tasks=len(parts))
+                return done, "pool"
         # Partitioning didn't pay (or the pool broke and state was
         # restored): fall through to the in-process path.
     idx_col = schedule.acc_idx[pi]
     if nkern is not None:
         rows = schedule.service_order(pi)
-        return int(nkern.fn(rows, *_native_cols(nkern, H, E, R)))
+        return int(nkern.fn(rows, *_native_cols(nkern, H, E, R))), "njit"
     wasted = 0
     for rows_p, _pops in schedule.chunks[pi]:
         wasted += _wave_service(
             kern, H, R, E, plan.base, plan.conservative, rows_p,
-            idx_col[rows_p],
+            idx_col[rows_p], mask=mask,
         )
-    return wasted
+    return wasted, "numpy"
 
 
 def _dispatch_parts(
@@ -832,20 +875,26 @@ def _dispatch_parts(
         return None
 
 
-def _service_serial_plan(switch, schedule, pi, plan, H, E, R, mode) -> int:
+def _service_serial_plan(switch, schedule, pi, plan, H, E, R, mode, mask=None):
     """Serialized rows: pinned arrays, co-staged (multi) arrays,
     constant or in-stage index expressions. Exact by construction —
     execution in global (tick, pipeline) service order, either as one
-    fused per-row kernel call or as the scalar-JIT dict loop."""
+    fused per-row kernel call or as the scalar-JIT dict loop. A
+    ``mask`` (trace reconstruction) forces the dict loop, which knows
+    *which* rows wasted their slot, not just how many."""
     stage = plan.stage
     kern = switch._vkernels[stage]
     track_wasted = plan.conservative and not plan.multi
-    nkern = _native_kernel(
-        switch, stage, plan.base if track_wasted else None, mode
+    nkern = (
+        _native_kernel(
+            switch, stage, plan.base if track_wasted else None, mode
+        )
+        if mask is None
+        else None
     )
     rows_sorted = schedule.service_order(pi)
     if nkern is not None:
-        return int(nkern.fn(rows_sorted, *_native_cols(nkern, H, E, R)))
+        return int(nkern.fn(rows_sorted, *_native_cols(nkern, H, E, R))), "njit"
     fn = switch._vserial_fns[stage]
     regview = {name: _RegView(arr) for name, arr in R.items()}
     fields = sorted(kern.fields_read | kern.fields_written)
@@ -861,10 +910,12 @@ def _service_serial_plan(switch, schedule, pi, plan, H, E, R, mode) -> int:
             fn(headers, regview, env, lambda reg, i, kind: hit.append(reg))
             if plan.base not in hit:
                 wasted += 1
+                if mask is not None:
+                    mask[row] = True
         else:
             fn(headers, regview, env, None)
         for f in written:
             H[f][row] = headers[f]
         for t in temps_out:
             E[t][row] = env[t]
-    return wasted
+    return wasted, "python"

@@ -28,22 +28,31 @@ but remap boundaries inside idle stretches still execute (stale access
 counters can still move indices), exactly like the idle-tick
 compression of the scalar engines.
 
+Observability (recorder, metrics registry, profiler, monitor) rides the
+batch path: attached sinks are fed *after* Phase B by the epoch-trace
+reconstruction (:mod:`repro.obs.reconstruct`), which synthesizes the
+scalar engines' event stream from the schedule and replays it through
+the real sink emitters — same ``canonical_form``, same alert stream,
+same metrics series, and ``results.json`` stays byte-identical with
+sinks on or off. With no sink attached the engine skips it all, so the
+closed-form speed is untouched.
+
 Exactness over generality: configurations the batch reduction cannot
 represent (bounded FIFOs, phantom loss, ECN, starvation preemption,
 ideal queues, affinity spray, resolvable access guards, write-only
-register arrays, attached faults or observability sinks) make
-:func:`run_mp5_vector` fall back to the fast engine — with a one-line
-deduplicated warning for faults/observability and unsupported program
-shapes (including the reason), silently for config shapes — so
-``--engine vector`` is always safe. Supported runs produce
-:class:`~repro.mp5.stats.SwitchStats` and final registers equal to both
-scalar engines, byte-for-byte once serialized.
+register arrays, attached faults) make :func:`run_mp5_vector` fall back
+to the fast engine — with a one-line deduplicated warning for faults
+and unsupported program shapes (including the reason), silently for
+config shapes — so ``--engine vector`` is always safe. Supported runs
+produce :class:`~repro.mp5.stats.SwitchStats` and final registers equal
+to both scalar engines, byte-for-byte once serialized.
 """
 
 from __future__ import annotations
 
 import operator
 import sys
+from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
@@ -286,6 +295,60 @@ class VectorSwitch(MP5Switch):
             self._transit_after = []
 
     # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def attach_observability(
+        self, recorder=None, metrics=None, profiler=None, monitor=None
+    ) -> None:
+        """Attach observability sinks — deferred, not hooked.
+
+        The batch engine has no per-tick hot path to instrument, so the
+        sinks are only *stored* here; after Phase B completes, the
+        epoch-trace reconstruction (:mod:`repro.obs.reconstruct`) feeds
+        them the synthesized event stream, registers the metrics
+        samplers, and runs the monitor's per-tick checks. Binding is
+        deferred with everything else, which keeps a later
+        :class:`VectorUnsupported` fallback clean: the same sinks
+        re-attach to the fast engine untouched.
+        """
+        if self._ran:
+            raise ConfigError(
+                "attach_observability must be called before run(): the "
+                "instrumentation hooks are bound at tick time"
+            )
+        if recorder is not None:
+            self._recorder = recorder
+        if profiler is not None:
+            self._profiler = profiler
+        if metrics is not None:
+            self._metrics = metrics
+        if monitor is not None:
+            self._monitor = monitor
+
+    def _replay_sinks(self, packets, schedule, wasted_masks, drained) -> None:
+        from ..obs.reconstruct import replay_observability
+
+        replay_observability(
+            self,
+            packets,
+            schedule,
+            wasted_masks,
+            drained,
+            recorder=self._recorder,
+            metrics=self._metrics,
+            monitor=self._monitor,
+        )
+
+    @property
+    def _sinks_attached(self) -> bool:
+        return (
+            self._recorder is not None
+            or self._metrics is not None
+            or self._monitor is not None
+        )
+
+    # ------------------------------------------------------------------
     # Run
     # ------------------------------------------------------------------
 
@@ -304,13 +367,8 @@ class VectorSwitch(MP5Switch):
         self._ran = True
         if record_access_order:
             raise VectorUnsupported("record_access_order")
-        if (
-            self.obs is not None
-            or self._faults is not None
-            or self._metrics is not None
-            or self._profiler is not None
-        ):
-            raise VectorUnsupported("faults/observability attached")
+        if self._faults is not None:
+            raise VectorUnsupported("faults attached")
         packets = [self._coerce(i, entry) for i, entry in enumerate(trace)]
         if any(p.env for p in packets):
             raise VectorUnsupported("pre-seeded packet env")
@@ -343,6 +401,13 @@ class VectorSwitch(MP5Switch):
         stats.arrival_ticks = [p.arrival for p in packets]
         if not packets or (max_ticks is not None and max_ticks <= 0):
             stats.ticks = 0
+            if self._sinks_attached:
+                # The scalar loop never steps here either, but its sinks
+                # still see registration, the final window roll, and
+                # end_run (drained unless packets were cut by max_ticks).
+                self._replay_sinks(
+                    packets, None, None, drained=not packets
+                )
             return stats
         self._run_batch(packets, max_ticks)
         return stats
@@ -412,8 +477,28 @@ class VectorSwitch(MP5Switch):
         # register state, on the native tier and worker pool when asked.
         # Both live in repro.mp5.epochs; the split is exact because
         # access indices resolve at the stateless resolution stage.
+        prof = self._profiler
+        if prof is not None:
+            t0 = perf_counter()
         schedule = build_epoch_schedule(self, packets, H, E, R, max_ticks)
         self._last_schedule = schedule  # test/debug hook: the run's DAG
+        if prof is not None:
+            prof.record_span("phase_a", perf_counter() - t0)
+            t0 = perf_counter()
+        # Per-row wasted-slot attribution, only when a sink will replay
+        # the stream: plans whose conservative access can waste a slot
+        # get a row mask and Phase B runs their mask-capable paths
+        # (identical results by the exactness contract).
+        wasted_masks = None
+        if self._sinks_attached:
+            wasted_masks = [
+                np.zeros(N, dtype=bool)
+                if plan.conservative
+                and not plan.multi
+                and plan.category in ("wave", "serial")
+                else None
+                for plan in vplans
+            ]
         wasted = execute_service(
             self,
             schedule,
@@ -422,7 +507,11 @@ class VectorSwitch(MP5Switch):
             R,
             native=self._native,
             epoch_jobs=self._epoch_jobs,
+            profiler=prof,
+            wasted_out=wasted_masks,
         )
+        if prof is not None:
+            prof.record_span("phase_b", perf_counter() - t0)
         ins_tick = schedule.ins_tick
         pop_tick = schedule.pop_tick
         dest = schedule.dest
@@ -506,6 +595,28 @@ class VectorSwitch(MP5Switch):
         for name, arr in R.items():
             self.registers[name] = arr.tolist()
 
+        if prof is not None:
+            # Epoch boundaries Phase A resolved, plus the final span.
+            start = 0
+            records = schedule.remap_records
+            for i, (boundary, moved) in enumerate(records):
+                prof.record_epoch(
+                    i, start, int(boundary), remap_moves=int(moved)
+                )
+                start = int(boundary)
+            prof.record_epoch(len(records), start, stats.ticks)
+        if self._sinks_attached:
+            if prof is not None:
+                t0 = perf_counter()
+            self._replay_sinks(
+                packets,
+                schedule,
+                wasted_masks,
+                drained=(schedule.egr_assigned == N),
+            )
+            if prof is not None:
+                prof.record_span("trace_reconstruct", perf_counter() - t0)
+
 
 def run_mp5_vector(
     program,
@@ -524,12 +635,16 @@ def run_mp5_vector(
     """Run a trace through the batch engine, falling back to the fast
     engine whenever the vector reduction does not apply.
 
-    Faults or observability sinks trigger the fallback with a one-line
-    stderr warning (so ``--engine vector`` is always safe in scripts);
-    unsupported configurations fall back silently and unsupported
-    program shapes warn once with the :class:`VectorUnsupported`
-    reason. Warnings are deduplicated per run — a 1000-cell sweep that
-    falls back prints one line, not 1000 (see
+    Observability sinks (``recorder``/``metrics``/``profiler``/
+    ``monitor``) ride the batch path — the post-run epoch-trace
+    reconstruction feeds them streams identical to the scalar engines'
+    (:mod:`repro.obs.reconstruct`). Attached ``faults`` trigger the
+    fallback with a one-line stderr warning (so ``--engine vector`` is
+    always safe in scripts); unsupported configurations fall back
+    silently and unsupported program shapes warn once with the
+    :class:`VectorUnsupported` reason — sinks follow the run to the
+    fast engine in every fallback. Warnings are deduplicated per run —
+    a 1000-cell sweep that falls back prints one line, not 1000 (see
     :func:`reset_fallback_warnings`). ``native`` and ``epoch_jobs``
     select the fused-kernel tier and the in-run worker count
     (:mod:`repro.mp5.epochs`); both are pure performance knobs. Either
@@ -538,16 +653,9 @@ def run_mp5_vector(
     """
     entries = trace if isinstance(trace, list) else list(trace)
     cfg = config or MP5Config()
-    if (
-        faults is not None
-        or recorder is not None
-        or metrics is not None
-        or profiler is not None
-        or monitor is not None
-    ):
-        attached = "faults" if faults is not None else "observability"
+    if faults is not None:
         _warn_fallback(
-            f"vector engine: {attached} attached; falling back to the "
+            "vector engine: faults attached; falling back to the "
             "fast engine"
         )
         return run_mp5(
@@ -569,10 +677,18 @@ def run_mp5_vector(
     ):
         try:
             # VectorSwitch.run raises VectorUnsupported only in its
-            # preamble, before any packet is mutated, so the same
-            # entries list can be replayed through the fast engine.
+            # preamble, before any packet is mutated — and sink binding
+            # is deferred until after Phase B — so the same entries
+            # list and the same untouched sinks can be replayed
+            # through the fast engine.
             switch = VectorSwitch(
                 program, config, native=native, epoch_jobs=epoch_jobs
+            )
+            switch.attach_observability(
+                recorder=recorder,
+                metrics=metrics,
+                profiler=profiler,
+                monitor=monitor,
             )
             stats = switch.run(
                 entries,
@@ -592,6 +708,10 @@ def run_mp5_vector(
             config,
             max_ticks=max_ticks,
             record_access_order=record_access_order,
+            recorder=recorder,
+            metrics=metrics,
+            profiler=profiler,
+            monitor=monitor,
         )
     registers = {
         name: values

@@ -17,7 +17,11 @@ Three independent, individually attachable layers::
 
 Everything is gated behind a single attribute check in the engine: with
 nothing attached, the fast path executes the same code it does today.
-See ``docs/observability.md`` for the event schema and workflows.
+The scalar engines emit events live, tick by tick; the vector engine
+reconstructs the identical stream from its epoch schedule after the
+closed-form run (:mod:`repro.obs.reconstruct`), so all three engines
+honor the same contract. See ``docs/observability.md`` for the event
+schema and workflows.
 """
 
 from .alerts import (
@@ -37,8 +41,10 @@ from .health import (
 from .metrics import Counter, Gauge, MetricsRegistry, WindowedHistogram
 from .monitor import INVARIANTS, InvariantMonitor, TeeEmitter
 from .profiler import PhaseProfiler
+from .reconstruct import replay_observability, synthesize_events
 from .summary import (
     render_alerts_section,
+    render_epoch_section,
     render_trace_summary,
     summarize_trace,
 )
@@ -77,9 +83,12 @@ __all__ = [
     "load_trace",
     "read_jsonl",
     "render_alerts_section",
+    "render_epoch_section",
     "render_health_timeline",
     "render_trace_summary",
+    "replay_observability",
     "summarize_trace",
+    "synthesize_events",
     "worst_verdict",
     "write_chrome",
     "write_jsonl",

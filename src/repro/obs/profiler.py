@@ -6,24 +6,39 @@ the wall-clock time since the previous one under the phase's name. When
 no profiler is attached the engine skips the calls behind a single
 attribute check, so profiling costs nothing disabled.
 
+The vector engine has no per-tick loop to lap, so it reports through
+the coarser channels instead: :meth:`record_span` for its Phase A
+(timing sweep) / Phase B (service) / trace-reconstruction sections,
+:meth:`record_kernel` for per-stage service timings tagged with the
+kernel tier that ran (``njit`` / ``python`` / ``numpy`` / ``scalar`` /
+``pool``), :meth:`record_pool` for epoch-pool worker and shared-memory
+gauges, and :meth:`record_epoch` for the epoch boundaries Phase A
+resolved. All four stay empty on the scalar engines, so their
+``to_dict()`` output is unchanged.
+
 ``report()`` renders the breakdown the CLI prints under ``--profile``.
 """
 
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 
 class PhaseProfiler:
     """Accumulates per-phase wall-clock time across ticks."""
 
-    __slots__ = ("totals", "ticks", "_t0")
+    __slots__ = ("totals", "ticks", "_t0", "spans", "kernels", "pool", "epochs")
 
     def __init__(self) -> None:
         self.totals: Dict[str, float] = {}
         self.ticks = 0
         self._t0 = 0.0
+        # Vector-engine channels (empty on the scalar engines).
+        self.spans: Dict[str, float] = {}
+        self.kernels: Dict[str, Dict] = {}
+        self.pool: Dict[str, int] = {}
+        self.epochs: List[Dict] = []
 
     def begin(self) -> None:
         self._t0 = perf_counter()
@@ -37,17 +52,70 @@ class PhaseProfiler:
         self.ticks += 1
 
     # ------------------------------------------------------------------
+    # Vector-engine channels
+    # ------------------------------------------------------------------
+
+    def record_span(self, name: str, seconds: float) -> None:
+        """Accumulate one named coarse section (phase_a/phase_b/...)."""
+        self.spans[name] = self.spans.get(name, 0.0) + seconds
+
+    def record_kernel(self, stage: int, tier: str, seconds: float) -> None:
+        """Accumulate one stage's service time under the tier that ran."""
+        entry = self.kernels.setdefault(
+            f"s{stage}", {"tier": tier, "seconds": 0.0, "calls": 0}
+        )
+        entry["tier"] = tier
+        entry["seconds"] += seconds
+        entry["calls"] += 1
+
+    def record_pool(
+        self,
+        workers: Optional[int] = None,
+        shared_bytes: Optional[int] = None,
+        tasks: Optional[int] = None,
+    ) -> None:
+        """Epoch-pool gauges: peak worker count and shared-memory
+        segment size, cumulative task count."""
+        if workers is not None:
+            self.pool["workers"] = max(self.pool.get("workers", 0), workers)
+        if shared_bytes is not None:
+            self.pool["shared_bytes"] = max(
+                self.pool.get("shared_bytes", 0), shared_bytes
+            )
+        if tasks is not None:
+            self.pool["tasks"] = self.pool.get("tasks", 0) + tasks
+
+    def record_epoch(
+        self, index: int, start: int, end: int, remap_moves: Optional[int] = None
+    ) -> None:
+        """One Phase A epoch: ``[start, end)`` in ticks; ``remap_moves``
+        is the boundary's remap outcome (None for the final span)."""
+        entry = {"epoch": index, "start": start, "end": end}
+        if remap_moves is not None:
+            entry["remap_moves"] = remap_moves
+        self.epochs.append(entry)
+
+    # ------------------------------------------------------------------
 
     @property
     def total_seconds(self) -> float:
         return sum(self.totals.values())
 
     def to_dict(self) -> Dict:
-        return {
+        out = {
             "ticks": self.ticks,
             "seconds": dict(self.totals),
             "total_seconds": self.total_seconds,
         }
+        if self.spans:
+            out["spans"] = dict(self.spans)
+        if self.kernels:
+            out["kernels"] = {k: dict(v) for k, v in self.kernels.items()}
+        if self.pool:
+            out["pool"] = dict(self.pool)
+        if self.epochs:
+            out["epochs"] = [dict(e) for e in self.epochs]
+        return out
 
     def report(self) -> str:
         """Phase breakdown table, heaviest phase first."""
@@ -87,4 +155,48 @@ class PhaseProfiler:
             line(["-" * w for w in widths]),
         ]
         out.extend(line(row) for row in rows)
+        for section in self._vector_sections():
+            out.append("")
+            out.append(section)
         return "\n".join(out)
+
+    def _vector_sections(self) -> List[str]:
+        """Vector-engine report sections (empty for scalar runs)."""
+        sections: List[str] = []
+        if self.spans:
+            total = sum(self.spans.values()) or 1.0
+            lines = ["Vector phase breakdown"]
+            for name, seconds in sorted(
+                self.spans.items(), key=lambda kv: kv[1], reverse=True
+            ):
+                lines.append(
+                    f"  {name:<18} {seconds:.4f}s  "
+                    f"{100 * seconds / total:5.1f}%"
+                )
+            sections.append("\n".join(lines))
+        if self.kernels:
+            lines = ["Service kernel tiers (per stage)"]
+            for stage, entry in sorted(self.kernels.items()):
+                lines.append(
+                    f"  {stage:<6} tier={entry['tier']:<7} "
+                    f"calls={entry['calls']:<4} {entry['seconds']:.4f}s"
+                )
+            sections.append("\n".join(lines))
+        if self.pool:
+            parts = " ".join(
+                f"{key}={self.pool[key]}" for key in sorted(self.pool)
+            )
+            sections.append(f"Epoch pool: {parts}")
+        if self.epochs:
+            bounds = ", ".join(
+                f"[{e['start']}, {e['end']})" for e in self.epochs[:8]
+            )
+            more = (
+                f" ... {len(self.epochs) - 8} more"
+                if len(self.epochs) > 8
+                else ""
+            )
+            sections.append(
+                f"Epochs: {len(self.epochs)} resolved — {bounds}{more}"
+            )
+        return sections

@@ -1,0 +1,435 @@
+"""Epoch-trace reconstruction: observability for the vector engine.
+
+The scalar engines emit lifecycle events *while* simulating; the vector
+engine (:mod:`repro.mp5.vector`) never visits individual ticks, so it
+cannot. But its Phase A output — the :class:`~repro.mp5.epochs.EpochSchedule`
+— already fixes the tick of every observable event in closed form:
+
+* ``ingress`` / ``phantom_emit`` happen at the injection tick ``inj[r]``
+  (phantoms are emitted at generation time even under
+  ``phantom_latency``);
+* ``steer`` / ``phantom_match`` happen when the data packet reaches the
+  plan stage's FIFO, ``ins_tick[pi][r]``;
+* ``fifo_pop`` / ``service`` happen at ``pop_tick[pi][r]`` (service only
+  at stages that execute instructions — never the resolution stage,
+  whose work runs at injection, and never the instruction-free
+  flow-order stage);
+* transit stages with instructions service a packet one stage per tick
+  after injection (``inj + (u - 1)``) or after a pop
+  (``pop[pi] + (u - stage[pi])``);
+* ``egress`` happens at ``egr_tick[r]``; ``remap`` at the boundaries
+  Phase A recorded in ``remap_records``;
+* a ``fifo_block`` episode opens at the first tick the group head's
+  phantom blocks queued data: ``max(prev_pop + 1, suffix_min(ins))`` —
+  data presence implies the head's phantom has been delivered (global
+  injection order plus the ``phantom_latency`` admission bound), so the
+  blocked window never depends on the latency knob.
+
+:func:`replay_observability` synthesizes that stream, sorts it into the
+scalar engines' per-tick phase order, and *replays it through the real
+sinks*: the :class:`~repro.obs.trace.TraceRecorder` emitters (so wait /
+blocked derivations are the recorder's own), the
+:class:`~repro.obs.monitor.InvariantMonitor` (online checks run against
+a lightweight switch view whose live-count and stats advance with the
+replayed events), and mirror samplers feeding any attached
+:class:`~repro.obs.metrics.MetricsRegistry` the same per-window series
+the scalar engines produce. The resulting trace ``canonical_form``,
+alert stream, and metrics series are engine-independent — the three-way
+differential contract of ``tests/test_vector_obs.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+
+_FAR = 1 << 62
+
+# Cumulative SwitchStats counters mirrored into replayed registries, in
+# the exact registration order of MP5Switch._register_metric_sources.
+_STAT_COUNTERS = (
+    "egressed",
+    "dropped",
+    "steering_moves",
+    "remap_moves",
+    "phantoms_generated",
+    "phantoms_lost",
+    "ecn_marked",
+    "wasted_slots",
+)
+
+
+class _StatsView:
+    """The slice of SwitchStats the monitor's online checks read,
+    advanced event by event during replay (the real stats object is
+    fully reconstructed before replay starts, so it would be read
+    end-of-run values mid-stream)."""
+
+    __slots__ = ("egressed", "dropped", "offered")
+
+    def __init__(self, offered: int):
+        self.egressed = 0
+        self.dropped = 0
+        self.offered = offered
+
+
+class _SwitchView:
+    """What ``InvariantMonitor.end_tick``/``end_run`` dereference.
+
+    ``fifos`` and ``sharder`` are the real (inert) objects — the vector
+    engine never mutates its inherited FIFOs, and the sharder holds its
+    final state, so the fifo-sanity and shard-exclusivity passes run
+    exactly as written and hold vacuously, matching the zero-alert
+    outcome of a correct scalar run."""
+
+    __slots__ = ("_live", "stats", "fifos", "sharder", "config", "_faults")
+
+    def __init__(self, switch):
+        self._live = 0
+        self.stats = _StatsView(switch.stats.offered)
+        self.fifos = switch.fifos
+        self.sharder = switch.sharder
+        self.config = switch.config
+        self._faults = None
+
+
+def _register_replay_sources(
+    switch, registry, vals: Dict[str, int], lane_occ: Dict, latency: bool
+):
+    """Mirror of ``MP5Switch._register_metric_sources``: same sampler
+    names in the same order, reading replay-driven aggregates instead of
+    live engine objects (which hold end-of-run values throughout the
+    replay). Returns the latency histogram when requested."""
+    for name in _STAT_COUNTERS:
+        registry.add_sampler(
+            name, (lambda v=vals, n=name: v[n]), cumulative=True
+        )
+    registry.add_sampler(
+        "queue_depth_max", lambda v=lane_occ: max(v.values(), default=0)
+    )
+    registry.add_sampler(
+        "queue_depth_total", lambda v=lane_occ: sum(v.values())
+    )
+    # The vector envelope excludes bounded FIFOs and phantom loss, so
+    # both drop sources are identically zero — like the scalar run.
+    registry.add_sampler("fifo_drops_full", lambda: 0, cumulative=True)
+    registry.add_sampler("fifo_drops_no_phantom", lambda: 0, cumulative=True)
+    for key in switch.fifos:
+        pipe, stage = key
+        registry.add_sampler(
+            f"queue_depth.p{pipe}.s{stage}",
+            (lambda v=lane_occ, k=key: v[k]),
+        )
+    registry.add_sampler(
+        "sharder_moves",
+        (lambda v=vals: v["sharder_moves"]),
+        cumulative=True,
+    )
+    # crossbar_crossings: record_crossbar is outside the vector envelope,
+    # so the scalar run would not have registered it either.
+    if latency:
+        return registry.histogram("latency")
+    return None
+
+
+def _attach_monitor(monitor, view: _SwitchView, switch, vals, lane_occ):
+    """Replay-time equivalent of ``InvariantMonitor.bind``: same
+    one-run-per-monitor guard, same sampler registration (via the replay
+    mirrors), shard-map snapshots from the sharder's final state (maps
+    never change during replay, so the exclusivity pass is the same
+    no-change comparison a correct scalar run converges to)."""
+    if monitor._switch is not None:
+        raise ConfigError(
+            "an InvariantMonitor tracks one run; construct a fresh "
+            "monitor per switch"
+        )
+    monitor._switch = view
+    _register_replay_sources(
+        switch, monitor.registry, vals, lane_occ, latency=False
+    )
+    for name, state in switch.sharder.arrays.items():
+        monitor._shard_maps[name] = state.index_to_pipeline.copy()
+        monitor._inflight_prev[name] = state.in_flight.copy()
+
+
+# ---------------------------------------------------------------------------
+# Event synthesis
+# ---------------------------------------------------------------------------
+
+# Within-tick dispatch priorities, mirroring the scalar _step phase
+# order (inject -> move/steer/match/egress -> pop -> service -> remap).
+# The priority doubles as the event kind in the synthesized tuples.
+_P_INGRESS = 0
+_P_PHANTOM_EMIT = 1
+_P_STEER = 2
+_P_PHANTOM_MATCH = 3
+_P_EGRESS = 4
+_P_FIFO_BLOCK = 5
+_P_FIFO_POP = 6
+_P_SERVICE = 7
+_P_REMAP = 8
+
+
+def synthesize_events(
+    switch, packets, schedule, wasted_masks: Optional[List]
+) -> List[Tuple]:
+    """The run's full event stream as sortable tuples.
+
+    Tuple layouts (every field a Python int unless noted):
+
+    ========== ==========================================
+    priority    payload after ``(tick, priority, ...)``
+    ========== ==========================================
+    ingress     pkt, pipe, port, flow (flow may be None)
+    phantom     pkt, stage, pipe, array (str), index (or None)
+    steer       pkt, stage, src, pipe
+    match       pkt, stage, pipe
+    egress      pkt, latency (arrival-typed)
+    block       pipe, stage
+    pop         pkt, pipe, stage, wasted (0/1)
+    service     pkt, stage, pipe
+    remap       moves
+    ========== ==========================================
+
+    Plain ``list.sort`` is safe: within one (tick, priority) class the
+    leading integer fields always differ before any None/str/float field
+    is compared (a packet visits each stage once; lanes are unique).
+    """
+    cfg = switch.config
+    k = cfg.num_pipelines
+    vplans = switch._vplans
+    stats = switch.stats
+    last_exec = stats.ticks - 1
+    ninj = schedule.injected
+    inj = schedule.inj.tolist()
+    entry_pipe = schedule.entry_pipe
+    dest = schedule.dest
+    events: List[Tuple] = []
+    add = events.append
+
+    # Injection tick: ingress, one phantom per plan, and the services of
+    # instruction-bearing stateless stages before the first plan stage.
+    entry_l = entry_pipe.tolist()
+    for r in range(ninj):
+        pkt = packets[r]
+        add((inj[r], _P_INGRESS, r, entry_l[r], pkt.port, pkt.flow_id))
+    for pi, plan in enumerate(vplans):
+        d = dest[pi].tolist()
+        stage = plan.stage
+        label = plan.label
+        if plan.has_index and not plan.multi:
+            idx = schedule.acc_idx[pi].tolist()
+            for r in range(ninj):
+                add((inj[r], _P_PHANTOM_EMIT, r, stage, d[r], label, idx[r]))
+        else:
+            for r in range(ninj):
+                add((inj[r], _P_PHANTOM_EMIT, r, stage, d[r], label, None))
+    for u in switch._transit_after_inject:
+        off = u - 1
+        for r in range(ninj):
+            t = inj[r] + off
+            if t <= last_exec:
+                add((t, _P_SERVICE, r, u, entry_l[r]))
+
+    # Per-plan FIFO lifecycle: steer+match at insert, pop (+service) at
+    # the pop-chain tick, post-plan transit services one stage per tick.
+    for pi, plan in enumerate(vplans):
+        ins = schedule.ins_tick[pi].tolist()
+        pop = schedule.pop_tick[pi].tolist()
+        d = dest[pi].tolist()
+        prev = entry_l if pi == 0 else dest[pi - 1].tolist()
+        stage = plan.stage
+        has_service = bool(switch._stage_instrs[stage])
+        transits = switch._transit_after[pi]
+        mask = wasted_masks[pi] if wasted_masks is not None else None
+        for r in range(ninj):
+            it = ins[r]
+            if 0 <= it <= last_exec:
+                add((it, _P_STEER, r, stage, prev[r], d[r]))
+                add((it, _P_PHANTOM_MATCH, r, stage, d[r]))
+            pt = pop[r]
+            if 0 <= pt <= last_exec:
+                wflag = 1 if (mask is not None and mask[r]) else 0
+                add((pt, _P_FIFO_POP, r, d[r], stage, wflag))
+                if has_service:
+                    add((pt, _P_SERVICE, r, stage, d[r]))
+                for u in transits:
+                    t = pt + (u - stage)
+                    if t <= last_exec:
+                        add((t, _P_SERVICE, r, u, d[r]))
+
+    # Head-of-line blocking episodes, per (plan, pipeline) FIFO group:
+    # the head's pop waits until max(prev_pop + 1, its insert tick);
+    # the episode opens at the first tick queued data coexists with the
+    # head's still-absent data — the suffix-minimum of later members'
+    # insert ticks, clamped by the pop cadence.
+    for pi, plan in enumerate(vplans):
+        stage = plan.stage
+        ins_col = schedule.ins_tick[pi]
+        pop_col = schedule.pop_tick[pi]
+        for pipe in range(k):
+            g = schedule.groups[pi][pipe]
+            cnt = g.count
+            if cnt == 0:
+                continue
+            members = g.members[:cnt]
+            ins_m = np.where(
+                ins_col[members] >= 0, ins_col[members], _FAR
+            ).tolist()
+            pop_m = pop_col[members].tolist()
+            # suffix-min of strictly-later members' insert ticks
+            suf = [0] * cnt
+            running = _FAR
+            for j in range(cnt - 1, -1, -1):
+                suf[j] = running
+                if ins_m[j] < running:
+                    running = ins_m[j]
+            prev_pop = -1
+            for j in range(cnt):
+                b = prev_pop + 1
+                if suf[j] > b:
+                    b = suf[j]
+                pj = pop_m[j]
+                if pj >= 0:
+                    if b < pj:
+                        add((b, _P_FIFO_BLOCK, pipe, stage))
+                    prev_pop = pj
+                else:
+                    # Final head: its pop would have landed at pw but the
+                    # run was cut; the episode still opens if data queued
+                    # behind it within the executed ticks.
+                    pw = ins_m[j] if ins_m[j] > prev_pop else prev_pop + 1
+                    if b < pw and b <= last_exec:
+                        add((b, _P_FIFO_BLOCK, pipe, stage))
+                    break
+
+    # Egress and remap boundaries.
+    done = np.nonzero(schedule.egr_tick >= 0)[0]
+    if done.size:
+        egr = schedule.egr_tick[done].tolist()
+        for t, r in zip(egr, done.tolist()):
+            add((t, _P_EGRESS, r, t - packets[r].arrival))
+    for boundary, moved in schedule.remap_records:
+        add((int(boundary), _P_REMAP, int(moved)))
+
+    events.sort()
+    return events
+
+
+# ---------------------------------------------------------------------------
+# Replay driver
+# ---------------------------------------------------------------------------
+
+
+def replay_observability(
+    switch,
+    packets,
+    schedule,
+    wasted_masks: Optional[List],
+    drained: bool,
+    recorder=None,
+    metrics=None,
+    monitor=None,
+) -> None:
+    """Feed the attached sinks the run they never saw live.
+
+    Dispatches the synthesized stream per tick in scalar phase order,
+    calling ``metrics.maybe_roll`` and ``monitor.end_tick`` at each tick
+    boundary and ``metrics.roll`` / ``monitor.end_run`` once the stream
+    ends — the exact hook sequence of ``MP5Switch.run``. ``schedule``
+    may be None for runs that never built one (empty trace, or
+    ``max_ticks <= 0``); the sinks still see registration and the final
+    roll, like a scalar run whose loop never stepped.
+    """
+    stats = switch.stats
+    ticks = stats.ticks
+    vals = {name: 0 for name in _STAT_COUNTERS}
+    vals["sharder_moves"] = 0
+    lane_occ = {key: 0 for key in switch.fifos}
+    lat_hist = None
+    if metrics is not None:
+        lat_hist = _register_replay_sources(
+            switch, metrics, vals, lane_occ, latency=True
+        )
+    view = None
+    if monitor is not None:
+        view = _SwitchView(switch)
+        _attach_monitor(monitor, view, switch, vals, lane_occ)
+    sinks = [s for s in (recorder, monitor) if s is not None]
+
+    events = (
+        synthesize_events(switch, packets, schedule, wasted_masks)
+        if schedule is not None
+        else []
+    )
+    i = 0
+    n = len(events)
+    for tick in range(ticks):
+        while i < n and events[i][0] == tick:
+            ev = events[i]
+            i += 1
+            kind = ev[1]
+            if kind == _P_INGRESS:
+                _t, _k, r, pipe, port, flow = ev
+                for s in sinks:
+                    s.ingress(tick, r, pipe, port, flow)
+                if view is not None:
+                    view._live += 1
+            elif kind == _P_PHANTOM_EMIT:
+                _t, _k, r, stage, pipe, array, index = ev
+                for s in sinks:
+                    s.phantom_emit(tick, r, pipe, stage, array, index)
+                vals["phantoms_generated"] += 1
+            elif kind == _P_STEER:
+                _t, _k, r, stage, src, pipe = ev
+                for s in sinks:
+                    s.steer(tick, r, src, pipe, stage)
+                if src != pipe:
+                    vals["steering_moves"] += 1
+            elif kind == _P_PHANTOM_MATCH:
+                _t, _k, r, stage, pipe = ev
+                for s in sinks:
+                    s.phantom_match(tick, r, pipe, stage)
+                lane_occ[(pipe, stage)] += 1
+            elif kind == _P_EGRESS:
+                _t, _k, r, latency = ev
+                for s in sinks:
+                    s.egress(tick, r, latency)
+                vals["egressed"] += 1
+                if lat_hist is not None:
+                    lat_hist.observe(latency)
+                if view is not None:
+                    view._live -= 1
+                    view.stats.egressed += 1
+            elif kind == _P_FIFO_BLOCK:
+                _t, _k, pipe, stage = ev
+                for s in sinks:
+                    s.fifo_block(tick, pipe, stage)
+            elif kind == _P_FIFO_POP:
+                _t, _k, r, pipe, stage, wflag = ev
+                for s in sinks:
+                    s.fifo_pop(tick, r, pipe, stage)
+                lane_occ[(pipe, stage)] -= 1
+                if wflag:
+                    vals["wasted_slots"] += 1
+            elif kind == _P_SERVICE:
+                _t, _k, r, stage, pipe = ev
+                for s in sinks:
+                    s.service(tick, r, pipe, stage)
+            else:  # _P_REMAP
+                _t, _k, moves = ev
+                for s in sinks:
+                    s.remap(tick, moves)
+                vals["remap_moves"] += moves
+                vals["sharder_moves"] += moves
+        if metrics is not None:
+            metrics.maybe_roll(tick)
+        if monitor is not None:
+            monitor.end_tick(tick, view)
+    if metrics is not None:
+        metrics.roll(ticks)
+    if monitor is not None:
+        monitor.end_run(ticks, view, drained)

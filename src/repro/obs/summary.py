@@ -219,6 +219,98 @@ def render_trace_summary(
     return "\n".join(parts)
 
 
+def render_epoch_section(profiler: Dict) -> str:
+    """Render the per-epoch section ``trace-summary`` appends when a
+    trace header carries a ``profiler`` block (vector-engine runs save
+    one via ``run --engine vector --profile --trace``).
+
+    Shows the epoch boundaries Phase A resolved with each boundary's
+    remap outcome, the Phase A / Phase B / reconstruction wall-clock
+    split, the per-stage kernel tier that serviced each stateful stage,
+    and the epoch-pool gauges. Raises :class:`ValueError` on a
+    malformed block so the CLI can exit 2 with a one-line diagnostic,
+    matching the empty/truncated-trace handling.
+    """
+    if not isinstance(profiler, dict):
+        raise ValueError("profiler block must be a JSON object")
+    spans = profiler.get("spans", {})
+    kernels = profiler.get("kernels", {})
+    pool = profiler.get("pool", {})
+    epochs = profiler.get("epochs", [])
+    if not isinstance(spans, dict) or not all(
+        isinstance(v, (int, float)) for v in spans.values()
+    ):
+        raise ValueError("profiler 'spans' must map section -> seconds")
+    if not isinstance(kernels, dict) or not all(
+        isinstance(v, dict) for v in kernels.values()
+    ):
+        raise ValueError("profiler 'kernels' must map stage -> entry")
+    if not isinstance(pool, dict):
+        raise ValueError("profiler 'pool' must be a JSON object")
+    if not isinstance(epochs, list) or not all(
+        isinstance(e, dict) and "start" in e and "end" in e for e in epochs
+    ):
+        raise ValueError("profiler 'epochs' must list {start, end} spans")
+
+    parts: List[str] = [f"Vector epochs ({len(epochs)} resolved)"]
+    if epochs:
+        parts.append(
+            _table(
+                ("epoch", "span", "ticks", "remap moves"),
+                [
+                    (
+                        e.get("epoch", i),
+                        f"[{e['start']}, {e['end']})",
+                        e["end"] - e["start"],
+                        e.get("remap_moves", "-"),
+                    )
+                    for i, e in enumerate(epochs)
+                ],
+            )
+        )
+    else:
+        parts.append("  (no epochs recorded)")
+    if spans:
+        total = sum(spans.values()) or 1.0
+        parts.append("")
+        parts.append("Phase split")
+        parts.append(
+            _table(
+                ("section", "seconds", "share"),
+                [
+                    (name, f"{seconds:.4f}", f"{100 * seconds / total:5.1f}%")
+                    for name, seconds in sorted(
+                        spans.items(), key=lambda kv: kv[1], reverse=True
+                    )
+                ],
+            )
+        )
+    if kernels:
+        parts.append("")
+        parts.append("Service kernel tiers")
+        parts.append(
+            _table(
+                ("stage", "tier", "calls", "seconds"),
+                [
+                    (
+                        stage,
+                        entry.get("tier", "?"),
+                        entry.get("calls", 0),
+                        f"{entry.get('seconds', 0.0):.4f}",
+                    )
+                    for stage, entry in sorted(kernels.items())
+                ],
+            )
+        )
+    if pool:
+        parts.append("")
+        parts.append(
+            "Epoch pool: "
+            + " ".join(f"{key}={pool[key]}" for key in sorted(pool))
+        )
+    return "\n".join(parts)
+
+
 def render_alerts_section(
     header: Dict, alerts: Sequence, max_alerts: int = 10
 ) -> str:

@@ -185,10 +185,11 @@ def test_warn_fallback_reset(capsys):
 
 def test_cli_invocations_each_warn_once(capsys):
     """main() resets the warning budget, so two CLI runs in one process
-    warn once each — not once total, not twice per run."""
+    warn once each — not once total, not twice per run. Observability
+    no longer falls back, so the faulted run is the warning path."""
     argv = [
         "run", "heavy_hitter", "--packets", "200",
-        "--engine", "vector", "--monitor",
+        "--engine", "vector", "--faults", "examples/faults/slowdown.json",
     ]
     for _ in range(2):
         assert main(argv) == 0

@@ -12,10 +12,12 @@ back — never approximate.
 This module asserts both halves of that contract: native agreement
 over the sensitivity workload, every real application, fuzzed
 programs, and the supported config matrix; and fallback equivalence
-(silent for configs/program shapes, a one-line warning for
-faults/observability) for everything else — plus the end-to-end check
-that ``run_all`` produces byte-identical ``results.json`` under
-``engine="vector"`` and ``engine="fast"``.
+(silent for configs/program shapes, a one-line warning for faults)
+for everything else — plus the end-to-end check that ``run_all``
+produces byte-identical ``results.json`` under ``engine="vector"``
+and ``engine="fast"``. Observability sinks no longer fall back: the
+vector engine reconstructs the event stream after the closed-form run
+(see ``tests/test_vector_obs.py`` for the parity suite).
 """
 
 import json
@@ -248,7 +250,10 @@ def test_unsupported_config_falls_back_silently(name, capsys):
     assert capsys.readouterr().err == ""  # config fallback stays quiet
 
 
-def test_observability_falls_back_with_warning(capsys):
+def test_observability_runs_on_vector_without_fallback(capsys):
+    """Observability sinks no longer trigger fallback: the monitor
+    attaches to the vector engine's reconstructed stream, runs clean on
+    a fault-free workload, and never perturbs the results."""
     program = make_sensitivity_program(num_stateful=4, register_size=64)
     config = MP5Config(num_pipelines=4)
     monitor = InvariantMonitor()
@@ -258,9 +263,9 @@ def test_observability_falls_back_with_warning(capsys):
         config,
         monitor=monitor,
     )
-    err = capsys.readouterr().err
-    assert "falling back to the fast engine" in err
+    assert capsys.readouterr().err == ""  # no fallback warning
     assert monitor.health_report().verdict == "ok"  # sink really attached
+    assert len(monitor.alerts) == 0
     fast = run_mp5(
         program, sensitivity_trace(200, 4, 4, 64, seed=0), config
     )
@@ -287,14 +292,28 @@ def test_faults_fall_back_with_warning(capsys):
     assert vec == fast
 
 
-def test_cli_vector_fallback_warns_once(capsys):
-    """``--engine vector --monitor`` must run, warn on stderr, and print
-    the same statistics block as any other engine."""
+def test_cli_vector_monitor_no_fallback(capsys):
+    """``--engine vector --monitor`` runs natively on the vector engine
+    (no fallback warning) and prints the health verdict."""
     assert main(
         ["run", "heavy_hitter", "--packets", "300", "--engine", "vector",
          "--monitor"]
     ) == 0
     captured = capsys.readouterr()
+    assert "falling back" not in captured.err
+    assert "throughput" in captured.out
+    assert "health: ok" in captured.out
+
+
+def test_cli_vector_faults_fallback_warns_once(capsys):
+    """Faults remain outside the vector envelope: the CLI run warns
+    exactly once and still prints the statistics block."""
+    assert main(
+        ["run", "heavy_hitter", "--packets", "300", "--engine", "vector",
+         "--faults", "examples/faults/slowdown.json"]
+    ) == 0
+    captured = capsys.readouterr()
+    assert captured.err.count("faults attached") == 1
     assert captured.err.count("falling back to the fast engine") == 1
     assert "throughput" in captured.out
 
