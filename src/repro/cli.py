@@ -34,6 +34,7 @@ import numpy as np
 from .compiler import compile_program, preprocess
 from .domino import analyze, get_program, parse, program_names
 from .equivalence import check_equivalence
+from .errors import ConfigError
 from .faults import FAULT_KINDS, FaultSchedule, generate_schedule
 from .harness import (
     ChaosSettings,
@@ -116,6 +117,20 @@ def cmd_tac(args) -> int:
     return 0
 
 
+def _load_schedule(path, num_pipelines: int) -> Optional[FaultSchedule]:
+    """Load a fault schedule and validate it against the run's pipeline
+    count up front — a schedule naming pipeline >= k must die with a
+    one-line diagnostic here, not a traceback from inside the
+    injector."""
+    try:
+        schedule = FaultSchedule.load(path)
+        schedule.validate(num_pipelines=num_pipelines)
+    except ConfigError as exc:
+        print(f"error: {path}: {exc}", file=sys.stderr)
+        return None
+    return schedule
+
+
 def cmd_run(args) -> int:
     """``run``: simulate a program on MP5 and print its statistics."""
     compiled = compile_program(_load_ast(args.program))
@@ -131,7 +146,11 @@ def cmd_run(args) -> int:
         MetricsRegistry(window=args.metrics_window) if args.metrics else None
     )
     profiler = PhaseProfiler() if args.profile else None
-    schedule = FaultSchedule.load(args.faults) if args.faults else None
+    schedule = None
+    if args.faults:
+        schedule = _load_schedule(args.faults, args.pipelines)
+        if schedule is None:
+            return 2
     # --alerts-out and --fail-on-violation imply the monitor.
     monitor = (
         InvariantMonitor()
@@ -274,6 +293,54 @@ def cmd_equiv(args) -> int:
     return 0 if report.equivalent else 1
 
 
+def cmd_serve(args) -> int:
+    """``serve``: run the long-lived switch daemon (docs/service.md)."""
+    import asyncio
+
+    from .service import SwitchService
+
+    schedule = None
+    if args.faults:
+        schedule = _load_schedule(args.faults, args.pipelines)
+        if schedule is None:
+            return 2
+    program_spec = None
+    program_name = None
+    if args.program:
+        path = Path(args.program)
+        if path.suffix in (".c", ".domino") and path.exists():
+            program_spec = path.read_text()
+            program_name = path.stem
+        else:
+            program_spec = args.program
+    service = SwitchService(
+        program=program_spec,
+        program_name=program_name,
+        engine=args.engine,
+        config=MP5Config(num_pipelines=args.pipelines, seed=args.seed),
+        queue_depth=args.queue_depth,
+        monitor=args.monitor,
+        faults=schedule,
+        metrics_window=args.metrics_window,
+        native=args.native,
+        epoch_jobs=args.epoch_jobs,
+    )
+
+    def ready(svc):
+        host, port = svc.address
+        print(
+            f"serving MP5 on http://{host}:{port} "
+            f"(engine={svc.engine}, program={svc.program_name or 'none'})",
+            flush=True,
+        )
+
+    try:
+        asyncio.run(service.serve(args.host, args.port, ready=ready))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def cmd_faults(args) -> int:
     """``faults``: generate, validate, or describe a fault schedule."""
     if args.action == "generate":
@@ -293,8 +360,9 @@ def cmd_faults(args) -> int:
             print(json.dumps(schedule.to_dict(), indent=2))
         return 0
     # validate / describe both start by loading + validating.
-    schedule = FaultSchedule.load(args.spec)
-    schedule.validate(num_pipelines=args.pipelines)
+    schedule = _load_schedule(args.spec, args.pipelines)
+    if schedule is None:
+        return 2
     if args.action == "describe":
         print(schedule.describe())
     else:
@@ -535,6 +603,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--monitor)",
     )
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the long-lived switch daemon with its HTTP control plane",
+    )
+    p.add_argument(
+        "program",
+        nargs="?",
+        default=None,
+        help="bundled name or .c/.domino file to start with (optional: "
+        "load one later via POST /program)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8585, help="0 = ephemeral")
+    p.add_argument("--pipelines", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--engine",
+        choices=sorted(ENGINES),
+        default="fast",
+        help="engine every segment runs on; 'vector' buffers each "
+        "segment's chunks and replays them batch-wise at drain",
+    )
+    add_native_args(p)
+    p.add_argument(
+        "--queue-depth",
+        type=int,
+        default=8,
+        help="ingest queue capacity in batches; a full queue answers "
+        "POST /ingest with HTTP 429 (default 8)",
+    )
+    p.add_argument(
+        "--monitor",
+        action="store_true",
+        help="attach an invariant monitor to every segment (feeds "
+        "/health and /alerts; see docs/observability.md)",
+    )
+    p.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help="arm a fault-schedule JSON from startup (also attachable "
+        "at runtime via POST /faults)",
+    )
+    p.add_argument(
+        "--metrics-window",
+        type=int,
+        default=100,
+        help="window length in ticks for the /metrics series "
+        "(default 100)",
+    )
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "trace-summary",

@@ -272,6 +272,17 @@ class FaultInjector:
             for _idx, event in sorted(self._active, key=lambda e: e[0])
         ]
 
+    def pending_remaps(self) -> List[Dict]:
+        """Emergency remaps requested but not yet fully executed.
+
+        Each entry names the evacuating pipeline and the tick the move
+        becomes due. Non-empty means the sharder is still moving state
+        away from a degraded pipeline — the service health endpoint
+        reports this phase as ``degraded``."""
+        return [
+            {"pipe": r["pipe"], "due": r["due"]} for r in self._pending_remaps
+        ]
+
     def note_dropped(self, pkt_id: int) -> None:
         """A data packet dropped; any still-undelivered (delayed) phantom
         of its is void — delivering it would wedge a FIFO head forever."""

@@ -173,6 +173,15 @@ class MP5Switch:
         self._idle_teleports = 0  # idle stretches compressed by run()
         self._ran = False
         self._record_access_order = False
+        # Streaming-run state (start()/feed()/pump()/finish()). run() is
+        # a thin wrapper over these; the long-lived service drives them
+        # directly to pause/resume between arrival batches.
+        self._pending: Optional[Deque[DataPacket]] = None
+        self._feed_seq = 0  # next arrival-ordered pkt_id to assign
+        self._last_feed_key: Optional[Tuple[float, int]] = None
+        self._max_ticks: Optional[int] = None
+        self._idle_ok = False
+        self._finished = False
         # Observability sinks (repro.obs). All default to None and every
         # hot-path hook hides behind a single attribute check, so a run
         # with nothing attached executes the same code it always did.
@@ -440,6 +449,31 @@ class MP5Switch:
         ``(arrival_tick, port, headers)`` tuples. Arrival ticks are in
         MP5 pipeline clocks; at minimum packet size the line rate is
         ``num_pipelines`` packets per tick.
+
+        Equivalent to ``start(); feed(trace); pump(); finish()`` — the
+        streaming primitives the long-lived service drives directly.
+        """
+        self.start(max_ticks=max_ticks, record_access_order=record_access_order)
+        self.feed(trace)
+        self.pump()
+        return self.finish()
+
+    # ------------------------------------------------------------------
+    # Streaming run loop: start / feed / pump / finish
+    # ------------------------------------------------------------------
+
+    def start(
+        self,
+        max_ticks: Optional[int] = None,
+        record_access_order: bool = False,
+    ) -> None:
+        """Begin a streaming run.
+
+        After ``start()`` the switch accepts arrival batches through
+        :meth:`feed` and advances through :meth:`pump`; :meth:`finish`
+        closes the run and returns the stats. Observability sinks and
+        fault schedules must already be attached — ``start`` freezes the
+        instrumentation set exactly like ``run`` did.
         """
         if self._ran:
             raise ConfigError(
@@ -458,14 +492,10 @@ class MP5Switch:
             self._stage_logger = [
                 self._logger if need else None for need in self._stage_needs_log
             ]
-        packets = [self._coerce(i, entry) for i, entry in enumerate(trace)]
-        packets.sort(key=lambda p: (p.arrival, p.port, p.pkt_id))
-        for seq, pkt in enumerate(packets):
-            pkt.pkt_id = seq  # arrival-ordered ids, the C1 reference order
-        self.stats.offered = len(packets)
-        self.stats.arrival_ticks = [p.arrival for p in packets]
-
-        pending = deque(packets)
+        self._pending = deque()
+        self._feed_seq = 0
+        self._last_feed_key = None
+        self._max_ticks = max_ticks
         # Idle-tick compression: when no stage holds live work and the
         # next arrival is known, the intervening ticks are no-ops — jump
         # the tick counter instead of stepping them (generalizes the
@@ -474,19 +504,77 @@ class MP5Switch:
         # profiler all see every tick, so any of them disables it.
         # Remap boundary ticks always execute — leftover access counters
         # can move indices on an otherwise idle tick.
-        idle_ok = (
+        self._idle_ok = (
             self.config.idle_compression
             and self._faults is None
             and self._monitor is None
             and self._metrics is None
             and self._profiler is None
         )
+        self._all_fifos = list(self.fifos.values())
+
+    def feed(self, entries: Iterable[TraceEntry]) -> int:
+        """Append a batch of arrivals to the pending queue.
+
+        Entries follow the :meth:`run` trace format. Each batch is
+        sorted internally, but batches must be monotone across calls:
+        the earliest ``(arrival, port)`` of a batch may not precede the
+        last packet already fed — packet ids are assigned in arrival
+        order at feed time (the C1 reference order) and cannot be
+        renumbered retroactively. Returns the number of packets added.
+        """
+        if self._pending is None or self._finished:
+            raise ConfigError("feed() requires start() and precedes finish()")
+        packets = [self._coerce(i, entry) for i, entry in enumerate(entries)]
+        if not packets:
+            return 0
+        packets.sort(key=lambda p: (p.arrival, p.port, p.pkt_id))
+        head = (packets[0].arrival, packets[0].port)
+        if self._last_feed_key is not None and head < self._last_feed_key:
+            raise ConfigError(
+                "feed() batches must be monotone in (arrival, port): batch "
+                f"starts at {head} but {self._last_feed_key} was already fed"
+            )
+        for pkt in packets:
+            pkt.pkt_id = self._feed_seq  # arrival-ordered ids (C1 order)
+            self._feed_seq += 1
+        self._last_feed_key = (packets[-1].arrival, packets[-1].port)
+        self.stats.offered += len(packets)
+        self.stats.arrival_ticks.extend(p.arrival for p in packets)
+        self._pending.extend(packets)
+        return len(packets)
+
+    def pump(
+        self,
+        max_steps: Optional[int] = None,
+        until_tick: Optional[int] = None,
+    ) -> int:
+        """Advance the switch while it has work; returns steps executed.
+
+        ``until_tick`` stops before executing that tick (exclusive upper
+        bound) — the service gates on :attr:`ingest_watermark` so a tick
+        only executes once no future :meth:`feed` can still deliver an
+        arrival for it. ``max_steps`` bounds the loop (idle teleports
+        count as one step) so a caller can interleave pumping with other
+        work. With neither bound, pumps until fully drained.
+        """
+        if self._pending is None:
+            raise ConfigError("pump() requires start()")
+        pending = self._pending
+        idle_ok = self._idle_ok
+        max_ticks = self._max_ticks
         period = self.config.remap_period
         remap_on = self.config.remap_algorithm != "none"
-        all_fifos = list(self.fifos.values())
+        all_fifos = self._all_fifos
+        steps = 0
         while pending or self._live > 0:
             if max_ticks is not None and self.tick >= max_ticks:
                 break
+            if until_tick is not None and self.tick >= until_tick:
+                break
+            if max_steps is not None and steps >= max_steps:
+                break
+            steps += 1
             if (
                 idle_ok
                 and self._live == 0
@@ -506,19 +594,52 @@ class MP5Switch:
                         target = boundary
                 if max_ticks is not None and max_ticks < target:
                     target = max_ticks
+                if until_tick is not None and until_tick < target:
+                    target = until_tick
                 if target > self.tick:
                     self.tick = target
                     self._idle_teleports += 1
                     continue
             self._step(pending)
+        return steps
+
+    def finish(self) -> SwitchStats:
+        """Close a streaming run: final metrics roll, monitor end-of-run
+        checks, and the tick count. Returns the run statistics."""
+        if self._pending is None:
+            raise ConfigError("finish() requires start()")
+        if self._finished:
+            raise ConfigError("finish() was already called on this switch")
+        self._finished = True
         if self._metrics is not None:
             self._metrics.roll(self.tick)  # close the final partial window
         if self._monitor is not None:
             self._monitor.end_run(
-                self.tick, self, drained=not pending and self._live == 0
+                self.tick, self, drained=not self._pending and self._live == 0
             )
         self.stats.ticks = self.tick
         return self.stats
+
+    @property
+    def has_work(self) -> bool:
+        """True while arrivals are pending or packets are in flight."""
+        return bool(self._pending) or self._live > 0
+
+    @property
+    def ingest_watermark(self) -> int:
+        """Smallest integer tick ≥ the last fed arrival.
+
+        Ticks strictly below the watermark can never receive an arrival
+        from a future (monotone) :meth:`feed` call, so
+        ``pump(until_tick=switch.ingest_watermark)`` executes exactly
+        the ticks whose inputs are already complete — the property that
+        makes a served run byte-identical to an offline one regardless
+        of how arrivals were batched.
+        """
+        if self._last_feed_key is None:
+            return 0
+        arrival = self._last_feed_key[0]
+        return int(arrival) if arrival == int(arrival) else int(arrival) + 1
 
     # ------------------------------------------------------------------
     # One tick

@@ -216,5 +216,26 @@ class MetricsRegistry:
             "totals": self.totals(),
         }
 
+    def since(self, tick: int = -1) -> Dict:
+        """Streaming view: only the window rows rolled after ``tick``.
+
+        The returned ``cursor`` is the last rolled tick; feeding it back
+        as ``tick`` on the next call yields exactly the rows that rolled
+        in between, so a poller never re-downloads the full series. Used
+        by the service's ``/metrics?since=`` endpoint."""
+        return {
+            "window": self.window,
+            "cursor": self._last_roll,
+            "series": {
+                name: [row for row in rows if row[0] > tick]
+                for name, rows in self.series.items()
+            },
+            "histograms": {
+                name: [row for row in rows if row["tick"] > tick]
+                for name, rows in self.histogram_series.items()
+            },
+            "totals": self.totals(),
+        }
+
     def save(self, path: PathLike) -> None:
         Path(path).write_text(json.dumps(self.to_dict(), indent=2))

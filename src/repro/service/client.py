@@ -1,0 +1,161 @@
+"""Minimal synchronous client for the switch daemon's control plane.
+
+Stdlib only (``urllib``); one method per endpoint, JSON in/out. Raises
+:class:`ServiceClientError` (carrying the HTTP status and the server's
+one-line diagnostic) on any non-2xx answer::
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient("127.0.0.1", 8585)
+    client.load_program("heavy_hitter")
+    client.replay(packets=500)
+    client.drain()
+    print(client.health()["verdict"])
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional
+
+__all__ = ["ServiceClient", "ServiceClientError"]
+
+
+class ServiceClientError(Exception):
+    """A control-plane request failed; ``status`` is the HTTP code."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    def __init__(self, host: str = "127.0.0.1", port: int = 8585, timeout: float = 30.0):
+        self.base = f"http://{host}:{port}"
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: Optional[Dict] = None, raw: bool = False
+    ):
+        data = json.dumps(body).encode() if body is not None else None
+        req = urllib.request.Request(
+            self.base + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                text = resp.read().decode()
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode(errors="replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except (json.JSONDecodeError, AttributeError):
+                pass
+            raise ServiceClientError(exc.code, detail) from None
+        return text if raw else json.loads(text)
+
+    # -- read-only views ------------------------------------------------
+
+    def health(self) -> Dict:
+        return self._request("GET", "/health")
+
+    def status(self) -> Dict:
+        return self._request("GET", "/status")
+
+    def metrics(self, since: int = -1) -> Dict:
+        return self._request("GET", f"/metrics?since={since}")
+
+    def alerts(self, since: int = 0) -> Dict:
+        return self._request("GET", f"/alerts?since={since}")
+
+    def segments(self) -> Dict:
+        return self._request("GET", "/segments")
+
+    def segment_results(self, index: int) -> str:
+        """The canonical result payload of a closed segment, as the raw
+        JSON string the server rendered (byte-comparable)."""
+        return self._request("GET", f"/segments/{index}/results", raw=True)
+
+    # -- control --------------------------------------------------------
+
+    def load_program(
+        self,
+        program: Optional[str] = None,
+        source: Optional[str] = None,
+        name: Optional[str] = None,
+        validate_only: bool = False,
+    ) -> Dict:
+        spec: Dict = {"validate_only": validate_only}
+        if program:
+            spec["program"] = program
+        if source:
+            spec["source"] = source
+        if name:
+            spec["name"] = name
+        return self._request("POST", "/program", spec)
+
+    def attach_faults(
+        self, schedule: Optional[Dict] = None, path: Optional[str] = None
+    ) -> Dict:
+        spec = {"path": path} if path else {"schedule": schedule or {}}
+        return self._request("POST", "/faults", spec)
+
+    def detach_faults(self) -> Dict:
+        return self._request("DELETE", "/faults")
+
+    def set_monitor(self, enabled: bool = True) -> Dict:
+        return self._request("POST", "/monitor", {"enabled": enabled})
+
+    def configure(self, **knobs) -> Dict:
+        return self._request("POST", "/config", knobs)
+
+    def ingest(self, packets: List[Dict]) -> Dict:
+        return self._request("POST", "/ingest", {"packets": packets})
+
+    def replay(self, **spec) -> Dict:
+        return self._request("POST", "/replay", spec)
+
+    def pause(self) -> Dict:
+        return self._request("POST", "/pause")
+
+    def resume(self) -> Dict:
+        return self._request("POST", "/resume")
+
+    def drain(self) -> Dict:
+        return self._request("POST", "/drain")
+
+    def shutdown(self) -> Dict:
+        return self._request("POST", "/shutdown")
+
+    # -- helpers --------------------------------------------------------
+
+    def wait_ready(self, timeout: float = 15.0, interval: float = 0.1) -> Dict:
+        """Poll ``/health`` until the daemon answers (startup helper)."""
+        deadline = time.monotonic() + timeout
+        last: Exception = RuntimeError("never polled")
+        while time.monotonic() < deadline:
+            try:
+                return self.health()
+            except (ServiceClientError, OSError) as exc:
+                last = exc
+                time.sleep(interval)
+        raise TimeoutError(f"service not ready after {timeout}s: {last}")
+
+    def wait_settled(self, timeout: float = 60.0, interval: float = 0.02) -> Dict:
+        """Poll ``/status`` until the queue is empty and the engine has
+        advanced to its ingest watermark (no runnable work)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            status = self.status()
+            if status["settled"]:
+                return status
+            time.sleep(interval)
+        raise TimeoutError(f"service still busy after {timeout}s")

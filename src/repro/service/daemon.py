@@ -1,0 +1,877 @@
+"""The long-lived MP5 switch daemon.
+
+:class:`SwitchService` wraps one of the three engines in an asyncio
+ingestion loop plus the HTTP/JSON control plane of
+:mod:`repro.service.http`. Traffic arrives in batches (pushed through
+``POST /ingest`` or generated server-side by ``POST /replay``) into a
+bounded queue; a single pump task moves batches into the engine and
+advances ticks in slices, yielding between slices so control requests
+stay responsive. Everything — pump, handlers, replay feeders — runs on
+one event loop, so there are no locks and no data races by construction.
+
+**Segments.** The service's unit of execution is a *segment*: one
+uninterrupted run of one compiled program on one engine instance.
+Control operations that change what the engine is (hot-swapping the
+program, attaching/detaching a fault schedule, toggling the monitor,
+retuning the remap policy) *quiesce* first — flush the ingest queue,
+drain the engine to empty, close the segment — and the next arrival
+batch opens a fresh segment under the new configuration. A closed
+segment's results are frozen as a canonical JSON payload
+(:func:`segment_payload`) that is byte-identical to an offline
+``run_mp5``/``run_mp5_vector`` invocation over the same packets, which
+is what makes hot swaps testable: served-and-swapped equals two offline
+runs split at the swap tick.
+
+**Determinism.** The scalar engines execute a tick only once no future
+``feed`` can still deliver an arrival for it
+(:attr:`repro.mp5.MP5Switch.ingest_watermark`), so results are
+independent of how arrivals were batched or when control requests
+interleaved. The vector engine cannot step tick-by-tick; its adapter
+buffers the fed chunks and replays them through
+:func:`repro.mp5.run_mp5_vector` when the segment closes.
+
+**Backpressure.** The ingest queue holds at most ``queue_depth``
+batches. ``POST /ingest`` never blocks: a full queue is answered with
+HTTP 429 and the client retries. ``POST /replay`` feeds through an
+in-loop task that *awaits* queue space — the generator side of bounded
+backpressure.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import dataclasses
+import json
+import threading
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..compiler import compile_program
+from ..errors import ConfigError, ReproError
+from ..faults import FaultSchedule
+from ..mp5 import MP5Config, MP5Switch, ReferenceSwitch, run_mp5_vector
+from ..mp5.packet import DataPacket
+from ..mp5.switch import FLOW_ORDER_ARRAY
+from ..obs.alerts import SEVERITY_CRITICAL
+from ..obs.health import VERDICT_DEGRADED, VERDICT_OK, worst_verdict
+from ..obs.metrics import MetricsRegistry
+from ..obs.monitor import InvariantMonitor
+from ..workloads.traceio import stats_to_dict
+from ..workloads.traffic import line_rate_trace
+
+__all__ = [
+    "ServiceError",
+    "ServiceThread",
+    "SwitchService",
+    "packet_from_json",
+    "random_headers",
+    "render_payload",
+    "segment_payload",
+]
+
+#: Engine ticks executed per pump slice before yielding to the loop.
+PUMP_SLICE = 2048
+
+#: Hard cap on packets a single /replay request may schedule.
+REPLAY_MAX_PACKETS = 1_000_000
+
+
+class ServiceError(ReproError):
+    """A control-plane request the service rejects; carries the HTTP
+    status the control plane should answer with."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+def segment_payload(stats, registers) -> Dict:
+    """The canonical result of one segment (or one offline run).
+
+    Combines the run summary, the per-reason drop breakdown, and the
+    final register state into one JSON-able dict. The served hot-swap
+    path and the offline ``run`` path both freeze results through this
+    helper, so byte-comparing :func:`render_payload` outputs is the
+    equivalence check."""
+    return {
+        "stats": stats_to_dict(stats),
+        "drops_by_reason": {
+            k: int(v) for k, v in sorted(stats.drops_by_reason.items())
+        },
+        "registers": {
+            name: [int(v) for v in values]
+            for name, values in sorted(registers.items())
+        },
+    }
+
+
+def render_payload(payload: Dict) -> str:
+    """Deterministic JSON rendering of a segment payload (sorted keys,
+    fixed separators) — the byte string ``GET /segments/<i>/results``
+    serves."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def random_headers(program):
+    """Generic header generator for server-side replay: every packet
+    field uniform over a small range (mirrors the CLI smoke-run
+    generator)."""
+    fields = list(program.packet_fields)
+
+    def gen(rng: np.random.Generator, _i: int):
+        return {f: int(rng.integers(0, 256)) for f in fields}
+
+    return gen
+
+
+def packet_from_json(record: Dict, idx: int = 0) -> DataPacket:
+    """One ``/ingest`` packet record → :class:`DataPacket`.
+
+    Schema: ``{"arrival": float, "port": int, "headers": {str: int},
+    "size": int = 64, "flow": optional}``. Ids are assigned by the
+    engine in arrival order, so the record carries none."""
+    try:
+        return DataPacket(
+            pkt_id=idx,
+            arrival=float(record["arrival"]),
+            port=int(record.get("port", 0)),
+            headers={str(k): int(v) for k, v in record["headers"].items()},
+            size_bytes=int(record.get("size", 64)),
+            flow_id=record.get("flow"),
+        )
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise ServiceError(f"malformed packet record {record!r}: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Engine adapters: one open segment
+# ----------------------------------------------------------------------
+
+
+class _ScalarAdapter:
+    """Streams batches into a fast/dense switch via the start/feed/pump
+    primitives; ticks advance only below the ingest watermark until the
+    segment drains."""
+
+    streaming = True
+
+    def __init__(self, service: "SwitchService"):
+        cls = ReferenceSwitch if service.engine == "dense" else MP5Switch
+        self.switch = cls(service.compiled, service.config)
+        self.monitor = (
+            InvariantMonitor() if service.monitor_enabled else None
+        )
+        self.metrics = (
+            MetricsRegistry(window=service.metrics_window)
+            if service.metrics_enabled
+            else None
+        )
+        if self.monitor is not None or self.metrics is not None:
+            self.switch.attach_observability(
+                metrics=self.metrics, monitor=self.monitor
+            )
+        schedule = service.schedule
+        if schedule is not None and schedule.faults:
+            self.switch.attach_faults(schedule)
+        self.switch.start()
+        self.offered = 0
+
+    @property
+    def injector(self):
+        return self.switch._faults
+
+    @property
+    def tick(self) -> int:
+        return self.switch.tick
+
+    def feed(self, batch: List[DataPacket]) -> int:
+        n = self.switch.feed(batch)
+        self.offered += n
+        return n
+
+    def runnable(self, drain: bool) -> bool:
+        sw = self.switch
+        if not sw.has_work:
+            return False
+        return drain or sw.tick < sw.ingest_watermark
+
+    def pump(self, budget: int, drain: bool) -> int:
+        until = None if drain else self.switch.ingest_watermark
+        return self.switch.pump(max_steps=budget, until_tick=until)
+
+    def close(self) -> Tuple[object, Dict[str, List[int]]]:
+        stats = self.switch.finish()
+        registers = {
+            name: values
+            for name, values in self.switch.registers.items()
+            if name != FLOW_ORDER_ARRAY
+        }
+        return stats, registers
+
+    def alert_dicts(self) -> List[Dict]:
+        return self.monitor.alerts.to_dicts() if self.monitor else []
+
+    def critical_alerts(self) -> int:
+        if self.monitor is None:
+            return 0
+        return len(self.monitor.alerts.by_severity(SEVERITY_CRITICAL))
+
+    def health_report(self):
+        return self.monitor.health_report() if self.monitor else None
+
+
+class _VectorAdapter:
+    """Chunk-buffered adapter for the batch vector engine: fed chunks
+    accumulate and the whole segment replays through
+    :func:`run_mp5_vector` at close (its epoch pipeline cannot advance
+    tick-by-tick). Monitor/metrics attach natively at that point via
+    epoch-trace reconstruction."""
+
+    streaming = False
+
+    def __init__(self, service: "SwitchService"):
+        self._service = service
+        self.buffer: List[DataPacket] = []
+        self.monitor = (
+            InvariantMonitor() if service.monitor_enabled else None
+        )
+        self.metrics = (
+            MetricsRegistry(window=service.metrics_window)
+            if service.metrics_enabled
+            else None
+        )
+        self.offered = 0
+
+    injector = None
+    tick = None
+
+    def feed(self, batch: List[DataPacket]) -> int:
+        self.buffer.extend(batch)
+        self.offered += len(batch)
+        return len(batch)
+
+    def runnable(self, drain: bool) -> bool:
+        return False
+
+    def pump(self, budget: int, drain: bool) -> int:
+        return 0
+
+    def close(self) -> Tuple[object, Dict[str, List[int]]]:
+        svc = self._service
+        schedule = svc.schedule
+        if schedule is not None and not schedule.faults:
+            schedule = None
+        return run_mp5_vector(
+            svc.compiled,
+            self.buffer,
+            svc.config,
+            metrics=self.metrics,
+            monitor=self.monitor,
+            faults=schedule,
+            native=svc.native,
+            epoch_jobs=svc.epoch_jobs,
+        )
+
+    def alert_dicts(self) -> List[Dict]:
+        return self.monitor.alerts.to_dicts() if self.monitor else []
+
+    def critical_alerts(self) -> int:
+        if self.monitor is None:
+            return 0
+        return len(self.monitor.alerts.by_severity(SEVERITY_CRITICAL))
+
+    def health_report(self):
+        return self.monitor.health_report() if self.monitor else None
+
+
+# ----------------------------------------------------------------------
+# The service
+# ----------------------------------------------------------------------
+
+
+class SwitchService:
+    """One long-lived switch: engine + program + control state.
+
+    Construct, then either ``asyncio.run(service.serve(...))`` (the
+    ``serve`` CLI subcommand) or wrap in :class:`ServiceThread` for
+    in-process use. All public ``async`` methods must run on the
+    service's event loop — the HTTP control plane is the normal caller.
+    """
+
+    def __init__(
+        self,
+        program: Optional[str] = None,
+        engine: str = "fast",
+        config: Optional[MP5Config] = None,
+        queue_depth: int = 8,
+        monitor: bool = False,
+        faults: Optional[FaultSchedule] = None,
+        metrics: bool = True,
+        metrics_window: int = 100,
+        native: Optional[bool] = None,
+        epoch_jobs: Optional[int] = None,
+        pump_slice: int = PUMP_SLICE,
+        program_name: Optional[str] = None,
+    ):
+        if engine not in ("fast", "dense", "vector"):
+            raise ConfigError(f"unknown engine {engine!r}")
+        self.engine = engine
+        self.config = config or MP5Config()
+        if faults is not None:
+            faults.validate(self.config.num_pipelines)
+        self.schedule = faults
+        self.monitor_enabled = monitor
+        self.metrics_enabled = metrics
+        self.metrics_window = metrics_window
+        self.native = native
+        self.epoch_jobs = epoch_jobs
+        self.queue_depth = queue_depth
+        self.pump_slice = pump_slice
+        self.compiled = (
+            compile_program(program, name=program_name) if program else None
+        )
+        self.program_name = self.compiled.name if self.compiled else None
+
+        self._adapter = None
+        self._segments: List[Dict] = []  # public records of closed segments
+        self._payloads: List[Dict] = []  # canonical results per segment
+        self._alerts: List[Dict] = []  # alerts from closed segments
+        self._feed_horizon: Optional[Tuple[float, int]] = None
+        self._ingested = 0
+        self._batches = 0
+        self._rejected = 0
+        self._paused = False
+        self._draining = False
+        self._stopping = False
+        self._quiesce_waiters: List[asyncio.Future] = []
+        self._replay_tasks: set = set()
+        self._errors: List[str] = []
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._queue: Optional[asyncio.Queue] = None
+        self.address: Optional[Tuple[str, int]] = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def serve(self, host: str = "127.0.0.1", port: int = 8585, ready=None):
+        """Run the daemon until shut down: HTTP control plane + pump
+        task. ``ready`` (if given) is called with the service once the
+        listening address is known."""
+        from .http import ControlPlane
+
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue(maxsize=self.queue_depth)
+        self._wake = asyncio.Event()
+        self._shutdown_event = asyncio.Event()
+        plane = ControlPlane(self)
+        server = await asyncio.start_server(plane.handle, host, port)
+        self.address = server.sockets[0].getsockname()[:2]
+        pump = asyncio.create_task(self._pump_loop())
+        if ready is not None:
+            ready(self)
+        try:
+            await self._shutdown_event.wait()
+        finally:
+            self._stopping = True
+            self._wake.set()
+            for task in list(self._replay_tasks):
+                task.cancel()
+            pump.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await pump
+            server.close()
+            await server.wait_closed()
+
+    async def shutdown(self) -> Optional[Dict]:
+        """Drain everything (queue and engine), close the open segment,
+        then stop the daemon. Returns the final segment record."""
+        if self._stopping:
+            return None
+        for task in list(self._replay_tasks):
+            task.cancel()
+        record = await self.quiesce()
+        self._stopping = True
+        self._shutdown_event.set()
+        self._wake.set()
+        return record
+
+    # -- pump loop ------------------------------------------------------
+
+    async def _pump_loop(self):
+        # The wake event is cleared *before* pumping so any event raised
+        # mid-pump (ingest, drain request, shutdown) leaves it set and
+        # the next wait returns immediately — no lost wakeups.
+        while not self._stopping:
+            self._wake.clear()
+            progressed = self._pump_once()
+            if self._draining and not self._has_pending_work():
+                self._finish_quiesce()
+            if progressed:
+                await asyncio.sleep(0)
+            else:
+                await self._wake.wait()
+
+    def _pump_once(self) -> bool:
+        progressed = False
+        if self._paused and not self._draining:
+            return False
+        while self._queue is not None and not self._queue.empty():
+            batch = self._queue.get_nowait()
+            try:
+                self._ensure_adapter().feed(batch)
+            except ReproError as exc:  # defensive: horizon check precedes
+                self._rejected += len(batch)
+                self._errors.append(str(exc))
+            else:
+                self._ingested += len(batch)
+                self._batches += 1
+            progressed = True
+        ad = self._adapter
+        if ad is not None and ad.runnable(self._draining):
+            ad.pump(self.pump_slice, self._draining)
+            progressed = True
+        return progressed
+
+    def _has_pending_work(self) -> bool:
+        if self._queue is not None and not self._queue.empty():
+            return True
+        ad = self._adapter
+        return ad is not None and ad.runnable(True)
+
+    def _ensure_adapter(self):
+        if self._adapter is None:
+            if self.compiled is None:
+                raise ServiceError("no program loaded", status=409)
+            cls = _VectorAdapter if self.engine == "vector" else _ScalarAdapter
+            self._adapter = cls(self)
+        return self._adapter
+
+    # -- quiesce and segment close --------------------------------------
+
+    async def quiesce(self) -> Optional[Dict]:
+        """Flush the ingest queue, drain the engine dry, close the open
+        segment. Returns the closed segment's public record, or None if
+        nothing was open. Proceeds even while paused — an explicit drain
+        outranks a pause."""
+        if self._adapter is None and (self._queue is None or self._queue.empty()):
+            return None
+        fut = self._loop.create_future()
+        self._quiesce_waiters.append(fut)
+        self._draining = True
+        self._wake.set()
+        return await fut
+
+    def _finish_quiesce(self):
+        record = None
+        try:
+            record = self._close_segment()
+        except Exception as exc:  # surface engine teardown failures
+            self._errors.append(f"segment close failed: {exc}")
+            for fut in self._quiesce_waiters:
+                if not fut.done():
+                    fut.set_exception(
+                        ServiceError(f"segment close failed: {exc}", status=500)
+                    )
+            self._quiesce_waiters.clear()
+            self._draining = False
+            return
+        for fut in self._quiesce_waiters:
+            if not fut.done():
+                fut.set_result(record)
+        self._quiesce_waiters.clear()
+        self._draining = False
+
+    def _close_segment(self) -> Optional[Dict]:
+        ad = self._adapter
+        self._adapter = None
+        self._feed_horizon = None
+        if ad is None:
+            return None
+        stats, registers = ad.close()
+        payload = segment_payload(stats, registers)
+        alerts = ad.alert_dicts()
+        report = ad.health_report()
+        index = len(self._segments)
+        record = {
+            "index": index,
+            "engine": self.engine,
+            "program": self.program_name,
+            "offered": int(stats.offered),
+            "egressed": int(stats.egressed),
+            "dropped": int(stats.dropped),
+            "ticks": int(stats.ticks),
+            "drained": bool(
+                stats.offered == stats.egressed + stats.dropped
+            ),
+            "alerts": len(alerts),
+            "health": report.to_dict() if report is not None else None,
+        }
+        self._segments.append(record)
+        self._payloads.append(payload)
+        self._alerts.extend(alerts)
+        return record
+
+    # -- ingestion ------------------------------------------------------
+
+    def ingest(self, records: List[Dict]) -> Dict:
+        """Queue one batch of packet records. Bounded: raises 429 when
+        the queue is full, 409 when the batch breaks arrival-order
+        monotonicity within the open segment."""
+        if self.compiled is None:
+            raise ServiceError("no program loaded", status=409)
+        if not isinstance(records, list) or not records:
+            raise ServiceError("ingest expects a non-empty packet list")
+        batch = [packet_from_json(r, i) for i, r in enumerate(records)]
+        self._enqueue_nowait(batch)
+        return {"queued": len(batch), "queue_depth": self._queue.qsize()}
+
+    def _enqueue_nowait(self, batch: List[DataPacket]):
+        lo = min((p.arrival, p.port) for p in batch)
+        hi = max((p.arrival, p.port) for p in batch)
+        if self._feed_horizon is not None and lo < self._feed_horizon:
+            self._rejected += len(batch)
+            raise ServiceError(
+                f"batch starts at (arrival, port) {lo} but the open segment "
+                f"already accepted {self._feed_horizon}; arrivals must be "
+                "monotone within a segment — drain first to reset the clock",
+                status=409,
+            )
+        try:
+            self._queue.put_nowait(batch)
+        except asyncio.QueueFull:
+            self._rejected += len(batch)
+            raise ServiceError(
+                f"ingest queue full ({self.queue_depth} batches); "
+                "retry after the engine catches up",
+                status=429,
+            ) from None
+        self._feed_horizon = max(self._feed_horizon or lo, hi)
+        self._wake.set()
+
+    async def replay(self, spec: Dict) -> Dict:
+        """Generate a line-rate trace server-side and feed it through
+        the bounded queue (awaiting space — true backpressure)."""
+        if self.compiled is None:
+            raise ServiceError("no program loaded", status=409)
+        try:
+            count = int(spec.get("packets", 0))
+            chunk = int(spec.get("chunk", 256))
+            seed = int(spec.get("seed", 0))
+            packet_size = int(spec.get("packet_size", 64))
+            utilization = float(spec.get("utilization", 1.0))
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(f"bad replay spec: {exc}") from exc
+        if not 1 <= count <= REPLAY_MAX_PACKETS:
+            raise ServiceError(
+                f"replay packets must be in [1, {REPLAY_MAX_PACKETS}]"
+            )
+        if chunk < 1:
+            raise ServiceError("replay chunk must be >= 1")
+        packets = line_rate_trace(
+            count,
+            self.config.num_pipelines,
+            random_headers(self.compiled),
+            packet_size=packet_size,
+            seed=seed,
+            utilization=utilization,
+        )
+        lo = (packets[0].arrival, packets[0].port)
+        if self._feed_horizon is not None and lo < self._feed_horizon:
+            raise ServiceError(
+                "replay starts at arrival 0 but the open segment is mid-"
+                "stream; drain first to reset the arrival clock",
+                status=409,
+            )
+        task = self._loop.create_task(self._feed_replay(packets, chunk))
+        self._replay_tasks.add(task)
+        task.add_done_callback(self._replay_tasks.discard)
+        return {
+            "scheduled": count,
+            "chunks": (count + chunk - 1) // chunk,
+        }
+
+    async def _feed_replay(self, packets: List[DataPacket], chunk: int):
+        for i in range(0, len(packets), chunk):
+            part = packets[i : i + chunk]
+            await self._queue.put(part)
+            hi = (part[-1].arrival, part[-1].port)
+            self._feed_horizon = max(self._feed_horizon or hi, hi)
+            self._wake.set()
+
+    # -- control operations (each quiesces) -----------------------------
+
+    async def load_program(self, spec: Dict) -> Dict:
+        """Compile, optionally validate-only, else hot-swap: drain the
+        open segment and install the new program for the next one."""
+        source = spec.get("source") or spec.get("program")
+        if not source or not isinstance(source, str):
+            raise ServiceError(
+                "program spec needs 'program' (bundled name) or 'source' "
+                "(Domino text)"
+            )
+        try:
+            compiled = compile_program(source, name=spec.get("name"))
+        except ReproError as exc:
+            raise ServiceError(f"compile failed: {exc}") from exc
+        info = {
+            "program": compiled.name,
+            "stages": compiled.stage_count,
+            "fields": sorted(compiled.packet_fields),
+        }
+        if spec.get("validate_only"):
+            return {**info, "validated": True, "swapped": False}
+        record = await self.quiesce()
+        self.compiled = compiled
+        self.program_name = compiled.name
+        return {
+            **info,
+            "swapped": True,
+            "closed_segment": record["index"] if record else None,
+        }
+
+    async def attach_faults(self, spec: Dict) -> Dict:
+        """Validate a fault schedule against the current pipeline count,
+        drain, and arm it for the next segment."""
+        try:
+            if "path" in spec:
+                schedule = FaultSchedule.load(spec["path"])
+            else:
+                schedule = FaultSchedule.from_dict(spec.get("schedule", spec))
+            schedule.validate(self.config.num_pipelines)
+        except ReproError as exc:
+            raise ServiceError(f"bad fault schedule: {exc}") from exc
+        record = await self.quiesce()
+        self.schedule = schedule
+        return {
+            "attached": True,
+            "faults": len(schedule.faults),
+            "closed_segment": record["index"] if record else None,
+        }
+
+    async def detach_faults(self) -> Dict:
+        record = await self.quiesce()
+        had = self.schedule is not None
+        self.schedule = None
+        return {
+            "attached": False,
+            "was_attached": had,
+            "closed_segment": record["index"] if record else None,
+        }
+
+    async def set_monitor(self, enabled: bool) -> Dict:
+        record = await self.quiesce()
+        self.monitor_enabled = bool(enabled)
+        return {
+            "monitor": self.monitor_enabled,
+            "closed_segment": record["index"] if record else None,
+        }
+
+    async def configure(self, spec: Dict) -> Dict:
+        """Retune config knobs (remap policy/period and friends): drain,
+        then rebuild the config the next segment's engine is built
+        with."""
+        allowed = {
+            "remap_period",
+            "remap_algorithm",
+            "idle_compression",
+            "spray_policy",
+            "fifo_capacity",
+        }
+        unknown = set(spec) - allowed
+        if unknown:
+            raise ServiceError(
+                f"unknown config fields: {', '.join(sorted(unknown))} "
+                f"(tunable: {', '.join(sorted(allowed))})"
+            )
+        if not spec:
+            raise ServiceError("empty config update")
+        try:
+            new_config = dataclasses.replace(self.config, **spec)
+        except (ReproError, TypeError, ValueError) as exc:
+            raise ServiceError(f"bad config: {exc}") from exc
+        record = await self.quiesce()
+        self.config = new_config
+        return {
+            "config": dataclasses.asdict(self.config),
+            "closed_segment": record["index"] if record else None,
+        }
+
+    async def pause(self) -> Dict:
+        self._paused = True
+        return {"paused": True}
+
+    async def resume(self) -> Dict:
+        self._paused = False
+        self._wake.set()
+        return {"paused": False}
+
+    # -- read-only views ------------------------------------------------
+
+    def status(self) -> Dict:
+        ad = self._adapter
+        return {
+            "program": self.program_name,
+            "engine": self.engine,
+            "config": dataclasses.asdict(self.config),
+            "monitor": self.monitor_enabled,
+            "faults": len(self.schedule.faults) if self.schedule else 0,
+            "paused": self._paused,
+            "draining": self._draining,
+            "queue_depth": self._queue.qsize() if self._queue else 0,
+            "queue_capacity": self.queue_depth,
+            "ingested": self._ingested,
+            "batches": self._batches,
+            "rejected": self._rejected,
+            "segments": len(self._segments),
+            "segment_open": ad is not None,
+            "segment": None
+            if ad is None
+            else {
+                "offered": ad.offered,
+                "tick": ad.tick,
+                "streaming": ad.streaming,
+            },
+            "settled": (
+                not self._draining
+                and (self._queue is None or self._queue.empty())
+                and (ad is None or not ad.runnable(False))
+            ),
+            "errors": list(self._errors[-5:]),
+        }
+
+    def health(self) -> Dict:
+        """Service health: HealthReport-backed when a monitor is live,
+        plus injector phase (active fault windows, pending emergency
+        remaps) folded in as ``degraded``."""
+        ad = self._adapter
+        verdict = VERDICT_OK
+        reasons: List[str] = []
+        report = None
+        if ad is not None:
+            rep = ad.health_report()
+            if rep is not None:
+                report = rep.to_dict()
+                verdict = worst_verdict(verdict, rep.verdict)
+                if rep.verdict != VERDICT_OK:
+                    reasons.append(f"monitor verdict {rep.verdict}")
+            inj = ad.injector
+            if inj is not None:
+                windows = inj.active_windows()
+                remaps = inj.pending_remaps()
+                if windows:
+                    verdict = worst_verdict(verdict, VERDICT_DEGRADED)
+                    reasons.append(
+                        f"{len(windows)} fault window(s) active: "
+                        + ", ".join(
+                            f"{w['kind']}@p{w['pipe']}" for w in windows
+                        )
+                    )
+                if remaps:
+                    verdict = worst_verdict(verdict, VERDICT_DEGRADED)
+                    reasons.append(
+                        f"{len(remaps)} emergency remap(s) pending"
+                    )
+        return {
+            "verdict": verdict,
+            "reasons": reasons,
+            "segment_open": ad is not None,
+            "program": self.program_name,
+            "engine": self.engine,
+            "tick": ad.tick if ad is not None else None,
+            "report": report,
+            "segments": [
+                {
+                    "index": rec["index"],
+                    "verdict": (rec["health"] or {}).get("verdict", "ok"),
+                    "drained": rec["drained"],
+                }
+                for rec in self._segments
+            ],
+        }
+
+    def metrics_snapshot(self, since: int = -1) -> Dict:
+        ad = self._adapter
+        live_alerts = ad.alert_dicts() if ad is not None else []
+        out = {
+            "service": {
+                "ingested": self._ingested,
+                "batches": self._batches,
+                "rejected": self._rejected,
+                "segments": len(self._segments),
+                "alerts_total": len(self._alerts) + len(live_alerts),
+                "queue_depth": self._queue.qsize() if self._queue else 0,
+            },
+            "segment_index": len(self._segments) if ad is not None else None,
+            "engine": None,
+        }
+        if ad is not None and ad.metrics is not None:
+            out["engine"] = ad.metrics.since(since)
+        return out
+
+    def alerts_window(self, since: int = 0) -> Dict:
+        """Since-cursor alert polling: pass back ``cursor`` to receive
+        only alerts raised after the previous call."""
+        ad = self._adapter
+        live = ad.alert_dicts() if ad is not None else []
+        merged = self._alerts + live
+        if since < 0:
+            since = 0
+        return {"alerts": merged[since:], "cursor": len(merged)}
+
+    def segments_view(self) -> Dict:
+        return {"segments": list(self._segments)}
+
+    def segment_results(self, index: int) -> str:
+        if not 0 <= index < len(self._payloads):
+            raise ServiceError(f"no such segment {index}", status=404)
+        return render_payload(self._payloads[index])
+
+
+class ServiceThread:
+    """Run a :class:`SwitchService` on a background thread (tests and
+    in-process embedding). ``start()`` returns the bound ``(host,
+    port)``; ``stop()`` drains and joins."""
+
+    def __init__(self, service: SwitchService, host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self.host = host
+        self.port = port
+        self.address: Optional[Tuple[str, int]] = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="mp5-service", daemon=True
+        )
+
+    def _run(self):
+        asyncio.run(self.service.serve(self.host, self.port, ready=self._on_ready))
+
+    def _on_ready(self, service: SwitchService):
+        self.address = service.address
+        self._ready.set()
+
+    def start(self) -> Tuple[str, int]:
+        self._thread.start()
+        if not self._ready.wait(timeout=15):
+            raise RuntimeError("service did not start within 15s")
+        return self.address
+
+    def stop(self, timeout: float = 30.0):
+        loop = self.service._loop
+        if loop is not None and self._thread.is_alive():
+            try:
+                fut = asyncio.run_coroutine_threadsafe(
+                    self.service.shutdown(), loop
+                )
+                fut.result(timeout=timeout)
+            except RuntimeError:
+                pass  # loop already closed
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServiceThread":
+        self.start()
+        return self
+
+    def __exit__(self, *exc):
+        self.stop()
+        return False

@@ -1,0 +1,165 @@
+"""Stdlib-only HTTP/JSON control plane for the switch daemon.
+
+A deliberately small HTTP/1.1 server over ``asyncio`` streams: one
+request per connection (``Connection: close``), JSON bodies in and out.
+No routing framework, no content negotiation — the endpoint table in
+``docs/service.md`` is the contract, and :class:`ControlPlane` is a
+dispatch dict over ``(method, path)`` plus one pattern route for
+``/segments/<i>/results``.
+
+Errors map onto status codes via :class:`~repro.service.daemon.
+ServiceError` (client mistakes: 400/404/409/429) and
+:class:`~repro.errors.ReproError` (400); anything else is a 500 with
+the exception text — the daemon itself never dies on a bad request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from ..errors import ReproError
+from .daemon import ServiceError, SwitchService
+
+__all__ = ["ControlPlane"]
+
+MAX_BODY = 32 * 1024 * 1024  # JSON ingest batches can be sizeable
+MAX_HEADER_LINES = 100
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+_SEGMENT_RESULTS = re.compile(r"/segments/(\d+)/results")
+
+
+def _qint(query: Dict, key: str, default: int) -> int:
+    try:
+        return int(query.get(key, [default])[0])
+    except (TypeError, ValueError) as exc:
+        raise ServiceError(f"query parameter {key!r} must be an integer") from exc
+
+
+class ControlPlane:
+    """Routes HTTP requests to :class:`SwitchService` operations."""
+
+    def __init__(self, service: SwitchService):
+        self.service = service
+
+    async def handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        status, body, raw = 500, {"error": "internal error"}, None
+        try:
+            method, path, query, payload = await self._read_request(reader)
+            status, body, raw = await self._dispatch(method, path, query, payload)
+        except ServiceError as exc:
+            status, body, raw = exc.status, {"error": str(exc)}, None
+        except ReproError as exc:
+            status, body, raw = 400, {"error": str(exc)}, None
+        except (ConnectionError, asyncio.IncompleteReadError):
+            writer.close()
+            return
+        except Exception as exc:  # keep the daemon alive on handler bugs
+            status = 500
+            body = {"error": f"{type(exc).__name__}: {exc}"}
+            raw = None
+        data = raw if raw is not None else json.dumps(body, sort_keys=True).encode()
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Status')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        try:
+            writer.write(head.encode() + data)
+            await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+
+    async def _read_request(self, reader) -> Tuple[str, str, Dict, Optional[Dict]]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        parts = request_line.split()
+        if len(parts) != 3:
+            raise ServiceError(f"malformed request line {request_line!r}")
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        for _ in range(MAX_HEADER_LINES):
+            line = (await reader.readline()).decode("latin-1")
+            if line in ("\r\n", "\n", ""):
+                break
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            raise ServiceError("too many header lines")
+        length = int(headers.get("content-length", 0) or 0)
+        if length > MAX_BODY:
+            raise ServiceError("request body too large", status=413)
+        payload = None
+        if length:
+            body = await reader.readexactly(length)
+            try:
+                payload = json.loads(body)
+            except json.JSONDecodeError as exc:
+                raise ServiceError(f"invalid JSON body: {exc}") from exc
+        split = urlsplit(target)
+        query = parse_qs(split.query)
+        return method.upper(), split.path.rstrip("/") or "/", query, payload
+
+    async def _dispatch(
+        self, method: str, path: str, query: Dict, payload: Optional[Dict]
+    ) -> Tuple[int, Dict, Optional[bytes]]:
+        svc = self.service
+        match = _SEGMENT_RESULTS.fullmatch(path)
+        if match:
+            if method != "GET":
+                raise ServiceError("method not allowed", status=405)
+            return 200, {}, svc.segment_results(int(match.group(1))).encode()
+
+        key = (method, path)
+        if key == ("GET", "/health"):
+            return 200, svc.health(), None
+        if key == ("GET", "/status"):
+            return 200, svc.status(), None
+        if key == ("GET", "/metrics"):
+            return 200, svc.metrics_snapshot(_qint(query, "since", -1)), None
+        if key == ("GET", "/alerts"):
+            return 200, svc.alerts_window(_qint(query, "since", 0)), None
+        if key == ("GET", "/segments"):
+            return 200, svc.segments_view(), None
+        if key == ("POST", "/program"):
+            return 200, await svc.load_program(payload or {}), None
+        if key == ("POST", "/faults"):
+            return 200, await svc.attach_faults(payload or {}), None
+        if key == ("DELETE", "/faults"):
+            return 200, await svc.detach_faults(), None
+        if key == ("POST", "/monitor"):
+            enabled = bool((payload or {}).get("enabled", True))
+            return 200, await svc.set_monitor(enabled), None
+        if key == ("POST", "/config"):
+            return 200, await svc.configure(payload or {}), None
+        if key == ("POST", "/ingest"):
+            return 200, svc.ingest((payload or {}).get("packets", [])), None
+        if key == ("POST", "/replay"):
+            return 200, await svc.replay(payload or {}), None
+        if key == ("POST", "/pause"):
+            return 200, await svc.pause(), None
+        if key == ("POST", "/resume"):
+            return 200, await svc.resume(), None
+        if key == ("POST", "/drain"):
+            record = await svc.quiesce()
+            return 200, {"closed_segment": record}, None
+        if key == ("POST", "/shutdown"):
+            record = await svc.shutdown()
+            return 200, {"stopped": True, "closed_segment": record}, None
+        raise ServiceError(f"no route for {method} {path}", status=404)

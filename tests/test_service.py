@@ -1,0 +1,384 @@
+"""The long-lived switch service (:mod:`repro.service`).
+
+Four contract layers:
+
+* **streaming layer** — the pausable run loop (start/feed/pump/finish)
+  is byte-identical to the one-shot ``run()`` no matter how arrivals
+  are chunked, on both scalar engines;
+* **determinism layer** — a served run (ingest over HTTP → hot-swap at
+  tick T → drain) produces segment payloads byte-identical to the
+  equivalent pair of offline runs, on the fast and vector engines;
+* **operations layer** — mid-traffic fault attach reproduces the
+  offline ``run --faults --monitor`` alert stream, /health walks
+  ok → degraded → ok across an emergency-remap fault window, and
+  shutdown drains every FIFO;
+* **control layer** — backpressure (HTTP 429), arrival-order rejection
+  (409), validate-only compiles, and remap retunes.
+
+Each test boots the real daemon (ephemeral port) through
+:class:`ServiceThread` and drives it with the stdlib client — the same
+path the CLI and CI smoke use.
+"""
+
+import json
+
+import pytest
+
+from repro.compiler import compile_program
+from repro.faults import FaultSchedule
+from repro.mp5 import ENGINES, MP5Config, MP5Switch, ReferenceSwitch
+from repro.obs.monitor import InvariantMonitor
+from repro.service import (
+    ServiceThread,
+    SwitchService,
+    render_payload,
+    segment_payload,
+)
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.daemon import random_headers
+from repro.workloads.traceio import packet_to_dict
+from repro.workloads.traffic import clone_packets, line_rate_trace
+
+PIPELINES = 4
+
+
+def make_trace(program_name: str, packets: int, seed: int = 11):
+    program = compile_program(program_name)
+    return line_rate_trace(
+        packets, PIPELINES, random_headers(program), seed=seed
+    )
+
+
+def records_of(packets):
+    return [packet_to_dict(p) for p in packets]
+
+
+def offline_payload(engine: str, program_name: str, packets, config, **sinks):
+    """What an offline ``run`` invocation freezes for these packets."""
+    stats, registers = ENGINES[engine](
+        compile_program(program_name), clone_packets(packets), config, **sinks
+    )
+    return render_payload(segment_payload(stats, registers))
+
+
+def serve(**kwargs):
+    service = SwitchService(
+        config=MP5Config(num_pipelines=PIPELINES, seed=5), **kwargs
+    )
+    return service, ServiceThread(service)
+
+
+def client_of(thread: ServiceThread) -> ServiceClient:
+    host, port = thread.address
+    return ServiceClient(host, port, timeout=30)
+
+
+# ----------------------------------------------------------------------
+# Streaming layer: start/feed/pump/finish vs run()
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("engine_cls", [MP5Switch, ReferenceSwitch])
+@pytest.mark.parametrize("chunk", [1, 7, 64, 1000])
+def test_chunked_feeding_matches_run(engine_cls, chunk):
+    """Any feed batching, with gated pumping in between, is
+    byte-identical to the one-shot run loop."""
+    program = compile_program("heavy_hitter")
+    config = MP5Config(num_pipelines=PIPELINES, seed=5)
+    trace = make_trace("heavy_hitter", 300)
+
+    reference = engine_cls(program, config)
+    ref_stats = reference.run(clone_packets(trace))
+
+    streamed = engine_cls(program, config)
+    streamed.start()
+    chunks = [trace[i : i + chunk] for i in range(0, len(trace), chunk)]
+    for part in chunks:
+        streamed.feed(clone_packets(part))
+        streamed.pump(until_tick=streamed.ingest_watermark)
+    streamed.pump()  # drain past the last watermark
+    stream_stats = streamed.finish()
+
+    assert stream_stats.summary() == ref_stats.summary()
+    assert streamed.registers == reference.registers
+
+
+def test_feed_rejects_non_monotone_batches():
+    program = compile_program("heavy_hitter")
+    switch = MP5Switch(program, MP5Config(num_pipelines=PIPELINES))
+    switch.start()
+    trace = make_trace("heavy_hitter", 40)
+    switch.feed(trace[20:])
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError, match="monotone"):
+        switch.feed(trace[:20])
+
+
+# ----------------------------------------------------------------------
+# Determinism layer: served hot-swap == two offline runs
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("engine", ["fast", "vector"])
+def test_hot_swap_determinism(engine):
+    """Ingest a trace, hot-swap the program at tick T, drain: each
+    served segment is byte-identical to the equivalent offline run."""
+    swap_tick = 40
+    trace = make_trace("heavy_hitter", 600)
+    part1 = [p for p in trace if p.arrival < swap_tick]
+    part2 = [p for p in trace if p.arrival >= swap_tick]
+    assert part1 and part2
+
+    service, thread = serve(program="heavy_hitter", engine=engine)
+    with thread:
+        client = client_of(thread)
+        # ragged chunk sizes: determinism may not depend on batching
+        records = records_of(part1)
+        for lo, hi in [(0, 13), (13, 100), (100, len(records))]:
+            client.ingest(records[lo:hi])
+        client.wait_settled()
+        swap = client.load_program("flowlet")
+        assert swap["swapped"] and swap["closed_segment"] == 0
+        client.ingest(records_of(part2))
+        client.wait_settled()
+        record = client.drain()["closed_segment"]
+        assert record["index"] == 1 and record["drained"]
+        served1 = client.segment_results(0)
+        served2 = client.segment_results(1)
+        client.shutdown()
+
+    config = MP5Config(num_pipelines=PIPELINES, seed=5)
+    assert served1 == offline_payload(engine, "heavy_hitter", part1, config)
+    assert served2 == offline_payload(engine, "flowlet", part2, config)
+
+
+def test_segment_results_are_canonical_json():
+    service, thread = serve(program="heavy_hitter")
+    with thread:
+        client = client_of(thread)
+        client.ingest(records_of(make_trace("heavy_hitter", 60)))
+        client.drain()
+        raw = client.segment_results(0)
+        payload = json.loads(raw)
+        assert set(payload) == {"stats", "drops_by_reason", "registers"}
+        assert render_payload(payload) == raw
+        with pytest.raises(ServiceClientError) as err:
+            client.segment_results(7)
+        assert err.value.status == 404
+        client.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Operations layer: faults, health, shutdown
+# ----------------------------------------------------------------------
+
+STALL_SCHEDULE = {
+    "format": "mp5-fault-schedule",
+    "version": 1,
+    "degradation": {
+        "enabled": True,
+        "drain_ticks": 4,
+        "retry_backoff": 16,
+        "max_retries": 8,
+    },
+    "faults": [
+        {
+            "kind": "pipeline_stall",
+            "pipeline": 1,
+            "start": 10,
+            "duration": 30,
+            "service_rate": 0.0,
+            "degrade": True,
+        }
+    ],
+}
+
+
+def test_mid_traffic_fault_attach_matches_offline_alerts():
+    """Attaching a schedule mid-traffic quiesces, and the next segment's
+    alert stream equals an offline ``run --faults --monitor``."""
+    clean = make_trace("heavy_hitter", 120, seed=3)
+    faulted = make_trace("heavy_hitter", 400, seed=4)
+    schedule_path = "examples/faults/crossbar.json"
+
+    service, thread = serve(program="heavy_hitter", monitor=True)
+    with thread:
+        client = client_of(thread)
+        client.ingest(records_of(clean))
+        client.wait_settled()
+        attach = client.attach_faults(path=schedule_path)
+        assert attach["attached"] and attach["closed_segment"] == 0
+        client.ingest(records_of(faulted))
+        client.wait_settled()
+        record = client.drain()["closed_segment"]
+        served_alerts = client.alerts()["alerts"]
+        # cursor polling: everything already consumed
+        window = client.alerts(since=len(served_alerts))
+        assert window["alerts"] == []
+        assert window["cursor"] == len(served_alerts)
+        assert record["health"] is not None
+        client.shutdown()
+
+    monitor = InvariantMonitor()
+    ENGINES["fast"](
+        compile_program("heavy_hitter"),
+        clone_packets(faulted),
+        MP5Config(num_pipelines=PIPELINES, seed=5),
+        faults=FaultSchedule.load(schedule_path),
+        monitor=monitor,
+    )
+    offline_alerts = monitor.alerts.to_dicts()
+    assert offline_alerts, "crossbar schedule must raise alerts"
+    assert served_alerts == offline_alerts
+
+
+def test_health_ok_degraded_ok_under_emergency_remap():
+    """/health walks ok → degraded (open fault window + emergency
+    remap) → ok once the window passes and the segment drains."""
+    trace = make_trace("heavy_hitter", 240, seed=9)
+    part1 = [p for p in trace if p.arrival < 20]
+    part2 = [p for p in trace if p.arrival >= 20]
+
+    service, thread = serve(program="heavy_hitter")
+    with thread:
+        client = client_of(thread)
+        assert client.health()["verdict"] == "ok"
+        client.attach_faults(schedule=STALL_SCHEDULE)
+
+        client.ingest(records_of(part1))
+        client.wait_settled()  # engine parked at the tick-20 watermark
+        health = client.health()
+        assert health["verdict"] == "degraded", health
+        assert any("fault window" in r for r in health["reasons"])
+
+        client.ingest(records_of(part2))
+        record = client.drain()["closed_segment"]
+        payload = json.loads(client.segment_results(record["index"]))
+        assert payload["stats"]["emergency_remap_moves"] > 0
+        assert client.health()["verdict"] == "ok"
+
+        # non-trivially ok: a fresh fault-free segment mid-flight
+        client.detach_faults()
+        client.ingest(records_of(make_trace("heavy_hitter", 40, seed=2)))
+        client.wait_settled()
+        health = client.health()
+        assert health["verdict"] == "ok" and health["segment_open"]
+        client.shutdown()
+
+
+def test_graceful_shutdown_drains_fifos():
+    trace = make_trace("heavy_hitter", 500, seed=6)
+    service, thread = serve(program="heavy_hitter")
+    with thread:
+        client = client_of(thread)
+        client.ingest(records_of(trace))
+        final = client.shutdown()["closed_segment"]
+    assert final["offered"] == len(trace)
+    assert final["drained"]
+    assert final["egressed"] + final["dropped"] == final["offered"]
+    # the payload survives shutdown on the service object
+    payload = json.loads(service.segment_results(0))
+    assert payload["stats"]["offered"] == len(trace)
+
+
+# ----------------------------------------------------------------------
+# Control layer: backpressure, ordering, validation, retunes
+# ----------------------------------------------------------------------
+
+
+def test_ingest_backpressure_returns_429():
+    trace = make_trace("heavy_hitter", 120)
+    batches = [records_of(trace[i : i + 20]) for i in range(0, 120, 20)]
+    service, thread = serve(program="heavy_hitter", queue_depth=2)
+    with thread:
+        client = client_of(thread)
+        client.pause()  # nothing drains: the queue must fill
+        client.ingest(batches[0])
+        client.ingest(batches[1])
+        with pytest.raises(ServiceClientError) as err:
+            client.ingest(batches[2])
+        assert err.value.status == 429
+        assert "queue full" in err.value.message
+        assert client.status()["rejected"] == 20
+        client.resume()
+        client.wait_settled()
+        record = client.drain()["closed_segment"]
+        assert record["offered"] == 40  # only the accepted batches ran
+        client.shutdown()
+
+
+def test_out_of_order_batch_rejected_and_reset_by_drain():
+    trace = make_trace("heavy_hitter", 80)
+    service, thread = serve(program="heavy_hitter")
+    with thread:
+        client = client_of(thread)
+        client.ingest(records_of(trace[40:]))
+        with pytest.raises(ServiceClientError) as err:
+            client.ingest(records_of(trace[:40]))
+        assert err.value.status == 409
+        assert "monotone" in err.value.message
+        client.drain()  # closes the segment, resets the arrival clock
+        client.ingest(records_of(trace[:40]))
+        client.wait_settled()
+        record = client.drain()["closed_segment"]
+        assert record["offered"] == 40
+        client.shutdown()
+
+
+def test_program_validate_only_and_compile_errors():
+    service, thread = serve(program="heavy_hitter")
+    with thread:
+        client = client_of(thread)
+        out = client.load_program("flowlet", validate_only=True)
+        assert out["validated"] and not out["swapped"]
+        assert client.status()["program"] == "heavy_hitter"
+        with pytest.raises(ServiceClientError) as err:
+            client.load_program(source="int x = ;;;", name="broken")
+        assert err.value.status == 400
+        assert "compile failed" in err.value.message
+        assert client.status()["program"] == "heavy_hitter"
+        client.shutdown()
+
+
+def test_retune_remap_policy_closes_segment():
+    service, thread = serve(program="heavy_hitter")
+    with thread:
+        client = client_of(thread)
+        client.ingest(records_of(make_trace("heavy_hitter", 60)))
+        client.wait_settled()
+        out = client.configure(remap_period=50, remap_algorithm="optimal")
+        assert out["closed_segment"] == 0
+        assert out["config"]["remap_period"] == 50
+        status = client.status()
+        assert status["config"]["remap_algorithm"] == "optimal"
+        with pytest.raises(ServiceClientError) as err:
+            client.configure(bogus_knob=1)
+        assert err.value.status == 400
+        with pytest.raises(ServiceClientError) as err:
+            client.configure(remap_algorithm="nonsense")
+        assert err.value.status == 400
+        client.shutdown()
+
+
+def test_fault_schedule_validated_against_pipelines():
+    bad = {
+        "format": "mp5-fault-schedule",
+        "version": 1,
+        "faults": [
+            {
+                "kind": "pipeline_stall",
+                "pipeline": 9,
+                "start": 0,
+                "duration": 5,
+            }
+        ],
+    }
+    service, thread = serve(program="heavy_hitter")
+    with thread:
+        client = client_of(thread)
+        with pytest.raises(ServiceClientError) as err:
+            client.attach_faults(schedule=bad)
+        assert err.value.status == 400
+        assert "out of range" in err.value.message
+        client.shutdown()
