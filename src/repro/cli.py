@@ -9,6 +9,8 @@ Commands
 * ``run <name>``          — simulate a program on MP5 and print stats
 * ``trace-summary <file>`` — analyze a trace written with ``run --trace``
 * ``monitor-report <file>`` — health timeline from ``run --alerts-out``
+* ``top``                 — live dashboard over a running ``serve`` daemon
+* ``export-metrics <file>`` — convert ``metrics.json`` to OpenMetrics text
 * ``equiv <name>``        — run the functional-equivalence check
 * ``faults <generate|validate|describe>`` — fault-schedule utilities
 * ``chaos``               — fault-injection sweep (throughput + recovery)
@@ -276,6 +278,147 @@ def cmd_monitor_report(args) -> int:
     return 0
 
 
+def cmd_export_metrics(args) -> int:
+    """``export-metrics``: render a recorded ``metrics.json`` as
+    OpenMetrics text (offline twin of ``GET /metrics.prom``)."""
+    from .obs.export import load_metrics_document, render_openmetrics
+
+    try:
+        doc = load_metrics_document(args.metrics)
+    except (ValueError, OSError) as exc:
+        print(f"export-metrics: cannot read {args.metrics}: {exc}")
+        return 2
+    text = render_openmetrics(doc, prefix=args.prefix)
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _top_poll_loop(client, model, lock, args, stop, draw):
+    """Cursor-polling fallback when SSE is unavailable: the same
+    documents, fetched with ``?since=`` cursors on the draw interval."""
+    from .service.client import ServiceClientError
+
+    metrics_cursor, alerts_cursor, segment = -1, 0, None
+    while not stop.is_set():
+        try:
+            status = client.status()
+            snap = client.metrics(metrics_cursor)
+            seg = snap.get("segment_index")
+            if seg != segment and segment is not None and seg is not None:
+                metrics_cursor = -1
+                snap = client.metrics(metrics_cursor)
+            segment = seg if seg is not None else segment
+            window = client.alerts(alerts_cursor)
+            health = client.health()
+        except (ServiceClientError, OSError):
+            break  # daemon gone
+        with lock:
+            model.apply_status(status)
+            model.apply_metrics(snap)
+            model.apply_alerts(window)
+            model.apply_health(health)
+        engine = snap.get("engine")
+        if engine is not None:
+            metrics_cursor = engine["cursor"]
+        alerts_cursor = window["cursor"]
+        draw()
+        stop.wait(args.interval)
+
+
+def cmd_top(args) -> int:
+    """``top``: live dashboard over a serving daemon (SSE push, falling
+    back to cursor polling), or a one-shot render of recorded
+    ``metrics.json``/``alerts.jsonl`` artifacts with ``--metrics``."""
+    import threading
+    import time
+
+    from .obs.top import TopModel, render_top_frame
+
+    model = TopModel(width=args.width, max_alerts=args.alert_rows)
+    if args.metrics:
+        try:
+            model.load_artifacts(args.metrics, args.alerts_log)
+        except (ValueError, OSError) as exc:
+            print(f"top: cannot read artifacts: {exc}")
+            return 2
+        sys.stdout.write(render_top_frame(model, clear=False))
+        return 0
+
+    from .service.client import ServiceClient, ServiceClientError
+
+    client = ServiceClient(args.host, args.port)
+
+    def seed() -> bool:
+        try:
+            status = client.status()
+            snap = client.metrics(-1)
+            window = client.alerts(0)
+            health = client.health()
+        except (ServiceClientError, OSError) as exc:
+            print(f"top: cannot reach daemon at {client.base}: {exc}")
+            return False
+        model.apply_status(status)
+        model.apply_metrics(snap)
+        model.apply_alerts(window)
+        model.apply_health(health)
+        return True
+
+    if not seed():
+        return 2
+    if args.once:
+        sys.stdout.write(render_top_frame(model, clear=False))
+        return 0
+
+    lock = threading.Lock()
+    stop = threading.Event()  # daemon ended (SSE end frame / conn lost)
+    degraded = threading.Event()  # SSE unsupported: fall back to polling
+
+    def draw():
+        with lock:
+            frame = render_top_frame(model, clear=True)
+        sys.stdout.write(frame)
+        sys.stdout.flush()
+
+    def pump(iterator, apply):
+        try:
+            for payload in iterator:
+                with lock:
+                    apply(payload)
+        except (ServiceClientError, OSError):
+            degraded.set()
+        else:
+            stop.set()
+
+    stream_poll = max(0.01, args.interval / 2)
+    feeds = [
+        (client.stream_metrics(poll=stream_poll), model.apply_metrics),
+        (client.stream_alerts(poll=stream_poll), model.apply_alerts),
+        (client.stream_health(poll=stream_poll), model.apply_health),
+    ]
+    threads = [
+        threading.Thread(target=pump, args=feed, daemon=True) for feed in feeds
+    ]
+    try:
+        for thread in threads:
+            thread.start()
+        while not stop.is_set():
+            if degraded.is_set():
+                _top_poll_loop(client, model, lock, args, stop, draw)
+                break
+            draw()
+            time.sleep(args.interval)
+        draw()  # final state (daemon shut down or poll loop ended)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        stop.set()
+    return 0
+
+
 def cmd_equiv(args) -> int:
     """``equiv``: equivalence-check a program; exit 1 on divergence."""
     compiled = compile_program(_load_ast(args.program))
@@ -322,6 +465,7 @@ def cmd_serve(args) -> int:
         monitor=args.monitor,
         faults=schedule,
         metrics_window=args.metrics_window,
+        metrics_retention=args.metrics_retention,
         native=args.native,
         epoch_jobs=args.epoch_jobs,
     )
@@ -654,6 +798,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="window length in ticks for the /metrics series "
         "(default 100)",
     )
+    p.add_argument(
+        "--metrics-retention",
+        type=int,
+        default=None,
+        metavar="ROWS",
+        help="cap in-memory window rows per series; over the cap old "
+        "rows are thinned deterministically (keep every 2nd, newest "
+        "always kept), bounding daemon memory on long runs (default: "
+        "unbounded)",
+    )
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -691,6 +845,72 @@ def build_parser() -> argparse.ArgumentParser:
         help="alert rows to list under the timeline (default 20)",
     )
     p.set_defaults(func=cmd_monitor_report)
+
+    p = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a serving daemon (SSE push "
+        "with cursor-polling fallback), or a recorded artifact pair",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8585)
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="redraw interval in seconds (default 1.0)",
+    )
+    p.add_argument(
+        "--width",
+        type=int,
+        default=48,
+        help="sparkline columns / window rows kept per series "
+        "(default 48)",
+    )
+    p.add_argument(
+        "--alert-rows",
+        type=int,
+        default=8,
+        help="alert-tail rows (default 8)",
+    )
+    p.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit (no ANSI clear)",
+    )
+    p.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="offline mode: render a recorded metrics.json instead of "
+        "connecting to a daemon",
+    )
+    p.add_argument(
+        "--alerts-log",
+        metavar="PATH",
+        default=None,
+        help="offline mode: alert-log JSONL to show alongside "
+        "--metrics",
+    )
+    p.set_defaults(func=cmd_top)
+
+    p = sub.add_parser(
+        "export-metrics",
+        help="convert a recorded metrics.json to OpenMetrics text "
+        "(offline twin of GET /metrics.prom)",
+    )
+    p.add_argument("metrics", help="metrics.json written by `run --metrics`")
+    p.add_argument(
+        "--prefix",
+        default="mp5_",
+        help="metric-name prefix (default mp5_)",
+    )
+    p.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write here instead of stdout",
+    )
+    p.set_defaults(func=cmd_export_metrics)
 
     p = sub.add_parser("equiv", help="check functional equivalence")
     add_program_args(p, packets_default=2000)

@@ -32,10 +32,17 @@ from .alerts import (
     SEVERITIES,
 )
 from .events import EVENT_TYPES, canonical_form, events_by_tick
+from .export import (
+    load_metrics_document,
+    parse_openmetrics,
+    render_openmetrics,
+    sanitize_metric_name,
+)
 from .health import (
     HealthReport,
     VERDICTS,
     render_health_timeline,
+    spark_row,
     worst_verdict,
 )
 from .metrics import Counter, Gauge, MetricsRegistry, WindowedHistogram
@@ -48,6 +55,7 @@ from .summary import (
     render_trace_summary,
     summarize_trace,
 )
+from .top import TopModel, render_top_frame
 from .trace import (
     TraceRecorder,
     chrome_trace,
@@ -73,6 +81,7 @@ __all__ = [
     "PhaseProfiler",
     "SEVERITIES",
     "TeeEmitter",
+    "TopModel",
     "TraceRecorder",
     "VERDICTS",
     "WindowedHistogram",
@@ -80,13 +89,19 @@ __all__ = [
     "chrome_trace",
     "events_by_tick",
     "events_from_chrome",
+    "load_metrics_document",
     "load_trace",
+    "parse_openmetrics",
     "read_jsonl",
     "render_alerts_section",
     "render_epoch_section",
     "render_health_timeline",
+    "render_openmetrics",
+    "render_top_frame",
     "render_trace_summary",
     "replay_observability",
+    "sanitize_metric_name",
+    "spark_row",
     "summarize_trace",
     "synthesize_events",
     "worst_verdict",

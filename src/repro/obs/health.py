@@ -154,7 +154,9 @@ class HealthReport:
 # ----------------------------------------------------------------------
 
 
-def _spark_row(counts: List[int]) -> str:
+def spark_row(counts: List[float]) -> str:
+    """Render values as a peak-scaled sparkline (shared by
+    ``monitor-report`` and the ``repro top`` dashboard)."""
     peak = max(counts)
     if peak == 0:
         return " " * len(counts)
@@ -196,7 +198,7 @@ def render_health_timeline(
             bucket = min(int(alert.tick / span), width - 1)
             counts[bucket] += 1
             total += 1
-        lines.append(f"{severity:>8} |{_spark_row(counts)}| {total}")
+        lines.append(f"{severity:>8} |{spark_row(counts)}| {total}")
     axis = f"tick 0 .. {ticks - 1}"
     lines.append(f"{'':>8} {axis}")
     if alerts:

@@ -18,6 +18,15 @@ Three instrument kinds plus one pull-based source:
   This is how the switch, FIFOs, sharder and crossbar publish — their
   existing cumulative counters are read once per window instead of
   being incremented through an extra layer per packet.
+
+**Retention.** A long-lived daemon cannot let the per-window series grow
+without bound. ``MetricsRegistry(retention=N)`` caps every series at
+``N`` rows: whenever a series exceeds the cap it is thinned by keeping
+every 2nd retained row (so after repeated thinning the surviving rows
+are every 4th, 8th, ... window — progressively coarser history), and
+the **newest row is always kept**. Thinning is a pure function of the
+roll-tick sequence, so two identical runs retain identical rows.
+Totals are unaffected — they read the live instruments, not the series.
 """
 
 from __future__ import annotations
@@ -27,6 +36,31 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
 
 PathLike = Union[str, Path]
+
+KIND_COUNTER = "counter"
+KIND_GAUGE = "gauge"
+
+
+def _bisect_rows(rows: List, tick: int, key: Callable) -> int:
+    """First index whose key is > ``tick`` (rows sorted ascending)."""
+    lo, hi = 0, len(rows)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if key(rows[mid]) <= tick:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def _thin(rows: List) -> None:
+    """Halve ``rows`` in place, always keeping the newest row.
+
+    The start offset anchors the stride on the last element, so the
+    newest window survives every thinning pass and the survivors are a
+    deterministic function of the row count alone.
+    """
+    rows[:] = rows[(len(rows) - 1) % 2 :: 2]
 
 
 class Counter:
@@ -105,12 +139,18 @@ class MetricsRegistry:
     attribute check when disabled — the registry is only consulted when
     attached); callers read :attr:`series` / :attr:`histogram_series`
     afterwards or export everything with :meth:`to_dict`.
+
+    ``retention`` (optional) caps the rows kept per series — see the
+    module docstring for the deterministic thinning rule.
     """
 
-    def __init__(self, window: int = 100):
+    def __init__(self, window: int = 100, retention: Optional[int] = None):
         if window < 1:
             raise ValueError("metrics window must be >= 1")
+        if retention is not None and retention < 2:
+            raise ValueError("metrics retention must be >= 2 rows")
         self.window = window
+        self.retention = retention
         self.counters: Dict[str, Counter] = {}
         self.gauges: Dict[str, Gauge] = {}
         self.histograms: Dict[str, WindowedHistogram] = {}
@@ -156,6 +196,19 @@ class MetricsRegistry:
         """
         self._samplers[name] = [fn, cumulative, fn() if cumulative else None]
 
+    def kinds(self) -> Dict[str, str]:
+        """Instrument kind per series name (``counter`` sources record
+        per-window deltas of a monotonic total, ``gauge`` sources a
+        level). Histograms are implied by :attr:`histogram_series`."""
+        out: Dict[str, str] = {}
+        for name in self.counters:
+            out[name] = KIND_COUNTER
+        for name in self.gauges:
+            out[name] = KIND_GAUGE
+        for name, entry in self._samplers.items():
+            out[name] = KIND_COUNTER if entry[1] else KIND_GAUGE
+        return out
+
     # ------------------------------------------------------------------
     # Window rolling
     # ------------------------------------------------------------------
@@ -164,6 +217,12 @@ class MetricsRegistry:
         if tick >= self._next_roll:
             self.roll(tick)
 
+    def _append(self, name: str, row: List[float]) -> None:
+        rows = self.series.setdefault(name, [])
+        rows.append(row)
+        if self.retention is not None and len(rows) > self.retention:
+            _thin(rows)
+
     def roll(self, tick: int) -> None:
         """Close the window ending at ``tick`` (idempotent per tick)."""
         if tick <= self._last_roll:
@@ -171,22 +230,25 @@ class MetricsRegistry:
         for name, inst in self.counters.items():
             delta = inst.value - self._counter_last.get(name, 0)
             self._counter_last[name] = inst.value
-            self.series.setdefault(name, []).append([tick, delta])
+            self._append(name, [tick, delta])
         for name, inst in self.gauges.items():
-            self.series.setdefault(name, []).append([tick, inst.value])
+            self._append(name, [tick, inst.value])
         for name, entry in self._samplers.items():
             fn, cumulative, last = entry
             sample = fn()
             if cumulative:
-                self.series.setdefault(name, []).append([tick, sample - last])
+                self._append(name, [tick, sample - last])
                 entry[2] = sample
             else:
-                self.series.setdefault(name, []).append([tick, sample])
+                self._append(name, [tick, sample])
         for name, hist in self.histograms.items():
             summary = hist.flush()
             if summary is not None:
                 summary["tick"] = tick
-                self.histogram_series.setdefault(name, []).append(summary)
+                rows = self.histogram_series.setdefault(name, [])
+                rows.append(summary)
+                if self.retention is not None and len(rows) > self.retention:
+                    _thin(rows)
         self._last_roll = tick
         self._next_roll = (tick // self.window + 1) * self.window
 
@@ -214,6 +276,7 @@ class MetricsRegistry:
             "series": self.series,
             "histograms": self.histogram_series,
             "totals": self.totals(),
+            "kinds": self.kinds(),
         }
 
     def since(self, tick: int = -1) -> Dict:
@@ -222,20 +285,31 @@ class MetricsRegistry:
         The returned ``cursor`` is the last rolled tick; feeding it back
         as ``tick`` on the next call yields exactly the rows that rolled
         in between, so a poller never re-downloads the full series. Used
-        by the service's ``/metrics?since=`` endpoint."""
+        by the service's ``/metrics?since=`` endpoint and SSE push.
+
+        Every series is sorted by tick, so the cut point is found by
+        binary search — O(log n) per series instead of a full rescan of
+        the history on every poll.
+        """
         return {
             "window": self.window,
             "cursor": self._last_roll,
             "series": {
-                name: [row for row in rows if row[0] > tick]
+                name: rows[_bisect_rows(rows, tick, lambda r: r[0]) :]
                 for name, rows in self.series.items()
             },
             "histograms": {
-                name: [row for row in rows if row["tick"] > tick]
+                name: rows[_bisect_rows(rows, tick, lambda r: r["tick"]) :]
                 for name, rows in self.histogram_series.items()
             },
             "totals": self.totals(),
         }
+
+    def rows_retained(self) -> int:
+        """Total rows currently held across all series (memory gauge)."""
+        return sum(len(rows) for rows in self.series.values()) + sum(
+            len(rows) for rows in self.histogram_series.values()
+        )
 
     def save(self, path: PathLike) -> None:
         Path(path).write_text(json.dumps(self.to_dict(), indent=2))

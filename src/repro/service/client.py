@@ -19,7 +19,7 @@ import json
 import time
 import urllib.error
 import urllib.request
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 __all__ = ["ServiceClient", "ServiceClientError"]
 
@@ -75,6 +75,10 @@ class ServiceClient:
 
     def alerts(self, since: int = 0) -> Dict:
         return self._request("GET", f"/alerts?since={since}")
+
+    def metrics_prom(self) -> str:
+        """The OpenMetrics text exposition (``GET /metrics.prom``)."""
+        return self._request("GET", "/metrics.prom", raw=True)
 
     def segments(self) -> Dict:
         return self._request("GET", "/segments")
@@ -134,6 +138,87 @@ class ServiceClient:
 
     def shutdown(self) -> Dict:
         return self._request("POST", "/shutdown")
+
+    # -- streaming ------------------------------------------------------
+
+    def _stream(
+        self, path: str, since: int, poll: Optional[float], heartbeat: Optional[float]
+    ) -> Iterator[Tuple[str, Dict]]:
+        """Subscribe to an SSE route; yields ``(event, payload)`` pairs.
+
+        The iterator ends when the server sends its final ``event: end``
+        frame (daemon shutdown) or closes the connection. Heartbeat
+        comment lines are consumed silently.
+        """
+        query = f"?since={since}"
+        if poll is not None:
+            query += f"&poll={poll}"
+        if heartbeat is not None:
+            query += f"&heartbeat={heartbeat}"
+        req = urllib.request.Request(self.base + path + query, method="GET")
+        try:
+            resp = urllib.request.urlopen(req, timeout=self.timeout)
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode(errors="replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except (json.JSONDecodeError, AttributeError):
+                pass
+            raise ServiceClientError(exc.code, detail) from None
+        with resp:
+            event, data_lines = None, []
+            for raw in resp:
+                line = raw.decode().rstrip("\n").rstrip("\r")
+                if line.startswith(":"):
+                    continue  # heartbeat comment
+                if line.startswith("event:"):
+                    event = line[len("event:") :].strip()
+                    continue
+                if line.startswith("data:"):
+                    data_lines.append(line[len("data:") :].strip())
+                    continue
+                if line == "" and event is not None:
+                    payload = json.loads("\n".join(data_lines) or "{}")
+                    if event == "end":
+                        return
+                    yield event, payload
+                    event, data_lines = None, []
+
+    def stream_metrics(
+        self,
+        since: int = -1,
+        poll: Optional[float] = None,
+        heartbeat: Optional[float] = None,
+    ) -> Iterator[Dict]:
+        """Push-based ``/metrics?since=`` equivalent: each yielded dict
+        is a ``metrics_snapshot`` whose engine section holds only the
+        window rows rolled since the previous frame."""
+        for _event, payload in self._stream(
+            "/stream/metrics", since, poll, heartbeat
+        ):
+            yield payload
+
+    def stream_alerts(
+        self,
+        since: int = 0,
+        poll: Optional[float] = None,
+        heartbeat: Optional[float] = None,
+    ) -> Iterator[Dict]:
+        """Push-based ``/alerts?since=`` equivalent; each frame carries
+        only the alerts raised since the previous one."""
+        for _event, payload in self._stream(
+            "/stream/alerts", since, poll, heartbeat
+        ):
+            yield payload
+
+    def stream_health(
+        self,
+        poll: Optional[float] = None,
+        heartbeat: Optional[float] = None,
+    ) -> Iterator[Dict]:
+        """Health documents, pushed on change (first frame immediate)."""
+        for _event, payload in self._stream("/stream/health", -1, poll, heartbeat):
+            yield payload
 
     # -- helpers --------------------------------------------------------
 

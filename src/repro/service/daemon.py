@@ -164,7 +164,10 @@ class _ScalarAdapter:
             InvariantMonitor() if service.monitor_enabled else None
         )
         self.metrics = (
-            MetricsRegistry(window=service.metrics_window)
+            MetricsRegistry(
+                window=service.metrics_window,
+                retention=service.metrics_retention,
+            )
             if service.metrics_enabled
             else None
         )
@@ -238,7 +241,10 @@ class _VectorAdapter:
             InvariantMonitor() if service.monitor_enabled else None
         )
         self.metrics = (
-            MetricsRegistry(window=service.metrics_window)
+            MetricsRegistry(
+                window=service.metrics_window,
+                retention=service.metrics_retention,
+            )
             if service.metrics_enabled
             else None
         )
@@ -310,6 +316,7 @@ class SwitchService:
         faults: Optional[FaultSchedule] = None,
         metrics: bool = True,
         metrics_window: int = 100,
+        metrics_retention: Optional[int] = None,
         native: Optional[bool] = None,
         epoch_jobs: Optional[int] = None,
         pump_slice: int = PUMP_SLICE,
@@ -325,6 +332,9 @@ class SwitchService:
         self.monitor_enabled = monitor
         self.metrics_enabled = metrics
         self.metrics_window = metrics_window
+        if metrics_retention is not None and metrics_retention < 2:
+            raise ConfigError("metrics_retention must be >= 2 window rows")
+        self.metrics_retention = metrics_retention
         self.native = native
         self.epoch_jobs = epoch_jobs
         self.queue_depth = queue_depth
@@ -382,6 +392,8 @@ class SwitchService:
                 await pump
             server.close()
             await server.wait_closed()
+            with contextlib.suppress(Exception):
+                await plane.drain_streams()
 
     async def shutdown(self) -> Optional[Dict]:
         """Drain everything (queue and engine), close the open segment,
@@ -715,6 +727,7 @@ class SwitchService:
             "engine": self.engine,
             "config": dataclasses.asdict(self.config),
             "monitor": self.monitor_enabled,
+            "metrics_retention": self.metrics_retention,
             "faults": len(self.schedule.faults) if self.schedule else 0,
             "paused": self._paused,
             "draining": self._draining,
@@ -808,6 +821,54 @@ class SwitchService:
         if ad is not None and ad.metrics is not None:
             out["engine"] = ad.metrics.since(since)
         return out
+
+    def openmetrics(self) -> str:
+        """The ``GET /metrics.prom`` document: service-level counters
+        plus, when a segment is open with a registry attached, the
+        engine's current totals/gauges/summaries — one OpenMetrics text
+        exposition any Prometheus-compatible scraper ingests."""
+        from ..obs.export import (
+            families_from_values,
+            render_families,
+            render_openmetrics,
+        )
+
+        ad = self._adapter
+        live_alerts = ad.alert_dicts() if ad is not None else []
+        values = {
+            "ingested": self._ingested,
+            "batches": self._batches,
+            "rejected": self._rejected,
+            "segments": len(self._segments),
+            "alerts": len(self._alerts) + len(live_alerts),
+            "queue_depth": self._queue.qsize() if self._queue else 0,
+        }
+        kinds = {
+            "ingested": "counter",
+            "batches": "counter",
+            "rejected": "counter",
+            "segments": "counter",
+            "alerts": "counter",
+            "queue_depth": "gauge",
+        }
+        helps = {
+            "ingested": "Packets accepted into the ingest queue.",
+            "batches": "Ingest batches accepted.",
+            "rejected": "Packets rejected (backpressure or ordering).",
+            "segments": "Segments closed so far.",
+            "alerts": "Alerts raised across all segments.",
+            "queue_depth": "Ingest queue occupancy in batches.",
+        }
+        service = families_from_values(
+            values,
+            kinds,
+            prefix="mp5_service_",
+            help_prefix="Service: ",
+            helps=helps,
+        )
+        if ad is not None and ad.metrics is not None:
+            return render_openmetrics(ad.metrics, extra_families=service)
+        return render_families(service)
 
     def alerts_window(self, since: int = 0) -> Dict:
         """Since-cursor alert polling: pass back ``cursor`` to receive

@@ -7,10 +7,26 @@ No routing framework, no content negotiation — the endpoint table in
 dispatch dict over ``(method, path)`` plus one pattern route for
 ``/segments/<i>/results``.
 
+Two response shapes exist:
+
+* **one-shot** — every JSON route and the two raw routes
+  (``/segments/<i>/results`` and the OpenMetrics exposition at
+  ``/metrics.prom``): read request, write one response, close.
+* **streaming** — ``/stream/metrics``, ``/stream/alerts`` and
+  ``/stream/health`` hold the connection open and push
+  ``text/event-stream`` frames (server-sent events). Each subscriber
+  keeps its own cursor into the same segment/window machinery the
+  ``?since=`` polling endpoints read, so an SSE stream delivers exactly
+  the rows the equivalent poll loop would. Heartbeat comments keep
+  idle connections verifiably alive; on daemon shutdown every stream
+  flushes pending rows and sends a final ``event: end`` frame.
+
 Errors map onto status codes via :class:`~repro.service.daemon.
-ServiceError` (client mistakes: 400/404/409/429) and
+ServiceError` (client mistakes: 400/404/409/413/429) and
 :class:`~repro.errors.ReproError` (400); anything else is a 500 with
 the exception text — the daemon itself never dies on a bad request.
+Request and header lines are capped at :data:`MAX_LINE` bytes so a
+hostile client cannot buffer unbounded memory through ``readline``.
 """
 
 from __future__ import annotations
@@ -28,6 +44,15 @@ __all__ = ["ControlPlane"]
 
 MAX_BODY = 32 * 1024 * 1024  # JSON ingest batches can be sizeable
 MAX_HEADER_LINES = 100
+MAX_LINE = 8192  # request line / single header line cap (bytes)
+
+#: Default/floor pacing for SSE subscriber polls, seconds.
+STREAM_POLL = 0.05
+STREAM_POLL_MIN = 0.005
+#: Default idle interval between ``: keepalive`` comments, seconds.
+STREAM_HEARTBEAT = 15.0
+
+OPENMETRICS_CTYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
 
 _STATUS_TEXT = {
     200: "OK",
@@ -50,32 +75,143 @@ def _qint(query: Dict, key: str, default: int) -> int:
         raise ServiceError(f"query parameter {key!r} must be an integer") from exc
 
 
+def _qfloat(query: Dict, key: str, default: float) -> float:
+    try:
+        return float(query.get(key, [default])[0])
+    except (TypeError, ValueError) as exc:
+        raise ServiceError(f"query parameter {key!r} must be a number") from exc
+
+
+def _sse_frame(event: str, payload: Dict) -> bytes:
+    data = json.dumps(payload, sort_keys=True)
+    return f"event: {event}\ndata: {data}\n\n".encode()
+
+
+class _MetricsFeed:
+    """Per-subscriber cursor over the engine's window series.
+
+    Mirrors a ``/metrics?since=`` poll loop: after each delivered frame
+    the cursor advances to the registry's last rolled tick, so the
+    concatenation of frames equals the union of the equivalent polls.
+    When a segment closes and a new one opens (fresh registry, ticks
+    restart) the cursor resets so no early windows are skipped.
+    """
+
+    event = "metrics"
+    _UNSET = object()
+
+    def __init__(self, svc: SwitchService, since: int):
+        self.svc = svc
+        self.cursor = since
+        self.segment = self._UNSET
+
+    def poll(self) -> Optional[Dict]:
+        snap = self.svc.metrics_snapshot(self.cursor)
+        segment = snap.get("segment_index")
+        if segment != self.segment:
+            if self.segment is not self._UNSET and segment is not None:
+                self.cursor = -1
+                snap = self.svc.metrics_snapshot(self.cursor)
+            self.segment = segment
+        engine = snap.get("engine")
+        if engine is None:
+            return None
+        if not any(engine["series"].values()) and not any(
+            engine["histograms"].values()
+        ):
+            return None
+        self.cursor = engine["cursor"]
+        return snap
+
+
+class _AlertsFeed:
+    """Per-subscriber cursor over the merged alert list (same shape as
+    ``/alerts?since=``: the cursor is the list index already seen)."""
+
+    event = "alerts"
+
+    def __init__(self, svc: SwitchService, since: int):
+        self.svc = svc
+        self.cursor = max(0, since)
+
+    def poll(self) -> Optional[Dict]:
+        window = self.svc.alerts_window(self.cursor)
+        if not window["alerts"]:
+            return None
+        self.cursor = window["cursor"]
+        return window
+
+
+class _HealthFeed:
+    """Emits the ``/health`` document on change (and once on connect)."""
+
+    event = "health"
+
+    def __init__(self, svc: SwitchService, since: int):
+        self.svc = svc
+        self.last: Optional[str] = None
+
+    def poll(self) -> Optional[Dict]:
+        doc = self.svc.health()
+        rendered = json.dumps(doc, sort_keys=True)
+        if rendered == self.last:
+            return None
+        self.last = rendered
+        return doc
+
+
+_STREAM_FEEDS = {
+    "/stream/metrics": _MetricsFeed,
+    "/stream/alerts": _AlertsFeed,
+    "/stream/health": _HealthFeed,
+}
+
+
 class ControlPlane:
     """Routes HTTP requests to :class:`SwitchService` operations."""
 
     def __init__(self, service: SwitchService):
         self.service = service
+        self._streams: set = set()  # live SSE handler tasks
+
+    async def drain_streams(self, timeout: float = 5.0):
+        """Give open SSE connections a chance to flush and send their
+        final ``event: end`` frame (called by the daemon on shutdown,
+        after ``_stopping`` is set so every stream loop is exiting)."""
+        tasks = [task for task in self._streams if not task.done()]
+        if tasks:
+            await asyncio.wait(tasks, timeout=timeout)
 
     async def handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
-        status, body, raw = 500, {"error": "internal error"}, None
+        status, body, raw, ctype = 500, {"error": "internal error"}, None, None
         try:
             method, path, query, payload = await self._read_request(reader)
-            status, body, raw = await self._dispatch(method, path, query, payload)
+            if method == "GET" and path in _STREAM_FEEDS:
+                # Validate the subscription before any bytes go out so a
+                # bad query still gets a proper 400 JSON response.
+                feed = _STREAM_FEEDS[path](self.service, _qint(query, "since", -1))
+                poll = max(STREAM_POLL_MIN, _qfloat(query, "poll", STREAM_POLL))
+                heartbeat = max(poll, _qfloat(query, "heartbeat", STREAM_HEARTBEAT))
+                await self._handle_stream(writer, feed, poll, heartbeat)
+                return
+            status, body, raw, ctype = await self._dispatch(
+                method, path, query, payload
+            )
         except ServiceError as exc:
-            status, body, raw = exc.status, {"error": str(exc)}, None
+            status, body, raw, ctype = exc.status, {"error": str(exc)}, None, None
         except ReproError as exc:
-            status, body, raw = 400, {"error": str(exc)}, None
+            status, body, raw, ctype = 400, {"error": str(exc)}, None, None
         except (ConnectionError, asyncio.IncompleteReadError):
             writer.close()
             return
         except Exception as exc:  # keep the daemon alive on handler bugs
             status = 500
             body = {"error": f"{type(exc).__name__}: {exc}"}
-            raw = None
+            raw, ctype = None, None
         data = raw if raw is not None else json.dumps(body, sort_keys=True).encode()
         head = (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Status')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {ctype or 'application/json'}\r\n"
             f"Content-Length: {len(data)}\r\n"
             f"Connection: close\r\n\r\n"
         )
@@ -87,22 +223,96 @@ class ControlPlane:
         finally:
             writer.close()
 
+    async def _handle_stream(
+        self,
+        writer: asyncio.StreamWriter,
+        feed,
+        poll: float,
+        heartbeat: float,
+    ):
+        """The long-lived branch: headers once, then frames until the
+        client disconnects or the daemon stops. All reads happen on the
+        event loop via ``feed.poll()`` — no locks, no extra threads."""
+        svc = self.service
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: text/event-stream\r\n"
+            "Cache-Control: no-cache\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        idle = 0.0
+        task = asyncio.current_task()
+        if task is not None:
+            self._streams.add(task)
+        try:
+            writer.write(head.encode())
+            await writer.drain()
+            while not svc._stopping:
+                payload = feed.poll()
+                if payload is not None:
+                    writer.write(_sse_frame(feed.event, payload))
+                    await writer.drain()
+                    idle = 0.0
+                else:
+                    idle += poll
+                    if idle >= heartbeat:
+                        writer.write(b": keepalive\n\n")
+                        await writer.drain()
+                        idle = 0.0
+                if writer.is_closing():
+                    return
+                await asyncio.sleep(poll)
+            # Shutdown: flush whatever rolled since the last frame, then
+            # tell the subscriber this was a clean end, not a drop.
+            payload = feed.poll()
+            if payload is not None:
+                writer.write(_sse_frame(feed.event, payload))
+            writer.write(b"event: end\ndata: {}\n\n")
+            await writer.drain()
+        except ConnectionError:
+            pass
+        except asyncio.CancelledError:
+            # Event-loop teardown beat the stream's own shutdown path;
+            # exit cleanly rather than surface a cancelled handler task.
+            return
+        finally:
+            if task is not None:
+                self._streams.discard(task)
+            writer.close()
+
+    async def _read_line(self, reader: asyncio.StreamReader, what: str) -> bytes:
+        """One capped ``readline``: oversized lines become a 413 instead
+        of buffering whatever a hostile client keeps sending."""
+        try:
+            line = await reader.readline()
+        except ValueError as exc:  # StreamReader limit overrun, no newline
+            raise ServiceError(f"{what} line too long", status=413) from exc
+        if len(line) > MAX_LINE:
+            raise ServiceError(
+                f"{what} line exceeds {MAX_LINE} bytes", status=413
+            ) from None
+        return line
+
     async def _read_request(self, reader) -> Tuple[str, str, Dict, Optional[Dict]]:
-        request_line = (await reader.readline()).decode("latin-1").strip()
+        raw_line = await self._read_line(reader, "request")
+        request_line = raw_line.decode("latin-1").strip()
         parts = request_line.split()
         if len(parts) != 3:
             raise ServiceError(f"malformed request line {request_line!r}")
         method, target, _version = parts
         headers: Dict[str, str] = {}
         for _ in range(MAX_HEADER_LINES):
-            line = (await reader.readline()).decode("latin-1")
+            line = (await self._read_line(reader, "header")).decode("latin-1")
             if line in ("\r\n", "\n", ""):
                 break
             name, _, value = line.partition(":")
             headers[name.strip().lower()] = value.strip()
         else:
             raise ServiceError("too many header lines")
-        length = int(headers.get("content-length", 0) or 0)
+        try:
+            length = int(headers.get("content-length", 0) or 0)
+        except ValueError as exc:
+            raise ServiceError("content-length must be an integer") from exc
         if length > MAX_BODY:
             raise ServiceError("request body too large", status=413)
         payload = None
@@ -118,48 +328,50 @@ class ControlPlane:
 
     async def _dispatch(
         self, method: str, path: str, query: Dict, payload: Optional[Dict]
-    ) -> Tuple[int, Dict, Optional[bytes]]:
+    ) -> Tuple[int, Dict, Optional[bytes], Optional[str]]:
         svc = self.service
         match = _SEGMENT_RESULTS.fullmatch(path)
         if match:
             if method != "GET":
                 raise ServiceError("method not allowed", status=405)
-            return 200, {}, svc.segment_results(int(match.group(1))).encode()
+            return 200, {}, svc.segment_results(int(match.group(1))).encode(), None
 
         key = (method, path)
         if key == ("GET", "/health"):
-            return 200, svc.health(), None
+            return 200, svc.health(), None, None
         if key == ("GET", "/status"):
-            return 200, svc.status(), None
+            return 200, svc.status(), None, None
         if key == ("GET", "/metrics"):
-            return 200, svc.metrics_snapshot(_qint(query, "since", -1)), None
+            return 200, svc.metrics_snapshot(_qint(query, "since", -1)), None, None
+        if key == ("GET", "/metrics.prom"):
+            return 200, {}, svc.openmetrics().encode(), OPENMETRICS_CTYPE
         if key == ("GET", "/alerts"):
-            return 200, svc.alerts_window(_qint(query, "since", 0)), None
+            return 200, svc.alerts_window(_qint(query, "since", 0)), None, None
         if key == ("GET", "/segments"):
-            return 200, svc.segments_view(), None
+            return 200, svc.segments_view(), None, None
         if key == ("POST", "/program"):
-            return 200, await svc.load_program(payload or {}), None
+            return 200, await svc.load_program(payload or {}), None, None
         if key == ("POST", "/faults"):
-            return 200, await svc.attach_faults(payload or {}), None
+            return 200, await svc.attach_faults(payload or {}), None, None
         if key == ("DELETE", "/faults"):
-            return 200, await svc.detach_faults(), None
+            return 200, await svc.detach_faults(), None, None
         if key == ("POST", "/monitor"):
             enabled = bool((payload or {}).get("enabled", True))
-            return 200, await svc.set_monitor(enabled), None
+            return 200, await svc.set_monitor(enabled), None, None
         if key == ("POST", "/config"):
-            return 200, await svc.configure(payload or {}), None
+            return 200, await svc.configure(payload or {}), None, None
         if key == ("POST", "/ingest"):
-            return 200, svc.ingest((payload or {}).get("packets", [])), None
+            return 200, svc.ingest((payload or {}).get("packets", [])), None, None
         if key == ("POST", "/replay"):
-            return 200, await svc.replay(payload or {}), None
+            return 200, await svc.replay(payload or {}), None, None
         if key == ("POST", "/pause"):
-            return 200, await svc.pause(), None
+            return 200, await svc.pause(), None, None
         if key == ("POST", "/resume"):
-            return 200, await svc.resume(), None
+            return 200, await svc.resume(), None, None
         if key == ("POST", "/drain"):
             record = await svc.quiesce()
-            return 200, {"closed_segment": record}, None
+            return 200, {"closed_segment": record}, None, None
         if key == ("POST", "/shutdown"):
             record = await svc.shutdown()
-            return 200, {"stopped": True, "closed_segment": record}, None
+            return 200, {"stopped": True, "closed_segment": record}, None, None
         raise ServiceError(f"no route for {method} {path}", status=404)

@@ -1,0 +1,355 @@
+"""OpenMetrics exposition, series retention, and the top dashboard.
+
+Three contracts from the streaming-telemetry layer:
+
+* **exposition** — :func:`render_openmetrics` output round-trips through
+  the validating line parser with the expected family types and values,
+  and rendering is a pure function of the registry (byte-determinism);
+* **retention** — a capped registry bounds its in-memory rows with
+  deterministic thinning that never drops the newest window, while
+  ``since()`` (bisect cursor) stays equivalent to a full-history scan;
+* **dashboard** — ``repro top --once`` against recorded
+  ``metrics.json``/``alerts.jsonl`` artifacts renders byte-identically
+  across runs, as does the ``export-metrics`` converter.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.obs.export import (
+    families_from_snapshot,
+    load_metrics_document,
+    parse_openmetrics,
+    render_openmetrics,
+    sanitize_metric_name,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.top import TopModel, render_top_frame
+
+
+def build_registry(
+    rolls: int = 12, window: int = 10, retention=None
+) -> MetricsRegistry:
+    """A registry exercising every instrument kind, rolled ``rolls``
+    times with a deterministic workload."""
+    registry = MetricsRegistry(window=window, retention=retention)
+    egressed = {"n": 0}
+    registry.add_sampler("egressed", lambda: egressed["n"], cumulative=True)
+    registry.add_sampler("queue_depth.p0.s1", lambda: egressed["n"] % 7)
+    registry.add_sampler("queue_depth.p1.s0", lambda: egressed["n"] % 3)
+    drops = registry.counter("dropped")
+    depth = registry.gauge("queue_depth_max")
+    latency = registry.histogram("latency")
+    for i in range(rolls * window):
+        egressed["n"] += 2
+        if i % 17 == 0:
+            drops.inc()
+        depth.set(i % 9)
+        latency.observe(float(i % 31))
+        registry.maybe_roll(i)
+    registry.roll(rolls * window)
+    return registry
+
+
+class TestSanitize:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("egressed", "egressed"),
+            ("queue_depth.p0.s1", "queue_depth_p0_s1"),
+            ("weird-name!", "weird_name_"),
+            ("9lives", "_9lives"),
+            ("", "_"),
+        ],
+    )
+    def test_mapping(self, raw, expected):
+        assert sanitize_metric_name(raw) == expected
+
+    def test_stable(self):
+        assert sanitize_metric_name("a.b") == sanitize_metric_name("a.b")
+
+
+class TestExposition:
+    def test_round_trips_through_parser(self):
+        registry = build_registry()
+        families = parse_openmetrics(render_openmetrics(registry))
+        assert families["mp5_egressed"]["type"] == "counter"
+        assert families["mp5_dropped"]["type"] == "counter"
+        assert families["mp5_queue_depth_max"]["type"] == "gauge"
+        assert families["mp5_latency"]["type"] == "summary"
+        # Counters expose the running total with the _total suffix.
+        (sample,) = families["mp5_egressed"]["samples"]
+        assert sample[0] == "_total"
+        assert sample[2] == registry.totals()["egressed"]
+
+    def test_lane_series_fold_into_labels(self):
+        families = parse_openmetrics(render_openmetrics(build_registry()))
+        samples = families["mp5_queue_depth"]["samples"]
+        labels = sorted(lbls for _suffix, lbls, _v in samples)
+        assert labels == [
+            (("pipe", "0"), ("stage", "1")),
+            (("pipe", "1"), ("stage", "0")),
+        ]
+
+    def test_summary_carries_quantiles_count_and_sum(self):
+        registry = build_registry()
+        families = parse_openmetrics(render_openmetrics(registry))
+        by_suffix = {}
+        for suffix, labels, value in families["mp5_latency"]["samples"]:
+            by_suffix.setdefault(suffix, []).append((labels, value))
+        hist = registry.histograms["latency"]
+        assert by_suffix["_count"] == [((), hist.total_count)]
+        assert by_suffix["_sum"][0][1] == pytest.approx(hist.total_sum)
+        quantiles = {labels[0][1] for labels, _v in by_suffix[""]}
+        assert quantiles == {"0.5", "0.99"}
+
+    def test_every_family_has_help_and_eof(self):
+        text = render_openmetrics(build_registry())
+        assert text.endswith("# EOF\n")
+        for family, parsed in parse_openmetrics(text).items():
+            assert parsed["help"], f"{family} missing HELP"
+
+    def test_rendering_is_byte_deterministic(self):
+        assert render_openmetrics(build_registry()) == render_openmetrics(
+            build_registry()
+        )
+
+    def test_snapshot_dict_renders_like_live_registry(self):
+        registry = build_registry()
+        assert render_openmetrics(registry.to_dict()) == render_openmetrics(
+            registry
+        )
+
+    def test_pre_kinds_document_renders_unknown(self):
+        doc = build_registry().to_dict()
+        del doc["kinds"]
+        families = parse_openmetrics(render_openmetrics(doc))
+        assert families["mp5_egressed"]["type"] == "unknown"
+
+
+class TestParserRejects:
+    def test_missing_eof(self):
+        with pytest.raises(ValueError, match="EOF"):
+            parse_openmetrics("# TYPE a counter\na_total 1\n")
+
+    def test_content_after_eof(self):
+        with pytest.raises(ValueError, match="after # EOF"):
+            parse_openmetrics("# EOF\nx 1\n")
+
+    def test_duplicate_type(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_openmetrics(
+                "# TYPE a counter\n# TYPE a counter\n# EOF\n"
+            )
+
+    def test_sample_outside_family(self):
+        with pytest.raises(ValueError, match="does not group"):
+            parse_openmetrics("# TYPE a counter\nb 1\n# EOF\n")
+
+    def test_bad_label_syntax(self):
+        with pytest.raises(ValueError, match="label"):
+            parse_openmetrics('# TYPE a gauge\na{pipe=0} 1\n# EOF\n')
+
+    def test_bad_value(self):
+        with pytest.raises(ValueError, match="value"):
+            parse_openmetrics("# TYPE a gauge\na one\n# EOF\n")
+
+
+class TestRetention:
+    def test_rows_bounded(self):
+        capped = build_registry(rolls=200, retention=16)
+        for rows in capped.series.values():
+            assert len(rows) <= 16
+        for rows in capped.histogram_series.values():
+            assert len(rows) <= 16
+        assert capped.rows_retained() <= 16 * (
+            len(capped.series) + len(capped.histogram_series)
+        )
+
+    def test_newest_window_always_kept(self):
+        full = build_registry(rolls=200)
+        capped = build_registry(rolls=200, retention=8)
+        for name, rows in full.series.items():
+            assert capped.series[name][-1] == rows[-1]
+
+    def test_thinning_deterministic(self):
+        a = build_registry(rolls=100, retention=8)
+        b = build_registry(rolls=100, retention=8)
+        assert a.series == b.series
+        assert a.histogram_series == b.histogram_series
+
+    def test_retained_rows_are_a_subsequence(self):
+        full = build_registry(rolls=120)
+        capped = build_registry(rolls=120, retention=8)
+        for name, rows in capped.series.items():
+            full_ticks = [row[0] for row in full.series[name]]
+            ticks = [row[0] for row in rows]
+            assert ticks == sorted(ticks)
+            assert set(ticks) <= set(full_ticks)
+
+    def test_totals_unaffected_by_retention(self):
+        assert (
+            build_registry(rolls=150, retention=4).totals()
+            == build_registry(rolls=150).totals()
+        )
+
+    def test_retention_validation(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry(retention=1)
+
+
+class TestSinceCursor:
+    def test_bisect_matches_linear_filter(self):
+        registry = build_registry(rolls=30)
+        ticks = sorted({row[0] for row in registry.series["egressed"]})
+        probes = [-1, 0, ticks[0], ticks[3], ticks[-2], ticks[-1], 10**9]
+        for probe in probes:
+            view = registry.since(probe)
+            for name, rows in registry.series.items():
+                expected = [row for row in rows if row[0] > probe]
+                assert view["series"][name] == expected
+            for name, rows in registry.histogram_series.items():
+                expected = [row for row in rows if row["tick"] > probe]
+                assert view["histograms"][name] == expected
+
+    def test_cursor_chain_reconstructs_history(self):
+        registry = build_registry(rolls=20)
+        # Poll in chunks: replaying the cursor chain yields every row.
+        cursor, seen = -1, []
+        rows = registry.series["egressed"]
+        for probe in [row[0] for row in rows[::4]] + [rows[-1][0]]:
+            view = {
+                name: [r for r in series if cursor < r[0] <= probe]
+                for name, series in registry.series.items()
+            }
+            seen.extend(view["egressed"])
+            cursor = probe
+        assert seen == rows
+
+
+class TestOfflineArtifacts:
+    @pytest.fixture()
+    def artifacts(self, tmp_path):
+        metrics = tmp_path / "metrics.json"
+        alerts = tmp_path / "alerts.jsonl"
+        assert (
+            main(
+                [
+                    "run",
+                    "heavy_hitter",
+                    "--packets",
+                    "400",
+                    "--metrics",
+                    str(metrics),
+                    "--metrics-window",
+                    "25",
+                    "--alerts-out",
+                    str(alerts),
+                ]
+            )
+            == 0
+        )
+        return metrics, alerts
+
+    def test_export_metrics_cli_parses(self, artifacts, capsys):
+        metrics, _alerts = artifacts
+        capsys.readouterr()
+        assert main(["export-metrics", str(metrics)]) == 0
+        families = parse_openmetrics(capsys.readouterr().out)
+        assert families["mp5_egressed"]["samples"][0][2] == 400
+
+    def test_export_metrics_cli_out_file(self, artifacts, tmp_path, capsys):
+        metrics, _alerts = artifacts
+        out = tmp_path / "metrics.prom"
+        assert main(["export-metrics", str(metrics), "--out", str(out)]) == 0
+        assert "# EOF" in out.read_text()
+
+    def test_export_metrics_rejects_non_document(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("[1, 2, 3]")
+        assert main(["export-metrics", str(bogus)]) == 2
+
+    def test_export_matches_offline_renderer(self, artifacts, capsys):
+        metrics, _alerts = artifacts
+        capsys.readouterr()
+        assert main(["export-metrics", str(metrics)]) == 0
+        doc = load_metrics_document(metrics)
+        assert capsys.readouterr().out == render_openmetrics(doc)
+        assert families_from_snapshot(doc)  # non-empty family list
+
+    def test_top_once_byte_identical(self, artifacts, capsys):
+        metrics, alerts = artifacts
+        capsys.readouterr()
+        argv = [
+            "top",
+            "--once",
+            "--metrics",
+            str(metrics),
+            "--alerts-log",
+            str(alerts),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert "\x1b" not in first  # --once never emits ANSI clears
+        assert "throughput" in first
+        assert "verdict ok" in first
+
+    def test_top_renders_lane_sparklines(self, artifacts, capsys):
+        metrics, alerts = artifacts
+        capsys.readouterr()
+        assert (
+            main(["top", "--once", "--metrics", str(metrics)]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "queue p0" in out
+        assert "queue p3" in out
+
+
+class TestTopModel:
+    def test_incremental_frames_merge_without_duplicates(self):
+        registry = build_registry(rolls=6)
+        model = TopModel(width=32)
+        rows = registry.series["egressed"]
+        split = rows[2][0]
+        first = {
+            "segment_index": 0,
+            "engine": {
+                "window": registry.window,
+                "series": {"egressed": [r for r in rows if r[0] <= split]},
+                "totals": {},
+            },
+        }
+        second = {
+            "segment_index": 0,
+            "engine": {
+                "window": registry.window,
+                "series": {"egressed": rows},  # overlaps the first frame
+                "totals": {},
+            },
+        }
+        model.apply_metrics(first)
+        model.apply_metrics(second)
+        assert model.series["egressed"] == rows
+
+    def test_segment_change_resets_series(self):
+        model = TopModel()
+        model.apply_metrics(
+            {
+                "segment_index": 0,
+                "engine": {"window": 10, "series": {"egressed": [[10, 1]]}},
+            }
+        )
+        model.apply_metrics(
+            {
+                "segment_index": 1,
+                "engine": {"window": 10, "series": {"egressed": [[10, 5]]}},
+            }
+        )
+        assert model.series["egressed"] == [[10, 5]]
+
+    def test_render_has_no_wall_clock_state(self):
+        model = TopModel()
+        assert render_top_frame(model) == render_top_frame(model)

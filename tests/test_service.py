@@ -21,6 +21,9 @@ path the CLI and CI smoke use.
 """
 
 import json
+import socket
+import threading
+import time
 
 import pytest
 
@@ -381,4 +384,229 @@ def test_fault_schedule_validated_against_pipelines():
             client.attach_faults(schedule=bad)
         assert err.value.status == 400
         assert "out of range" in err.value.message
+        client.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Streaming telemetry: SSE push, OpenMetrics exposition, retention
+# ----------------------------------------------------------------------
+
+
+def _collect(iterator, sink):
+    for payload in iterator:
+        sink.append(payload)
+
+
+def _merge_engine(target, snap):
+    """Accumulate one /metrics document's engine rows into ``target``
+    (the union a cursor-poll loop builds up)."""
+    engine = snap.get("engine")
+    if engine is None:
+        return
+    for name, rows in engine["series"].items():
+        target.setdefault("series", {}).setdefault(name, []).extend(rows)
+    for name, rows in engine["histograms"].items():
+        target.setdefault("histograms", {}).setdefault(name, []).extend(rows)
+
+
+def _streamed_union(frames):
+    union = {}
+    for frame in frames:
+        _merge_engine(union, frame)
+    return union
+
+
+def test_sse_metrics_stream_equals_cursor_polls():
+    """Acceptance: the concatenation of /stream/metrics SSE events
+    equals the union of /metrics?since= cursor polls for the same
+    served workload."""
+    trace = make_trace("heavy_hitter", 900, seed=7)
+    service, thread = serve(program="heavy_hitter", metrics_window=50)
+    with thread:
+        client = client_of(thread)
+        frames = []
+        subscriber = threading.Thread(
+            target=_collect,
+            args=(client.stream_metrics(poll=0.01), frames),
+            daemon=True,
+        )
+        subscriber.start()
+
+        polled, cursor = {}, -1
+        chunk = 300
+        for start in range(0, len(trace), chunk):
+            client.ingest(records_of(trace[start : start + chunk]))
+            client.wait_settled()
+            snap = client.metrics(cursor)
+            _merge_engine(polled, snap)
+            if snap.get("engine") is not None:
+                cursor = snap["engine"]["cursor"]
+
+        # Nothing else will roll until drain; let the subscriber catch
+        # up to the last polled row, then stop the daemon.
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            if _streamed_union(frames) == polled:
+                break
+            time.sleep(0.02)
+        client.shutdown()
+        subscriber.join(timeout=10)
+        assert not subscriber.is_alive(), "stream did not end on shutdown"
+
+    assert polled["series"], "workload must roll metrics windows"
+    assert _streamed_union(frames) == polled
+
+
+def test_sse_alerts_stream_equals_cursor_polls():
+    """Same contract for /stream/alerts: SSE frames concatenate to the
+    exact alert list a ?since= poll loop retrieves."""
+    trace = make_trace("heavy_hitter", 400, seed=4)
+    schedule = FaultSchedule.load("examples/faults/crossbar.json")
+    service, thread = serve(
+        program="heavy_hitter", monitor=True, faults=schedule
+    )
+    with thread:
+        client = client_of(thread)
+        frames = []
+        subscriber = threading.Thread(
+            target=_collect,
+            args=(client.stream_alerts(poll=0.01), frames),
+            daemon=True,
+        )
+        subscriber.start()
+        client.ingest(records_of(trace))
+        client.wait_settled()
+        reference = client.alerts()["alerts"]
+        assert reference, "crossbar schedule must raise alerts"
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            if sum(len(f["alerts"]) for f in frames) >= len(reference):
+                break
+            time.sleep(0.02)
+        client.shutdown()
+        subscriber.join(timeout=10)
+        assert not subscriber.is_alive()
+
+    streamed = [alert for frame in frames for alert in frame["alerts"]]
+    assert streamed == reference
+
+
+def test_sse_health_stream_pushes_initial_and_final_frames():
+    service, thread = serve(program="heavy_hitter")
+    with thread:
+        client = client_of(thread)
+        frames = []
+        subscriber = threading.Thread(
+            target=_collect,
+            args=(client.stream_health(poll=0.01), frames),
+            daemon=True,
+        )
+        subscriber.start()
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline and not frames:
+            time.sleep(0.02)
+        assert frames, "health stream must push an initial frame"
+        assert frames[0]["verdict"] == "ok"
+        client.shutdown()
+        subscriber.join(timeout=10)
+        assert not subscriber.is_alive()
+
+
+def test_metrics_prom_parses_and_matches_totals():
+    from repro.obs.export import parse_openmetrics
+
+    trace = make_trace("heavy_hitter", 500, seed=9)
+    service, thread = serve(program="heavy_hitter")
+    with thread:
+        client = client_of(thread)
+        client.ingest(records_of(trace))
+        client.wait_settled()
+        families = parse_openmetrics(client.metrics_prom())
+        totals = client.metrics()["engine"]["totals"]
+        assert families["mp5_egressed"]["samples"][0] == (
+            "_total",
+            (),
+            totals["egressed"],
+        )
+        assert families["mp5_service_ingested"]["samples"][0][2] == len(trace)
+        assert families["mp5_latency"]["type"] == "summary"
+        # With the segment closed only service families remain — still a
+        # valid exposition.
+        client.drain()
+        closed = parse_openmetrics(client.metrics_prom())
+        assert "mp5_egressed" not in closed
+        assert closed["mp5_service_segments"]["samples"][0][2] == 1
+        client.shutdown()
+
+
+def test_retention_bounds_rows_without_changing_results():
+    """Acceptance: with retention capped the daemon's in-memory series
+    stay bounded while the segment results and health verdict remain
+    byte-identical to an uncapped run."""
+    trace = make_trace("heavy_hitter", 900, seed=6)
+    outcomes = {}
+    for label, retention in (("uncapped", None), ("capped", 4)):
+        service, thread = serve(
+            program="heavy_hitter",
+            monitor=True,
+            metrics_window=25,
+            metrics_retention=retention,
+        )
+        with thread:
+            client = client_of(thread)
+            client.ingest(records_of(trace))
+            client.wait_settled()
+            snapshot = client.metrics()["engine"]
+            record = client.drain()["closed_segment"]
+            outcomes[label] = {
+                "rows": {
+                    name: len(rows)
+                    for name, rows in snapshot["series"].items()
+                },
+                "results": client.segment_results(record["index"]),
+                "health": client.health(),
+                "totals": snapshot["totals"],
+            }
+            client.shutdown()
+
+    capped, uncapped = outcomes["capped"], outcomes["uncapped"]
+    assert max(uncapped["rows"].values()) > 4, "workload must exceed cap"
+    assert max(capped["rows"].values()) <= 4
+    assert capped["results"] == uncapped["results"]
+    assert capped["health"] == uncapped["health"]
+    assert capped["totals"] == uncapped["totals"]
+
+
+def test_oversized_request_line_rejected_with_413():
+    service, thread = serve(program="heavy_hitter")
+    with thread:
+        host, port = thread.address
+        with socket.create_connection((host, port), timeout=5) as sock:
+            sock.sendall(b"GET /" + b"x" * 10000 + b" HTTP/1.1\r\n\r\n")
+            response = sock.recv(65536)
+        assert response.startswith(b"HTTP/1.1 413 ")
+        assert b"too long" in response or b"exceeds" in response
+        # An unterminated flood (no newline at all) is also bounded.
+        with socket.create_connection((host, port), timeout=5) as sock:
+            sock.sendall(b"y" * (1 << 17))
+            response = sock.recv(65536)
+        assert response.startswith(b"HTTP/1.1 413 ")
+        # The daemon survives both.
+        client = client_of(thread)
+        assert client.health()["verdict"] == "ok"
+        client.shutdown()
+
+
+def test_malformed_content_length_rejected_with_400():
+    service, thread = serve(program="heavy_hitter")
+    with thread:
+        host, port = thread.address
+        with socket.create_connection((host, port), timeout=5) as sock:
+            sock.sendall(
+                b"POST /ingest HTTP/1.1\r\ncontent-length: nope\r\n\r\n"
+            )
+            response = sock.recv(65536)
+        assert response.startswith(b"HTTP/1.1 400 ")
+        assert b"content-length" in response
+        client = client_of(thread)
         client.shutdown()
