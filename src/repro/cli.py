@@ -767,8 +767,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine",
         choices=sorted(ENGINES),
         default="fast",
-        help="engine every segment runs on; 'vector' buffers each "
-        "segment's chunks and replays them batch-wise at drain",
+        help="engine every segment runs on; 'vector' streams too — each "
+        "epoch executes as soon as the ingest watermark proves its "
+        "arrivals complete",
     )
     add_native_args(p)
     p.add_argument(

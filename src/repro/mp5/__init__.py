@@ -53,7 +53,13 @@ Public surface::
 from ..compiler.native import native_available, native_unavailable_reason
 from .config import MP5Config
 from .crossbar import CrossbarTelemetry
-from .epochs import EpochSchedule, build_epoch_schedule, execute_service
+from .epochs import (
+    EpochSchedule,
+    EpochStreamer,
+    build_epoch_schedule,
+    execute_epoch_service,
+    execute_service,
+)
 from .fifo import IdealOrderBuffer, Slot, StageFifoGroup
 from .packet import DataPacket, PhantomPacket, StateAccess
 from .partition import LogicalPartition, PartitionedMP5, PartitionResult
@@ -74,9 +80,11 @@ ENGINES = {
 __all__ = [
     "ENGINES",
     "EpochSchedule",
+    "EpochStreamer",
     "VectorSwitch",
     "VectorUnsupported",
     "build_epoch_schedule",
+    "execute_epoch_service",
     "execute_service",
     "native_available",
     "native_unavailable_reason",

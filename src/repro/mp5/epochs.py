@@ -8,33 +8,45 @@ instructions. Register *values* therefore never influence the timing
 layer — injection ticks, FIFO group membership, pop chains, access and
 in-flight counters, and every remap decision derived from them.
 
-* **Phase A** (:func:`build_epoch_schedule`) — the sequential sweep
-  over remap epochs. It injects packets, maintains the per-(plan,
-  pipeline) FIFO groups and their pop chains
-  (``pop[j] = max(pop[j-1] + 1, insert[j])``), drives the real
-  :class:`~repro.mp5.sharding.ShardingRuntime` at every boundary, and
-  records *who pops when, from which pipeline* — but performs no
-  stateful service. Its output, the :class:`EpochSchedule`, is the
-  run's task DAG: per-plan pop streams in epoch order, independent of
-  both the native tier and the worker count.
+* **Phase A** (:class:`EpochStreamer`) — the sequential sweep over
+  remap epochs, now *incremental*: :meth:`EpochStreamer.ingest`
+  extends the injection recurrence as packets arrive, and
+  :meth:`EpochStreamer.advance_epoch` processes one epoch cut as soon
+  as the ingest watermark proves its arrivals are complete (every
+  future packet has ``inj >= ceil(arrival) >= watermark > cut``). It
+  injects packets, maintains the per-(plan, pipeline) FIFO groups and
+  their pop chains (``pop[j] = max(pop[j-1] + 1, insert[j])``), drives
+  the real :class:`~repro.mp5.sharding.ShardingRuntime` at every
+  boundary, and records *who pops when, from which pipeline* — but
+  performs no stateful service. :func:`build_epoch_schedule` is the
+  batch entry point: one ingest, drain, and :meth:`finalize` into an
+  :class:`EpochSchedule`, the run's task DAG — per-plan pop streams in
+  epoch order, independent of feed chunking, the native tier, and the
+  worker count.
 
-* **Phase B** (:func:`execute_service`) — replays the schedule against
-  register state, plan by plan. Per-row order only matters *within* a
-  register slot, so each plan admits three executions that are exact by
-  construction: the NumPy wave decomposition (PR 5 semantics,
-  per-epoch chunk), a fused per-row kernel over the whole stream in
-  service order (:mod:`repro.compiler.native` — Numba-jitted or plain
-  Python), and, for ``wave``-category plans, a **residue-class
-  partition**: rows with ``index % nparts == w`` touch register slots
-  and SoA rows disjoint from every other part, so the parts execute on
-  separate workers against one ``multiprocessing.shared_memory``
-  segment and the merged state is byte-identical at any worker count.
+* **Phase B** — replays the schedule against register state, plan by
+  plan (:func:`execute_service`, the batch path) or epoch by epoch as
+  Phase A emits them (:func:`execute_epoch_service`, the streaming
+  path). Per-row order only matters *within* a register slot, and an
+  epoch's pops all exceed the previous epoch's cut, so the per-epoch
+  execution concatenates to exactly the batch service order. Each plan
+  admits three executions that are exact by construction: the NumPy
+  wave decomposition (PR 5 semantics, per-epoch chunk), a fused
+  per-row kernel in service order (:mod:`repro.compiler.native` —
+  Numba-jitted or plain Python), and, for ``wave``-category plans, a
+  **residue-class partition**: rows with ``index % nparts == w`` touch
+  register slots and SoA rows disjoint from every other part, so the
+  parts execute on separate workers against one
+  ``multiprocessing.shared_memory`` segment and the merged state is
+  byte-identical at any worker count.
 
 Workers come from the PR 1 pool (:mod:`repro.harness.parallel`) with an
-initializer that attaches the segment and compiles kernels once per
-worker. Any pool or shared-memory failure restores the pre-plan
-snapshot and re-executes in process — silent, like every other engine
-fallback, because the serial path is bit-for-bit the same reduction.
+initializer that compiles kernels once per worker; tasks name the
+shared segment they read, so one pool survives across epochs and
+dispatches. Any pool or shared-memory failure leaves the caller's
+arrays untouched (batch path: restores the pre-plan snapshot) and
+re-executes in process — silent, like every other engine fallback,
+because the serial path is bit-for-bit the same reduction.
 """
 
 from __future__ import annotations
@@ -65,16 +77,42 @@ _FAR = 1 << 62  # sentinel horizon: beyond any reachable tick
 PARALLEL_MIN_ROWS = 4096
 
 
+def _grown(arr: np.ndarray, n: int, fill=None) -> np.ndarray:
+    """``arr`` with capacity >= ``n``, doubling to amortize feeds. The
+    expansion region is set to ``fill`` when given, so cells past the
+    written prefix always hold the array's initial value."""
+    cap = arr.shape[0]
+    if cap >= n:
+        return arr
+    new_cap = max(cap, 64)
+    while new_cap < n:
+        new_cap *= 2
+    out = np.empty(new_cap, dtype=arr.dtype)
+    out[:cap] = arr
+    if fill is not None:
+        out[cap:] = fill
+    return out
+
+
 class _Group:
     """One (plan, pipeline) FIFO group: members in packet-id order."""
 
     __slots__ = ("members", "count", "ptr", "last_pop")
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int = 0):
         self.members = np.empty(capacity, dtype=np.int64)
         self.count = 0  # filled members (membership fixed at inject)
         self.ptr = 0  # members already popped
         self.last_pop = -1
+
+    def push(self, rows: np.ndarray) -> None:
+        need = self.count + rows.shape[0]
+        if need > self.members.shape[0]:
+            # Growth copies; popped slices handed out earlier keep the
+            # old buffer alive and are never rewritten.
+            self.members = _grown(self.members, need)
+        self.members[self.count : need] = rows
+        self.count = need
 
 
 class _RegView:
@@ -210,109 +248,174 @@ class EpochSchedule:
         return out
 
 
-def build_epoch_schedule(
-    switch, packets: Sequence, H: Dict, E: Dict, R: Dict,
-    max_ticks: Optional[int],
-) -> EpochSchedule:
-    """Phase A: sweep the epochs, recording timing but deferring service.
+class EpochStreamer:
+    """Incremental Phase A: the epoch sweep as a resumable state
+    machine.
 
-    Mutates the sharding runtime (access counters, remaps) and — for
-    injected rows only — the stateless columns written by the
-    resolution and pre-plan transit kernels. ``switch.stats`` receives
-    the remap-move count; everything else lands on the returned
-    schedule.
+    The batch sweep's loop body is split at its two decision points:
+
+    * **content** — compute the epoch's cut, inject every packet with
+      ``inj <= cut`` and pop every FIFO chain through it. Mid-stream
+      this requires the cut to be *closed*: ``cut < watermark`` proves
+      no future packet can inject at or before it (monotone feeds give
+      ``inj >= ceil(arrival) >= watermark``).
+    * **decide** — at the boundary, re-create the scalar run loop's
+      liveness test. ``injected > egr_assigned`` and
+      ``last_egress >= boundary`` are exact once the content is
+      processed; ``inj_ptr < n_fed`` is the one clause that depends on
+      packets not yet fed, so a boundary that looks dead mid-stream
+      *stalls* (no remap, no progress) until either a later feed
+      revives it or the drain (``final=True``) confirms it.
+
+    With remapping off there are no boundaries: the single closed-form
+    cut is only provably complete at drain, so nothing advances
+    mid-stream and memory-bounded streaming requires remapping on.
+
+    The per-packet arrays grow by doubling; every value the batch sweep
+    writes is written here by the same expressions in the same order,
+    so :meth:`finalize`'s :class:`EpochSchedule` — and therefore the
+    DAG signature — is bit-identical at any feed chunking.
     """
-    cfg = switch.config
-    stats = switch.stats
-    k = cfg.num_pipelines
-    depth = switch.depth
-    N = len(packets)
-    vplans = switch._vplans
-    nplans = len(vplans)
-    kernels = switch._vkernels
-    sharder = switch.sharder
-    # Last executable tick: the run loop breaks before tick max_ticks.
-    cut_limit = (max_ticks - 1) if max_ticks is not None else None
 
-    sched = EpochSchedule()
-    sched.cut_limit = cut_limit
-    # Remap boundaries the scalar run loop would have executed, as
-    # (tick, moved) pairs — the trace reconstruction's ``remap`` events.
-    sched.remap_records = []
+    def __init__(
+        self, switch, packets: Sequence, H: Dict, E: Dict, R: Dict,
+        max_ticks: Optional[int],
+    ):
+        self.switch = switch
+        self.packets = packets  # shared list object; caller appends
+        self.H = H  # shared dict objects; caller swaps grown columns in
+        self.E = E
+        self.R = R
+        cfg = switch.config
+        self.cfg = cfg
+        self.stats = switch.stats
+        self.k = cfg.num_pipelines
+        self.depth = switch.depth
+        self.vplans = switch._vplans
+        self.nplans = len(self.vplans)
+        self.kernels = switch._vkernels
+        self.sharder = switch.sharder
+        # Last executable tick: the run loop breaks before tick max_ticks.
+        self.cut_limit = (max_ticks - 1) if max_ticks is not None else None
+        self.period = cfg.remap_period
+        self.remap_on = cfg.remap_algorithm != "none"
 
-    # Injection schedule. Injection never blocks fault-free (every
-    # stage-0 slot vacates within its tick), so with round-robin spray
-    # the j-th arrival enters pipeline j % k, and within each residue
-    # class ticks follow t_i = max(ceil(arrival_i), t_{i-1}+1) — a
-    # running maximum.
-    arrival = getattr(switch, "_arrival_f", None)
-    if arrival is None or arrival.shape[0] != N:
-        arrival = np.fromiter(
-            (float(p.arrival) for p in packets), dtype=np.float64, count=N
-        )
-    ceil_a = np.ceil(arrival).astype(np.int64)
-    inj = np.empty(N, dtype=np.int64)
-    for r in range(min(k, N)):
-        sel = np.arange(r, N, k)
-        i_local = np.arange(sel.shape[0], dtype=np.int64)
-        inj[sel] = i_local + np.maximum.accumulate(ceil_a[sel] - i_local)
-    entry_pipe = np.arange(N, dtype=np.int64) % k
-    sched.inj = inj
-    sched.entry_pipe = entry_pipe
+        self.n_fed = 0
+        self.inj = np.empty(0, dtype=np.int64)
+        self.entry_pipe = np.empty(0, dtype=np.int64)
+        self.egr_tick = np.empty(0, dtype=np.int64)
+        self.egr_pipe = np.empty(0, dtype=np.int64)
+        self.acc_idx = [
+            np.empty(0, dtype=np.int64) if p.has_index else None
+            for p in self.vplans
+        ]
+        self.dest = [np.empty(0, dtype=np.int64) for _ in self.vplans]
+        self.ins_tick = [np.empty(0, dtype=np.int64) for _ in self.vplans]
+        self.pop_tick = [np.empty(0, dtype=np.int64) for _ in self.vplans]
+        self.groups = [
+            [_Group() for _ in range(self.k)] for _ in self.vplans
+        ]
+        self.chunks: List[List[Tuple[np.ndarray, np.ndarray]]] = [
+            [] for _ in self.vplans
+        ]
+        self.remap_records: List[Tuple[int, int]] = []
 
-    acc_idx = [
-        np.full(N, -1, dtype=np.int64) if p.has_index else None
-        for p in vplans
-    ]
-    dest = [np.zeros(N, dtype=np.int64) for _ in vplans]
-    ins_tick = [np.full(N, -1, dtype=np.int64) for _ in vplans]
-    pop_tick = [np.full(N, -1, dtype=np.int64) for _ in vplans]
-    groups = [[_Group(N) for _ in range(k)] for _ in vplans]
-    chunks: List[List[Tuple[np.ndarray, np.ndarray]]] = [[] for _ in vplans]
-    egr_tick = np.full(N, -1, dtype=np.int64)
-    egr_pipe = np.full(N, -1, dtype=np.int64)
-    sched.acc_idx = acc_idx
-    sched.dest = dest
-    sched.ins_tick = ins_tick
-    sched.pop_tick = pop_tick
-    sched.groups = groups
-    sched.chunks = chunks
-    sched.egr_tick = egr_tick
-    sched.egr_pipe = egr_pipe
+        self.inj_ptr = 0
+        self.injected = 0
+        self.egr_assigned = 0
+        self.last_egress = -1
+        self.epochs = 0
+        self.done = False
+        #: Highest cut whose content has been processed (display only).
+        self.executed_through = -1
+        self._epoch_start = 0
+        self._phase = "content"
+        self._boundary: Optional[int] = None
+        # Injection recurrence per residue class r = row % k:
+        # inj[i] = i_local + max_{j<=i}(ceil(arrival_j) - j_local), a
+        # running maximum that extends across feed batches.
+        self._class_count = [0] * self.k
+        self._class_run = [-_FAR] * self.k
 
-    period = cfg.remap_period
-    remap_on = cfg.remap_algorithm != "none"
-    inj_ptr = 0
-    injected = 0
-    egr_assigned = 0
-    last_egress = -1
-    epoch_start = 0
-    epochs = 0
+    # -- ingest ---------------------------------------------------------
 
-    def process_inject(rows: np.ndarray) -> None:
-        nonlocal egr_assigned, last_egress
+    @property
+    def buffered(self) -> int:
+        """Packets fed but not yet assigned an egress tick."""
+        return self.n_fed - self.egr_assigned
+
+    def ingest(self, arrival: np.ndarray) -> None:
+        """Extend the injection schedule with one sorted feed batch.
+
+        ``arrival`` is the batch's float64 arrival column, already in
+        global (arrival, port, pkt_id) order — the caller enforces the
+        monotone-feed contract. Only the timing recurrence runs here;
+        injection itself happens when a cut that covers it is processed.
+        """
+        n = int(arrival.shape[0])
+        if n == 0:
+            return
+        lo = self.n_fed
+        hi = lo + n
+        k = self.k
+        self.inj = _grown(self.inj, hi)
+        self.entry_pipe = _grown(self.entry_pipe, hi)
+        self.egr_tick = _grown(self.egr_tick, hi, fill=-1)
+        self.egr_pipe = _grown(self.egr_pipe, hi, fill=-1)
+        for pi in range(self.nplans):
+            if self.acc_idx[pi] is not None:
+                self.acc_idx[pi] = _grown(self.acc_idx[pi], hi, fill=-1)
+            self.dest[pi] = _grown(self.dest[pi], hi, fill=0)
+            self.ins_tick[pi] = _grown(self.ins_tick[pi], hi, fill=-1)
+            self.pop_tick[pi] = _grown(self.pop_tick[pi], hi, fill=-1)
+        ceil_a = np.ceil(arrival).astype(np.int64)
+        for r in range(min(k, hi)):
+            start = lo + ((r - lo) % k)
+            sel = np.arange(start, hi, k)
+            if sel.shape[0] == 0:
+                continue
+            count = self._class_count[r]
+            i_local = count + np.arange(sel.shape[0], dtype=np.int64)
+            runmax = np.maximum.accumulate(ceil_a[sel - lo] - i_local)
+            np.maximum(runmax, self._class_run[r], out=runmax)
+            self.inj[sel] = i_local + runmax
+            self._class_run[r] = int(runmax[-1])
+            self._class_count[r] = count + sel.shape[0]
+        self.entry_pipe[lo:hi] = np.arange(lo, hi, dtype=np.int64) % k
+        self.n_fed = hi
+
+    # -- the sweep ------------------------------------------------------
+
+    def _process_inject(self, rows: np.ndarray) -> None:
+        H, E, R = self.H, self.E, self.R
+        cfg = self.cfg
+        vplans = self.vplans
+        sharder = self.sharder
+        inj = self.inj
+        cut_limit = self.cut_limit
+        k = self.k
         # The resolution stage and pre-plan transit stages are
         # stateless by admission, so running them here — before any
         # service executes — reads and writes only the rows' own
         # columns, exactly as the interleaved engine did.
-        kern0 = kernels[0]
+        kern0 = self.kernels[0]
         if kern0 is not None:
             kern0.fn(H, R, E, rows)
-        for u in switch._transit_after_inject:
-            kernels[u].fn(H, R, E, rows)
+        for u in self.switch._transit_after_inject:
+            self.kernels[u].fn(H, R, E, rows)
         t_rows = inj[rows]
         if not vplans:
-            et = t_rows + (depth - 1)
+            et = t_rows + (self.depth - 1)
             rows_e = rows
             if cut_limit is not None:
                 keep = et <= cut_limit
                 rows_e = rows[keep]
                 et = et[keep]
             if rows_e.size:
-                egr_tick[rows_e] = et
-                egr_pipe[rows_e] = entry_pipe[rows_e]
-                egr_assigned += rows_e.shape[0]
-                last_egress = max(last_egress, int(et[-1]))
+                self.egr_tick[rows_e] = et
+                self.egr_pipe[rows_e] = self.entry_pipe[rows_e]
+                self.egr_assigned += rows_e.shape[0]
+                self.last_egress = max(self.last_egress, int(et[-1]))
             return
         for pi, plan in enumerate(vplans):
             state = sharder.arrays[plan.base]
@@ -323,7 +426,7 @@ def build_epoch_schedule(
                 for pos, row in enumerate(rows.tolist()):
                     key = int(fkey[row])
                     iv[pos] = hash2(key, 0x5F0E) % size
-                    pkt = packets[row]
+                    pkt = self.packets[row]
                     if pkt.flow_id is None:
                         pkt.flow_id = key
             elif plan.has_index:
@@ -341,48 +444,49 @@ def build_epoch_schedule(
                 state.access_counts += counts
                 state.in_flight += counts.astype(state.in_flight.dtype)
                 dv = state.index_to_pipeline[iv].astype(np.int64)
-                acc_idx[pi][rows] = iv
+                self.acc_idx[pi][rows] = iv
             else:
                 dv = np.full(
                     rows.shape[0],
                     int(state.index_to_pipeline[0]),
                     dtype=np.int64,
                 )
-            dest[pi][rows] = dv
+            self.dest[pi][rows] = dv
             if k == 1:
-                g = groups[pi][0]
-                n = rows.shape[0]
-                g.members[g.count : g.count + n] = rows
-                g.count += n
+                self.groups[pi][0].push(rows)
             else:
                 for pipe in range(k):
                     sel = rows[dv == pipe]
                     if sel.size:
-                        g = groups[pi][pipe]
-                        g.members[g.count : g.count + sel.size] = sel
-                        g.count += sel.size
-        ins_tick[0][rows] = t_rows + (vplans[0].stage - 1)
+                        self.groups[pi][pipe].push(sel)
+        self.ins_tick[0][rows] = t_rows + (vplans[0].stage - 1)
 
-    while True:
-        boundary = (epoch_start + period) if remap_on else None
-        cut = _FAR
-        if boundary is not None:
-            cut = boundary
-        if cut_limit is not None and cut_limit < cut:
-            cut = cut_limit
+    def _process_cut(
+        self, cut: int
+    ) -> List[Tuple[int, np.ndarray, np.ndarray]]:
+        """Inject and pop everything scheduled at or before ``cut``.
+        Returns the epoch's service step: per-plan ``(pi, rows, pops)``
+        entries in plan order — the unit :func:`execute_epoch_service`
+        consumes."""
+        vplans = self.vplans
+        k = self.k
+        cut_limit = self.cut_limit
+        step: List[Tuple[int, np.ndarray, np.ndarray]] = []
 
-        hi = int(np.searchsorted(inj, cut, side="right"))
-        if hi > inj_ptr:
-            rows = np.arange(inj_ptr, hi, dtype=np.int64)
-            inj_ptr = hi
-            injected += rows.shape[0]
-            process_inject(rows)
+        hi = int(
+            np.searchsorted(self.inj[: self.n_fed], cut, side="right")
+        )
+        if hi > self.inj_ptr:
+            rows = np.arange(self.inj_ptr, hi, dtype=np.int64)
+            self.inj_ptr = hi
+            self.injected += rows.shape[0]
+            self._process_inject(rows)
 
         for pi, plan in enumerate(vplans):
-            ipt = ins_tick[pi]
+            ipt = self.ins_tick[pi]
             popped = []
             for pipe in range(k):
-                g = groups[pi][pipe]
+                g = self.groups[pi][pipe]
                 avail = g.count - g.ptr
                 if avail <= 0:
                     continue
@@ -409,7 +513,7 @@ def build_epoch_schedule(
                 pops = pops[:cnt]
                 g.ptr += cnt
                 g.last_pop = int(pops[-1])
-                pop_tick[pi][rows_p] = pops
+                self.pop_tick[pi][rows_p] = pops
                 popped.append((rows_p, pops))
             if not popped:
                 continue
@@ -418,57 +522,189 @@ def build_epoch_schedule(
             else:
                 rows_p = np.concatenate([c[0] for c in popped])
                 pops = np.concatenate([c[1] for c in popped])
-            chunks[pi].append((rows_p, pops))
+            self.chunks[pi].append((rows_p, pops))
+            step.append((pi, rows_p, pops))
             if plan.has_index and not plan.is_flow:
-                state = sharder.arrays[plan.base]
+                state = self.sharder.arrays[plan.base]
                 state.in_flight -= np.bincount(
-                    acc_idx[pi][rows_p], minlength=plan.size
+                    self.acc_idx[pi][rows_p], minlength=plan.size
                 ).astype(state.in_flight.dtype)
-            if pi + 1 < nplans:
+            if pi + 1 < self.nplans:
                 delta = vplans[pi + 1].stage - plan.stage
-                ins_tick[pi + 1][rows_p] = pops + delta
+                self.ins_tick[pi + 1][rows_p] = pops + delta
             else:
                 # The run loop breaks before tick max_ticks, so an
                 # egress scheduled past the cutoff never executes: the
                 # packet is stuck in the tail.
-                et = pops + (depth - plan.stage)
+                et = pops + (self.depth - plan.stage)
                 rows_e = rows_p
                 if cut_limit is not None:
                     keep = et <= cut_limit
                     rows_e = rows_p[keep]
                     et = et[keep]
                 if rows_e.size:
-                    egr_tick[rows_e] = et
-                    egr_pipe[rows_e] = dest[pi][rows_e]
-                    egr_assigned += rows_e.shape[0]
-                    last_egress = max(last_egress, int(et.max()))
+                    self.egr_tick[rows_e] = et
+                    self.egr_pipe[rows_e] = self.dest[pi][rows_e]
+                    self.egr_assigned += rows_e.shape[0]
+                    self.last_egress = max(
+                        self.last_egress, int(et.max())
+                    )
+        self.executed_through = cut
+        return step
 
-        if not remap_on:
-            break
-        if cut_limit is not None and boundary > cut_limit:
-            break
-        # The scalar run loop is alive at the boundary tick iff packets
-        # are still pending injection or in flight there — only then
-        # does the remap phase of that tick execute.
-        alive = (
-            inj_ptr < N
-            or injected > egr_assigned
-            or last_egress >= boundary
-        )
-        if alive:
-            moved = sharder.end_epoch(cfg.remap_algorithm)
-            stats.remap_moves += moved
-            sched.remap_records.append((boundary, moved))
-            epoch_start = boundary
-            epochs += 1
-        else:
-            break
+    def can_advance(self, watermark: Optional[int]) -> bool:
+        """True iff :meth:`advance_epoch` with this watermark (and
+        ``final=False``) would make progress — the daemon's
+        work-available probe. Mirrors the advance gates exactly, so a
+        True always buys state change and a False never spins."""
+        if self.done:
+            return False
+        if self._phase == "decide":
+            boundary = self._boundary
+            if self.cut_limit is not None and boundary > self.cut_limit:
+                return True  # one advance marks the sweep done
+            return (
+                self.inj_ptr < self.n_fed
+                or self.injected > self.egr_assigned
+                or self.last_egress >= boundary
+            )
+        if not self.remap_on:
+            return False  # no boundaries: only the drain closes the cut
+        cut = self._epoch_start + self.period
+        if self.cut_limit is not None and self.cut_limit < cut:
+            cut = self.cut_limit
+        return watermark is not None and cut < watermark
 
-    sched.injected = injected
-    sched.egr_assigned = egr_assigned
-    sched.last_egress = last_egress
-    sched.epochs = epochs
-    return sched
+    def advance_epoch(
+        self, watermark: Optional[int] = None, final: bool = False
+    ) -> Optional[List[Tuple[int, np.ndarray, np.ndarray]]]:
+        """Run the sweep until one epoch's service step is produced, the
+        sweep completes, or it must wait (watermark too low / stalled
+        boundary). Returns the step, or None (check :attr:`done` to
+        tell completion from a stall). ``final=True`` asserts no
+        further packets will be fed — the drain."""
+        while True:
+            if self.done:
+                return None
+            if self._phase == "decide":
+                boundary = self._boundary
+                if (
+                    self.cut_limit is not None
+                    and boundary > self.cut_limit
+                ):
+                    self.done = True
+                    return None
+                # The scalar run loop is alive at the boundary tick iff
+                # packets are still pending injection or in flight
+                # there — only then does that tick's remap execute.
+                alive = (
+                    self.inj_ptr < self.n_fed
+                    or self.injected > self.egr_assigned
+                    or self.last_egress >= boundary
+                )
+                if alive:
+                    moved = self.sharder.end_epoch(
+                        self.cfg.remap_algorithm
+                    )
+                    self.stats.remap_moves += moved
+                    self.remap_records.append((boundary, moved))
+                    self._epoch_start = boundary
+                    self.epochs += 1
+                    self._phase = "content"
+                    continue
+                if final:
+                    self.done = True
+                    return None
+                # Dead as far as fed packets go, but a later feed can
+                # revive the boundary (the batch test is inj_ptr < N
+                # over the *whole* trace): stall until feed or drain.
+                return None
+
+            boundary = (
+                (self._epoch_start + self.period) if self.remap_on else None
+            )
+            cut = _FAR
+            if boundary is not None:
+                cut = boundary
+            if self.cut_limit is not None and self.cut_limit < cut:
+                cut = self.cut_limit
+            if not final:
+                # Mid-stream the cut must be closed: a future packet
+                # has inj >= ceil(arrival) >= watermark, so cut <
+                # watermark proves no arrival below it is missing.
+                if boundary is None or watermark is None or cut >= watermark:
+                    return None
+            step = self._process_cut(cut)
+            if not self.remap_on:
+                self.done = True
+                return step or None
+            if self.cut_limit is not None and boundary > self.cut_limit:
+                self.done = True
+                return step or None
+            self._phase = "decide"
+            self._boundary = boundary
+            if step:
+                return step
+            # Empty epoch: fall through to the boundary decision.
+
+    def drain(self) -> None:
+        """Run the sweep to completion, discarding service steps (the
+        chunks stay recorded on the streamer for whole-run Phase B)."""
+        while not self.done:
+            self.advance_epoch(final=True)
+
+    def finalize(self) -> EpochSchedule:
+        """Snapshot the finished sweep as the batch-identical
+        :class:`EpochSchedule` (capacity arrays trimmed to the fed
+        prefix; chunk and group objects shared, not copied)."""
+        n = self.n_fed
+        sched = EpochSchedule()
+        sched.cut_limit = self.cut_limit
+        sched.remap_records = self.remap_records
+        sched.inj = self.inj[:n]
+        sched.entry_pipe = self.entry_pipe[:n]
+        sched.acc_idx = [
+            a[:n] if a is not None else None for a in self.acc_idx
+        ]
+        sched.dest = [d[:n] for d in self.dest]
+        sched.ins_tick = [t[:n] for t in self.ins_tick]
+        sched.pop_tick = [t[:n] for t in self.pop_tick]
+        sched.groups = self.groups
+        sched.chunks = self.chunks
+        sched.egr_tick = self.egr_tick[:n]
+        sched.egr_pipe = self.egr_pipe[:n]
+        sched.injected = self.injected
+        sched.egr_assigned = self.egr_assigned
+        sched.last_egress = self.last_egress
+        sched.epochs = self.epochs
+        return sched
+
+
+def build_epoch_schedule(
+    switch, packets: Sequence, H: Dict, E: Dict, R: Dict,
+    max_ticks: Optional[int],
+) -> EpochSchedule:
+    """Phase A, batch entry point: one ingest, drain, finalize.
+
+    Mutates the sharding runtime (access counters, remaps) and — for
+    injected rows only — the stateless columns written by the
+    resolution and pre-plan transit kernels. ``switch.stats`` receives
+    the remap-move count; everything else lands on the returned
+    schedule.
+    """
+    N = len(packets)
+    streamer = EpochStreamer(switch, packets, H, E, R, max_ticks)
+    if N:
+        arrival = getattr(switch, "_arrival_f", None)
+        if arrival is None or arrival.shape[0] != N:
+            arrival = np.fromiter(
+                (float(p.arrival) for p in packets),
+                dtype=np.float64,
+                count=N,
+            )
+        streamer.ingest(arrival)
+    streamer.drain()
+    return streamer.finalize()
 
 
 # ---------------------------------------------------------------------------
@@ -589,32 +825,49 @@ def _run_wave_partition(
 
 # Per-worker state for the epoch pool: set once by the initializer,
 # read by every task. Lives at module level so tasks pickle as plain
-# (plan, rows, idxs, offsets) tuples.
+# (segment, plan, rows, idxs, offsets) tuples. The initializer no
+# longer names a segment — tasks do — so one pool serves every
+# dispatch of a run, including a streamed run's per-epoch dispatches.
 _WORKER: Optional[dict] = None
 
 
-def _epoch_worker_init(seg_name, layout, stage_instrs, metas, mode) -> None:
-    """Pool initializer: attach the SoA segment and map its columns.
-    Kernels compile lazily per plan on first use (and are cached), so a
-    worker that only ever serves one plan compiles one stage."""
+def _epoch_worker_init(stage_instrs, metas, mode) -> None:
+    """Pool initializer: stash the program description. Kernels compile
+    lazily per plan on first use (and are cached), so a worker that
+    only ever serves one plan compiles one stage; the shared segment is
+    attached per task (and cached by name)."""
     global _WORKER
-    from multiprocessing import shared_memory
-
-    seg = shared_memory.SharedMemory(name=seg_name)
-    cols = {
-        (kind, name): np.ndarray(
-            (count,), dtype=np.int64, buffer=seg.buf, offset=offset
-        )
-        for kind, name, offset, count in layout
-    }
     _WORKER = {
-        "seg": seg,  # keep a reference: GC would detach the buffer
-        "cols": cols,
         "instrs": stage_instrs,
         "metas": metas,
         "mode": mode,
         "kernels": {},
+        "seg": None,
+        "seg_name": None,
+        "cols": None,
     }
+
+
+def _worker_columns(seg_name, layout) -> Dict:
+    """Attach (or reuse) the named segment and map its columns. A new
+    name evicts the previous attachment — segments are per-dispatch in
+    the streaming path, per-run in the batch path."""
+    ctx = _WORKER
+    if ctx["seg_name"] != seg_name:
+        from multiprocessing import shared_memory
+
+        if ctx["seg"] is not None:
+            ctx["seg"].close()
+        seg = shared_memory.SharedMemory(name=seg_name)
+        ctx["seg"] = seg  # keep a reference: GC would detach the buffer
+        ctx["seg_name"] = seg_name
+        ctx["cols"] = {
+            (kind, name): np.ndarray(
+                (count,), dtype=np.int64, buffer=seg.buf, offset=offset
+            )
+            for kind, name, offset, count in layout
+        }
+    return ctx["cols"]
 
 
 def _worker_plan(pi: int):
@@ -640,21 +893,21 @@ def _worker_plan(pi: int):
                 nkern = None
             if nkern is not None and not nkern.jitted:
                 nkern = None  # plain-Python rows loop loses to waves
-        cols = ctx["cols"]
-        H = {
-            f: cols[("H", f)]
-            for f in kern.fields_read | kern.fields_written
-        }
-        E = {t: cols[("E", t)] for t in set(kern.temps_in) | set(kern.temps_out)}
-        R = {r: cols[("R", r)] for r in {i.reg for i in kern.stateful}}
-        got = (kern, nkern, H, E, R, base, conservative)
+        got = (kern, nkern, base, conservative)
         ctx["kernels"][pi] = got
     return got
 
 
 def _epoch_worker_run(task) -> int:
-    pi, rows, idxs, offsets = task
-    kern, nkern, H, E, R, base, conservative = _worker_plan(pi)
+    seg_name, layout, pi, rows, idxs, offsets = task
+    cols = _worker_columns(seg_name, layout)
+    kern, nkern, base, conservative = _worker_plan(pi)
+    H = {
+        f: cols[("H", f)]
+        for f in kern.fields_read | kern.fields_written
+    }
+    E = {t: cols[("E", t)] for t in set(kern.temps_in) | set(kern.temps_out)}
+    R = {r: cols[("R", r)] for r in {i.reg for i in kern.stateful}}
     return _run_wave_partition(
         kern, nkern, H, R, E, base, conservative, rows, idxs, offsets
     )
@@ -689,6 +942,14 @@ def _share_columns(H: Dict, E: Dict, R: Dict):
     return seg, layout, H2, E2, R2
 
 
+def _pool_initargs(switch, mode: str):
+    """The epoch pool's initializer arguments: static per (switch,
+    mode), so the pool survives across plans, epochs, and dispatches
+    (``_get_pool`` respawns on any initargs change)."""
+    metas = [(p.stage, p.base, p.conservative) for p in switch._vplans]
+    return (switch._stage_instrs, metas, mode)
+
+
 def execute_service(
     switch,
     schedule: EpochSchedule,
@@ -700,7 +961,8 @@ def execute_service(
     profiler=None,
     wasted_out: Optional[List[Optional[np.ndarray]]] = None,
 ) -> int:
-    """Phase B: run every plan's deferred service, in plan order.
+    """Phase B, batch path: run every plan's deferred service, in plan
+    order.
 
     Mutates ``H``/``E``/``R`` in place (via shared-memory staging when
     workers are used) and returns the wasted-slot count. The result is
@@ -731,12 +993,12 @@ def execute_service(
     )
     seg = None
     originals = None
+    shared = None
     if use_pool:
         try:
             originals = (H, E, R)
             seg, layout, H, E, R = _share_columns(H, E, R)
-            metas = [(p.stage, p.base, p.conservative) for p in vplans]
-            initargs = (seg.name, layout, switch._stage_instrs, metas, mode)
+            shared = (seg.name, layout)
             if profiler is not None:
                 profiler.record_pool(workers=jobs, shared_bytes=seg.size)
         except (OSError, ValueError):
@@ -760,7 +1022,7 @@ def execute_service(
                     got, tier = _service_wave_plan(
                         switch, schedule, pi, plan, H, E, R, mode,
                         jobs if use_pool else 1,
-                        initargs if use_pool else None,
+                        shared if use_pool else None,
                         mask=mask,
                         profiler=profiler,
                     )
@@ -795,7 +1057,7 @@ def execute_service(
 
 
 def _service_wave_plan(
-    switch, schedule, pi, plan, H, E, R, mode, jobs, initargs,
+    switch, schedule, pi, plan, H, E, R, mode, jobs, shared,
     mask=None, profiler=None,
 ):
     kern = switch._vkernels[plan.stage]
@@ -819,8 +1081,8 @@ def _service_wave_plan(
         big_enough = all(p[0].shape[0] >= 64 for p in parts)
         if len(parts) > 1 and big_enough:
             done = _dispatch_parts(
-                switch, schedule, pi, plan, parts, H, E, R, kern, nkern,
-                initargs,
+                switch, schedule, pi, plan, parts, H, E, R, kern,
+                shared, mode,
             )
             if done is not None:
                 if profiler is not None:
@@ -842,7 +1104,7 @@ def _service_wave_plan(
 
 
 def _dispatch_parts(
-    switch, schedule, pi, plan, parts, H, E, R, kern, nkern, initargs
+    switch, schedule, pi, plan, parts, H, E, R, kern, shared, mode
 ) -> Optional[int]:
     """Run a wave plan's residue parts on the pool. Returns the wasted
     count, or None after restoring state when the pool failed (the
@@ -854,14 +1116,18 @@ def _dispatch_parts(
     snap_reg = {r: R[r].copy() for r in {i.reg for i in kern.stateful}}
     snap_E = {t: E[t][rows_all].copy() for t in kern.temps_out}
     snap_H = {f: H[f][rows_all].copy() for f in kern.fields_written}
-    tasks = [(pi, rows, idxs, offsets) for rows, idxs, offsets in parts]
+    seg_name, layout = shared
+    tasks = [
+        (seg_name, layout, pi, rows, idxs, offsets)
+        for rows, idxs, offsets in parts
+    ]
     try:
         results = _parallel().pool_map_strict(
             _epoch_worker_run,
             tasks,
             jobs=len(parts),
             initializer=_epoch_worker_init,
-            initargs=initargs,
+            initargs=_pool_initargs(switch, mode),
             pool_key="epoch",
         )
         return int(sum(results))
@@ -876,12 +1142,23 @@ def _dispatch_parts(
 
 
 def _service_serial_plan(switch, schedule, pi, plan, H, E, R, mode, mask=None):
+    """Serialized rows of the batch path: execution in global (tick,
+    pipeline) service order — see :func:`_serial_rows_service`."""
+    return _serial_rows_service(
+        switch, plan, schedule.service_order(pi), H, E, R, mode, mask=mask
+    )
+
+
+def _serial_rows_service(
+    switch, plan, rows_sorted, H, E, R, mode, mask=None
+):
     """Serialized rows: pinned arrays, co-staged (multi) arrays,
     constant or in-stage index expressions. Exact by construction —
-    execution in global (tick, pipeline) service order, either as one
-    fused per-row kernel call or as the scalar-JIT dict loop. A
-    ``mask`` (trace reconstruction) forces the dict loop, which knows
-    *which* rows wasted their slot, not just how many."""
+    ``rows_sorted`` is already in (tick, pipeline) service order,
+    executed either as one fused per-row kernel call or as the
+    scalar-JIT dict loop. A ``mask`` (trace reconstruction) forces the
+    dict loop, which knows *which* rows wasted their slot, not just how
+    many."""
     stage = plan.stage
     kern = switch._vkernels[stage]
     track_wasted = plan.conservative and not plan.multi
@@ -892,7 +1169,6 @@ def _service_serial_plan(switch, schedule, pi, plan, H, E, R, mode, mask=None):
         if mask is None
         else None
     )
-    rows_sorted = schedule.service_order(pi)
     if nkern is not None:
         return int(nkern.fn(rows_sorted, *_native_cols(nkern, H, E, R))), "njit"
     fn = switch._vserial_fns[stage]
@@ -919,3 +1195,170 @@ def _service_serial_plan(switch, schedule, pi, plan, H, E, R, mode, mask=None):
         for t in temps_out:
             E[t][row] = env[t]
     return wasted, "python"
+
+
+# ---------------------------------------------------------------------------
+# Phase B, streaming path: per-epoch service
+# ---------------------------------------------------------------------------
+
+
+def execute_epoch_service(
+    switch,
+    streamer: EpochStreamer,
+    step: List[Tuple[int, np.ndarray, np.ndarray]],
+    H: Dict,
+    E: Dict,
+    R: Dict,
+    native: Optional[bool] = None,
+    epoch_jobs: Optional[int] = None,
+    profiler=None,
+    wasted_out: Optional[List[Optional[np.ndarray]]] = None,
+) -> int:
+    """Service one epoch's step as :meth:`EpochStreamer.advance_epoch`
+    emits it. Exactly the batch reduction, re-chunked: an epoch's pops
+    all exceed the previous cut, so running plans in plan order within
+    the step, epoch after epoch, visits every register slot in the
+    batch path's service order. Returns the step's wasted-slot count.
+    """
+    from time import perf_counter
+
+    vplans = switch._vplans
+    mode = resolve_native_mode(native)
+    jobs = _parallel().resolve_jobs(epoch_jobs)
+    wasted = 0
+    for pi, rows_p, pops in step:
+        plan = vplans[pi]
+        mask = wasted_out[pi] if wasted_out is not None else None
+        t0 = perf_counter() if profiler is not None else 0.0
+        tier = None
+        if plan.category == "wave":
+            got, tier = _service_wave_rows(
+                switch, streamer, pi, plan, rows_p, pops, H, E, R,
+                mode, jobs, mask=mask, profiler=profiler,
+            )
+            wasted += got
+        elif plan.category == "serial":
+            order = rows_p[np.lexsort((streamer.dest[pi][rows_p], pops))]
+            got, tier = _serial_rows_service(
+                switch, plan, order, H, E, R, mode, mask=mask
+            )
+            wasted += got
+        # 'none' (flow-order arrays, kernel-free stages): the FIFO
+        # timing is the whole effect; nothing to execute.
+        if profiler is not None and tier is not None:
+            profiler.record_kernel(plan.stage, tier, perf_counter() - t0)
+        for u in switch._transit_after[pi]:
+            switch._vkernels[u].fn(H, R, E, rows_p)
+    return wasted
+
+
+def _service_wave_rows(
+    switch, streamer, pi, plan, rows_p, pops, H, E, R, mode, jobs,
+    mask=None, profiler=None,
+):
+    """One epoch chunk of a wave plan, streaming path: pool-partition
+    when the chunk alone is big enough, else fused kernel in the
+    epoch-local service order, else the NumPy wave decomposition."""
+    kern = switch._vkernels[plan.stage]
+    track = plan.base if plan.conservative else None
+    capture = mask is not None
+    nkern = (
+        _native_kernel(switch, plan.stage, track, mode)
+        if mode == "njit" and not capture
+        else None
+    )
+    idxs = streamer.acc_idx[pi][rows_p]
+    if (
+        not capture
+        and jobs > 1
+        and rows_p.shape[0] >= PARALLEL_MIN_ROWS
+        and not _parallel().pool_unavailable()
+    ):
+        done = _dispatch_epoch_parts(
+            switch, pi, plan, kern, rows_p, idxs, H, E, R, jobs, mode,
+            profiler=profiler,
+        )
+        if done is not None:
+            return done, "pool"
+        # Partitioning didn't pay (or the pool/shared-memory setup
+        # failed, leaving the caller's arrays untouched): fall through.
+    if nkern is not None:
+        # Epoch-local (tick, pipeline) order; chunks concatenate to the
+        # global service order because pops rise across epochs.
+        order = rows_p[np.lexsort((streamer.dest[pi][rows_p], pops))]
+        return int(nkern.fn(order, *_native_cols(nkern, H, E, R))), "njit"
+    wasted = _wave_service(
+        kern, H, R, E, plan.base, plan.conservative, rows_p, idxs,
+        mask=mask,
+    )
+    return wasted, "numpy"
+
+
+def _dispatch_epoch_parts(
+    switch, pi, plan, kern, rows_p, idxs, H, E, R, jobs, mode,
+    profiler=None,
+) -> Optional[int]:
+    """Residue-partition one epoch chunk across the pool, against a
+    *compact* shared segment: the chunk's own rows gathered into dense
+    columns (tasks carry local row positions), plus the full register
+    arrays (access indices are global). On success the written columns
+    scatter back; on any failure the caller's arrays are untouched —
+    workers only ever mutated the discarded segment copy."""
+    residue = idxs % jobs
+    parts = []
+    for w in range(jobs):
+        pos = np.nonzero(residue == w)[0].astype(np.int64)
+        if pos.shape[0]:
+            parts.append(pos)
+    if len(parts) <= 1 or any(p.shape[0] < 64 for p in parts):
+        return None
+    fields = sorted(kern.fields_read | kern.fields_written)
+    temps = sorted(set(kern.temps_in) | set(kern.temps_out))
+    regs = sorted({i.reg for i in kern.stateful})
+    Hc = {f: np.ascontiguousarray(H[f][rows_p]) for f in fields}
+    Ec = {t: np.ascontiguousarray(E[t][rows_p]) for t in temps}
+    Rc = {r: R[r] for r in regs}
+    try:
+        seg, layout, Hs, Es, Rs = _share_columns(Hc, Ec, Rc)
+    except (OSError, ValueError):
+        return None
+    if profiler is not None:
+        profiler.record_pool(
+            workers=jobs, tasks=len(parts), shared_bytes=seg.size
+        )
+    tasks = [
+        (
+            seg.name,
+            layout,
+            pi,
+            pos,
+            idxs[pos],
+            np.array([0, pos.shape[0]], dtype=np.int64),
+        )
+        for pos in parts
+    ]
+    wasted: Optional[int] = None
+    try:
+        results = _parallel().pool_map_strict(
+            _epoch_worker_run,
+            tasks,
+            jobs=len(parts),
+            initializer=_epoch_worker_init,
+            initargs=_pool_initargs(switch, mode),
+            pool_key="epoch",
+        )
+        wasted = int(sum(results))
+        for f in kern.fields_written:
+            H[f][rows_p] = Hs[f]
+        for t in kern.temps_out:
+            E[t][rows_p] = Es[t]
+        for r in regs:
+            R[r][:] = Rs[r]
+    except _parallel().PoolBroken:
+        wasted = None
+    finally:
+        del Hs, Es, Rs  # drop the views before freeing their buffer
+        seg.close()
+        seg.unlink()
+        _parallel().unregister_shared_segment(seg.name)
+    return wasted

@@ -641,6 +641,18 @@ class MP5Switch:
         arrival = self._last_feed_key[0]
         return int(arrival) if arrival == int(arrival) else int(arrival) + 1
 
+    def work_available(self, drain: bool) -> bool:
+        """True iff a :meth:`pump` call would make progress right now —
+        the serving loop's scheduling probe, uniform across engines.
+        Mid-stream (``drain=False``) progress additionally requires the
+        tick cursor to sit below the ingest watermark, since serving
+        pumps with ``until_tick=ingest_watermark``."""
+        if self._pending is None or self._finished:
+            return False
+        if not self.has_work:
+            return False
+        return drain or self.tick < self.ingest_watermark
+
     # ------------------------------------------------------------------
     # One tick
     # ------------------------------------------------------------------

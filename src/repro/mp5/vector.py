@@ -60,16 +60,38 @@ import numpy as np
 from ..compiler.jit import compile_instrs
 from ..compiler.tac import Temp
 from ..compiler.vjit import compile_vector_stage
-from ..errors import ConfigError
+from ..errors import ConfigError, ReproError
 from .config import MP5Config
-from .epochs import build_epoch_schedule, execute_service
+from .epochs import (
+    _FAR,
+    EpochStreamer,
+    _grown,
+    execute_epoch_service,
+    execute_service,
+)
 from .packet import DataPacket
 from .stats import SwitchStats
 from .switch import FLOW_ORDER_ARRAY, MP5Switch, run_mp5
 
 
-class VectorUnsupported(Exception):
+class VectorUnsupported(ReproError):
     """The program or configuration needs the scalar engines."""
+
+
+class _LitePacket:
+    """The arrival-time facts of a buffered packet — everything the
+    epoch sweep, statistics reconstruction, and trace replay read
+    (``arrival``, ``port``, ``flow_id``). The streaming path swaps the
+    full :class:`DataPacket` for this once the header columns are
+    gathered, so a served segment buffers O(SoA columns) per packet,
+    not O(header dicts)."""
+
+    __slots__ = ("arrival", "port", "flow_id")
+
+    def __init__(self, arrival, port, flow_id):
+        self.arrival = arrival
+        self.port = port
+        self.flow_id = flow_id
 
 
 # Fallback warnings already emitted, for deduplication: a sweep that
@@ -152,6 +174,7 @@ class VectorSwitch(MP5Switch):
         # (byte-identical once serialized) results; see repro.mp5.epochs.
         self._native = native
         self._epoch_jobs = epoch_jobs
+        self._streamer: Optional[EpochStreamer] = None
         self._build_vector_plan()
 
     # ------------------------------------------------------------------
@@ -349,15 +372,26 @@ class VectorSwitch(MP5Switch):
         )
 
     # ------------------------------------------------------------------
-    # Run
+    # Streaming run loop: start / feed / pump / finish
     # ------------------------------------------------------------------
 
-    def run(
+    def start(
         self,
-        trace: Iterable,
         max_ticks: Optional[int] = None,
         record_access_order: bool = False,
-    ) -> SwitchStats:
+    ) -> None:
+        """Begin a streaming run (the scalar engines' contract).
+
+        After ``start()`` the switch accepts arrival batches through
+        :meth:`feed`; :meth:`pump` services every epoch the ingest
+        watermark has closed, and :meth:`finish` drains the rest and
+        returns the stats. The served results are byte-identical to
+        :meth:`run` on the concatenated trace at any feed chunking,
+        with buffered service work bounded by the largest epoch — but
+        only when remapping is on: with ``remap_algorithm='none'``
+        there are no epoch boundaries, so everything defers to
+        :meth:`finish` (exactly the batch run).
+        """
         if self._ran:
             raise ConfigError(
                 "MP5Switch.run was called twice on one instance; tick, "
@@ -369,71 +403,113 @@ class VectorSwitch(MP5Switch):
             raise VectorUnsupported("record_access_order")
         if self._faults is not None:
             raise VectorUnsupported("faults attached")
-        packets = [self._coerce(i, entry) for i, entry in enumerate(trace)]
-        if any(p.env for p in packets):
-            raise VectorUnsupported("pre-seeded packet env")
-        if packets:
-            # Stable (arrival, port, pkt_id) sort, same order as the
-            # scalar engines' list.sort but via one lexsort instead of
-            # N tuple-key calls.
-            n = len(packets)
-            # float64 keys: arrivals may carry sub-tick fractions, and
-            # float64 is exact for every tick/port/id magnitude here, so
-            # the lexsort ranks exactly like the Python tuple compare.
-            arr = np.fromiter(
-                (p.arrival for p in packets), dtype=np.float64, count=n
-            )
-            prt = np.fromiter(
-                (p.port for p in packets), dtype=np.float64, count=n
-            )
-            pid = np.fromiter(
-                (p.pkt_id for p in packets), dtype=np.float64, count=n
-            )
-            order = np.lexsort((pid, prt, arr))
-            packets = [packets[i] for i in order.tolist()]
-            # Phase A re-reads arrivals; hand it the sorted array so it
-            # skips a second 1-per-packet scan.
-            self._arrival_f = arr[order]
-        for seq, pkt in enumerate(packets):
-            pkt.pkt_id = seq  # arrival-ordered ids, the C1 reference order
-        stats = self.stats
-        stats.offered = len(packets)
-        stats.arrival_ticks = [p.arrival for p in packets]
-        if not packets or (max_ticks is not None and max_ticks <= 0):
-            stats.ticks = 0
-            if self._sinks_attached:
-                # The scalar loop never steps here either, but its sinks
-                # still see registration, the final window roll, and
-                # end_run (drained unless packets were cut by max_ticks).
-                self._replay_sinks(
-                    packets, None, None, drained=not packets
-                )
-            return stats
-        self._run_batch(packets, max_ticks)
-        return stats
-
-    def _run_batch(
-        self, packets: List[DataPacket], max_ticks: Optional[int]
-    ) -> None:
         cfg = self.config
-        stats = self.stats
-        k = cfg.num_pipelines
-        N = len(packets)
-        vplans = self._vplans
-        nplans = len(vplans)
-        kernels = self._vkernels
-
-        # Structure-of-arrays packet state.
         fields = set()
         temps = set()
-        for kern in kernels:
+        for kern in self._vkernels:
             if kern is not None:
                 fields |= kern.fields_read | kern.fields_written
                 temps.update(kern.temps_in)
                 temps.update(kern.temps_out)
         if self._flow_order_stage is not None:
             fields.add(cfg.flow_order_field)
-        field_list = sorted(fields)
+        self._field_list = sorted(fields)
+        self._temp_list = sorted(temps)
+        # Structure-of-arrays packet state. The dict objects are shared
+        # with the streamer for the whole run; feed() swaps grown
+        # columns into them in place.
+        self._H: Dict[str, np.ndarray] = {}
+        self._E: Dict[str, np.ndarray] = {}
+        self._R = {
+            name: np.asarray(values, dtype=np.int64)
+            for name, values in self.registers.items()
+        }
+        self._spackets: List[_LitePacket] = []
+        self._max_ticks = max_ticks
+        self._feed_seq = 0
+        self._last_feed_key = None
+        self._streamer = EpochStreamer(
+            self, self._spackets, self._H, self._E, self._R, max_ticks
+        )
+        # Per-row wasted-slot attribution, only when a sink will replay
+        # the stream: plans whose conservative access can waste a slot
+        # get a row mask and Phase B runs their mask-capable paths
+        # (identical results by the exactness contract).
+        self._wmasks = None
+        if self._sinks_attached:
+            self._wmasks = [
+                np.zeros(0, dtype=bool)
+                if plan.conservative
+                and not plan.multi
+                and plan.category in ("wave", "serial")
+                else None
+                for plan in self._vplans
+            ]
+        self._swasted = 0
+        self._epochs_serviced = 0
+        self._peak_buffered = 0
+        self._drain_pumped = False
+        self._pa_time = 0.0
+        self._pb_time = 0.0
+
+    def feed(self, entries: Iterable) -> int:
+        """Append a batch of arrivals (the scalar engines' contract:
+        per-batch sort, monotone across batches, arrival-ordered packet
+        ids). The header columns are gathered into the SoA arrays here
+        — one vectorized pass per batch — and the heavyweight packet
+        dicts are dropped immediately; Phase A's injection recurrence
+        extends incrementally."""
+        if self._streamer is None or self._finished:
+            raise ConfigError("feed() requires start() and precedes finish()")
+        if self._drain_pumped:
+            raise ConfigError(
+                "feed() after a draining pump(): the vector engine "
+                "commits remap decisions at drain — pump with "
+                "until_tick=ingest_watermark while feeding"
+            )
+        packets = [self._coerce(i, entry) for i, entry in enumerate(entries)]
+        if not packets:
+            return 0
+        for p in packets:
+            if p.env:
+                raise VectorUnsupported("pre-seeded packet env")
+        # Stable (arrival, port, pkt_id) sort, same order as the scalar
+        # engines' list.sort but via one lexsort instead of N tuple-key
+        # calls. float64 keys: arrivals may carry sub-tick fractions,
+        # and float64 is exact for every tick/port/id magnitude here, so
+        # the lexsort ranks exactly like the Python tuple compare.
+        n = len(packets)
+        arr = np.fromiter(
+            (p.arrival for p in packets), dtype=np.float64, count=n
+        )
+        prt = np.fromiter(
+            (p.port for p in packets), dtype=np.float64, count=n
+        )
+        pid = np.fromiter(
+            (p.pkt_id for p in packets), dtype=np.float64, count=n
+        )
+        order = np.lexsort((pid, prt, arr))
+        packets = [packets[i] for i in order.tolist()]
+        arr = arr[order]
+        head = (packets[0].arrival, packets[0].port)
+        if self._last_feed_key is not None and head < self._last_feed_key:
+            raise ConfigError(
+                "feed() batches must be monotone in (arrival, port): batch "
+                f"starts at {head} but {self._last_feed_key} was already fed"
+            )
+        base = self._feed_seq
+        for seq, pkt in enumerate(packets):
+            pkt.pkt_id = base + seq  # arrival-ordered ids (C1 order)
+        self._feed_seq = base + n
+        self._last_feed_key = (packets[-1].arrival, packets[-1].port)
+        stats = self.stats
+        stats.offered += n
+        stats.arrival_ticks.extend(p.arrival for p in packets)
+
+        sr = self._streamer
+        lo = sr.n_fed
+        hi = lo + n
+        field_list = self._field_list
         if field_list:
             # One pass over the packet dicts: row-major gather, then one
             # transpose — far cheaper than per-field generator scans.
@@ -460,58 +536,220 @@ class VectorSwitch(MP5Switch):
                     ],
                     dtype=np.int64,
                 )
-            H = {
-                f: np.ascontiguousarray(raw[:, pos])
-                for pos, f in enumerate(field_list)
-            }
-        else:
-            H = {}
-        E = {t: np.zeros(N, dtype=np.int64) for t in sorted(temps)}
-        R = {
-            name: np.asarray(values, dtype=np.int64)
-            for name, values in self.registers.items()
-        }
+            if lo == 0:
+                for pos, f in enumerate(field_list):
+                    self._H[f] = np.ascontiguousarray(raw[:, pos])
+            else:
+                for pos, f in enumerate(field_list):
+                    col = _grown(self._H[f], hi)
+                    col[lo:hi] = raw[:, pos]
+                    self._H[f] = col
+        for t in self._temp_list:
+            if lo == 0:
+                self._E[t] = np.zeros(n, dtype=np.int64)
+            else:
+                self._E[t] = _grown(self._E[t], hi, fill=0)
+        if self._wmasks is not None:
+            for pi, m in enumerate(self._wmasks):
+                if m is None:
+                    continue
+                if lo == 0:
+                    self._wmasks[pi] = np.zeros(n, dtype=bool)
+                else:
+                    self._wmasks[pi] = _grown(m, hi, fill=False)
+        # Keep only the arrival-time facts; the header dicts are now in
+        # the columns and the DataPacket objects can be collected.
+        spackets = self._spackets
+        for p in packets:
+            spackets.append(_LitePacket(p.arrival, p.port, p.flow_id))
+        t0 = perf_counter()
+        sr.ingest(arr)
+        self._pa_time += perf_counter() - t0
+        buffered = sr.buffered
+        if buffered > self._peak_buffered:
+            self._peak_buffered = buffered
+        return n
 
-        # Phase A: the timing sweep (injection, pop chains, remaps) —
-        # no stateful service yet. Phase B: replay the schedule against
-        # register state, on the native tier and worker pool when asked.
-        # Both live in repro.mp5.epochs; the split is exact because
-        # access indices resolve at the stateless resolution stage.
-        prof = self._profiler
-        if prof is not None:
+    def pump(
+        self,
+        max_steps: Optional[int] = None,
+        until_tick: Optional[int] = None,
+    ) -> int:
+        """Service every epoch whose content is complete; returns the
+        number of epochs serviced (the streaming unit of progress —
+        the scalar engines count ticks here).
+
+        ``until_tick`` is the caller's ingest watermark: an epoch cut
+        executes only once ``cut < until_tick`` proves no future feed
+        can deliver an arrival for it. ``until_tick=None`` is the
+        draining pump — it asserts no further :meth:`feed` calls and
+        runs the sweep to completion (mirroring the scalar engines,
+        where an unbounded pump drains all pending work)."""
+        if self._streamer is None:
+            raise ConfigError("pump() requires start()")
+        final = until_tick is None
+        if final:
+            self._drain_pumped = True
+        sr = self._streamer
+        steps = 0
+        t0 = perf_counter()
+        while (max_steps is None or steps < max_steps) and not sr.done:
+            step = sr.advance_epoch(until_tick, final)
+            if step is None:
+                break
+            self._pa_time += perf_counter() - t0
+            self._service_step(step)
             t0 = perf_counter()
-        schedule = build_epoch_schedule(self, packets, H, E, R, max_ticks)
-        self._last_schedule = schedule  # test/debug hook: the run's DAG
-        if prof is not None:
-            prof.record_span("phase_a", perf_counter() - t0)
-            t0 = perf_counter()
-        # Per-row wasted-slot attribution, only when a sink will replay
-        # the stream: plans whose conservative access can waste a slot
-        # get a row mask and Phase B runs their mask-capable paths
-        # (identical results by the exactness contract).
-        wasted_masks = None
-        if self._sinks_attached:
-            wasted_masks = [
-                np.zeros(N, dtype=bool)
-                if plan.conservative
-                and not plan.multi
-                and plan.category in ("wave", "serial")
-                else None
-                for plan in vplans
-            ]
-        wasted = execute_service(
+            steps += 1
+        self._pa_time += perf_counter() - t0
+        return steps
+
+    def _service_step(self, step) -> None:
+        """Phase B for one epoch, as soon as Phase A closes it."""
+        sr = self._streamer
+        t0 = perf_counter()
+        self._swasted += execute_epoch_service(
             self,
-            schedule,
-            H,
-            E,
-            R,
+            sr,
+            step,
+            self._H,
+            self._E,
+            self._R,
             native=self._native,
             epoch_jobs=self._epoch_jobs,
-            profiler=prof,
-            wasted_out=wasted_masks,
+            profiler=self._profiler,
+            wasted_out=self._wmasks,
         )
+        self._pb_time += perf_counter() - t0
+        self._epochs_serviced += 1
+        # Live progress for dashboards; finish() recomputes both
+        # exactly (these match the scalar engines' live counters).
+        self.stats.egressed = int(sr.egr_assigned)
+        through = sr.executed_through
+        if through >= _FAR:
+            through = sr.last_egress
+        if through >= 0:
+            self.tick = int(through) + 1
+
+    def finish(self) -> SwitchStats:
+        """Drain the sweep, run any deferred service, and reconstruct
+        the statistics. A run that never pumped mid-stream (notably
+        :meth:`run`) executes Phase B whole-run — plan-major, with the
+        pool amortized across the full stream — which is also the only
+        path when remapping is off."""
+        if self._streamer is None:
+            raise ConfigError("finish() requires start()")
+        if self._finished:
+            raise ConfigError("finish() was already called on this switch")
+        self._finished = True
+        sr = self._streamer
+        packets = self._spackets
+        stats = self.stats
+        max_ticks = self._max_ticks
+        if not packets or (max_ticks is not None and max_ticks <= 0):
+            stats.ticks = 0
+            if self._sinks_attached:
+                # The scalar loop never steps here either, but its sinks
+                # still see registration, the final window roll, and
+                # end_run (drained unless packets were cut by max_ticks).
+                self._replay_sinks(packets, None, None, drained=not packets)
+            return stats
+        prof = self._profiler
+        streamed = self._epochs_serviced > 0
+        t0 = perf_counter()
+        while not sr.done:
+            step = sr.advance_epoch(final=True)
+            if step is not None and streamed:
+                self._pa_time += perf_counter() - t0
+                self._service_step(step)
+                t0 = perf_counter()
+        self._pa_time += perf_counter() - t0
+        schedule = sr.finalize()
+        self._last_schedule = schedule  # test/debug hook: the run's DAG
         if prof is not None:
-            prof.record_span("phase_b", perf_counter() - t0)
+            prof.record_span("phase_a", self._pa_time)
+        if not streamed:
+            # Phase B, whole-run: replay the schedule against register
+            # state, on the native tier and worker pool when asked. The
+            # split is exact because access indices resolve at the
+            # stateless resolution stage.
+            t0 = perf_counter()
+            self._swasted = execute_service(
+                self,
+                schedule,
+                self._H,
+                self._E,
+                self._R,
+                native=self._native,
+                epoch_jobs=self._epoch_jobs,
+                profiler=prof,
+                wasted_out=self._wmasks,
+            )
+            self._pb_time = perf_counter() - t0
+        if prof is not None:
+            prof.record_span("phase_b", self._pb_time)
+        self._finalize_stats(packets, schedule)
+        return stats
+
+    @property
+    def has_work(self) -> bool:
+        """True while fed packets are awaiting service (the scalar
+        engines' pending-or-in-flight test)."""
+        sr = self._streamer
+        if sr is None or self._finished:
+            return False
+        return sr.buffered > 0 and not sr.done
+
+    def work_available(self, drain: bool) -> bool:
+        """True iff :meth:`pump` would make progress — epoch-granular,
+        so a pump is only worth calling once the watermark closes a
+        cut (or at drain, when the rest of the sweep runs). Matches the
+        scalar probe: no fed-but-unserviced packets, no work."""
+        if not self.has_work:
+            return False
+        sr = self._streamer
+        if drain:
+            return True
+        return sr.can_advance(self.ingest_watermark)
+
+    def stream_stats(self) -> Dict[str, int]:
+        """Streaming gauges: current and peak buffered-packet counts
+        (fed but no egress assigned — the memory-bound contract's
+        observable) and epochs serviced incrementally."""
+        sr = self._streamer
+        return {
+            "buffered": int(sr.buffered) if sr is not None else 0,
+            "peak_buffered": int(self._peak_buffered),
+            "epochs_serviced": int(self._epochs_serviced),
+        }
+
+    # ------------------------------------------------------------------
+    # Run (batch: one feed, one drain)
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        trace: Iterable,
+        max_ticks: Optional[int] = None,
+        record_access_order: bool = False,
+    ) -> SwitchStats:
+        self.start(max_ticks=max_ticks, record_access_order=record_access_order)
+        entries = trace if isinstance(trace, list) else list(trace)
+        self.feed(entries)
+        return self.finish()
+
+    def _finalize_stats(self, packets, schedule) -> None:
+        cfg = self.config
+        stats = self.stats
+        k = cfg.num_pipelines
+        N = len(packets)
+        vplans = self._vplans
+        nplans = len(vplans)
+        max_ticks = self._max_ticks
+        wasted = self._swasted
+        R = self._R
+        prof = self._profiler
+        wasted_masks = self._wmasks
         ins_tick = schedule.ins_tick
         pop_tick = schedule.pop_tick
         dest = schedule.dest
@@ -591,6 +829,7 @@ class VectorSwitch(MP5Switch):
                     if peak > max_depth:
                         max_depth = peak
         stats.max_queue_depth = max_depth
+        self.tick = stats.ticks  # display parity with the scalar loop
 
         for name, arr in R.items():
             self.registers[name] = arr.tolist()

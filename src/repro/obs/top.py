@@ -192,7 +192,7 @@ def render_top_frame(model: TopModel, clear: bool = False) -> str:
         capacity = status.get("queue_capacity")
         if capacity is not None:
             queue = f"{queue}/{capacity}"
-        lines.append(
+        line = (
             "service  "
             f"ingested={_fmt(svc.get('ingested', 0))}  "
             f"batches={_fmt(svc.get('batches', 0))}  "
@@ -201,6 +201,11 @@ def render_top_frame(model: TopModel, clear: bool = False) -> str:
             f"segments={_fmt(svc.get('segments', 0))}  "
             f"alerts={_fmt(svc.get('alerts_total', 0))}"
         )
+        if svc.get("watermark") is not None:
+            line += f"  watermark={_fmt(svc['watermark'])}"
+        if svc.get("first_egress_latency") is not None:
+            line += f"  first-egress={svc['first_egress_latency'] * 1000:.1f}ms"
+        lines.append(line)
     flags = []
     if status.get("paused"):
         flags.append("paused")

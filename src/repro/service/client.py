@@ -41,14 +41,21 @@ class ServiceClient:
     # -- transport ------------------------------------------------------
 
     def _request(
-        self, method: str, path: str, body: Optional[Dict] = None, raw: bool = False
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict] = None,
+        raw: bool = False,
+        data: Optional[bytes] = None,
+        content_type: str = "application/json",
     ):
-        data = json.dumps(body).encode() if body is not None else None
+        if data is None:
+            data = json.dumps(body).encode() if body is not None else None
         req = urllib.request.Request(
             self.base + path,
             data=data,
             method=method,
-            headers={"Content-Type": "application/json"} if data else {},
+            headers={"Content-Type": content_type} if data else {},
         )
         try:
             with urllib.request.urlopen(req, timeout=self.timeout) as resp:
@@ -124,8 +131,63 @@ class ServiceClient:
     def ingest(self, packets: List[Dict]) -> Dict:
         return self._request("POST", "/ingest", {"packets": packets})
 
+    def ingest_ndjson(self, packets: List[Dict]) -> Dict:
+        """One ``POST /ingest`` framed as NDJSON — one record per line,
+        no enclosing array, so the server parses each packet without
+        materializing one giant JSON document. This is the fast ingest
+        path; semantics are identical to :meth:`ingest`."""
+        data = b"".join(
+            json.dumps(record, separators=(",", ":")).encode() + b"\n"
+            for record in packets
+        )
+        return self._request(
+            "POST",
+            "/ingest",
+            data=data,
+            content_type="application/x-ndjson",
+        )
+
     def replay(self, **spec) -> Dict:
         return self._request("POST", "/replay", spec)
+
+    def replay_trace(
+        self,
+        packets: List[Dict],
+        chunk: int = 512,
+        max_wait: float = 30.0,
+    ) -> Dict:
+        """Client-side replay over the fast ingest path: push ``packets``
+        (JSON records, arrival-ordered) in NDJSON chunks, retrying each
+        chunk with backoff while the daemon answers 429 (ingest queue
+        full — bounded backpressure doing its job). Returns totals."""
+        if chunk < 1:
+            raise ValueError("replay_trace chunk must be >= 1")
+        sent = 0
+        retries = 0
+        for i in range(0, len(packets), chunk):
+            part = packets[i : i + chunk]
+            deadline = time.monotonic() + max_wait
+            while True:
+                try:
+                    self.ingest_ndjson(part)
+                except ServiceClientError as exc:
+                    if exc.status != 429:
+                        raise
+                    if time.monotonic() >= deadline:
+                        raise TimeoutError(
+                            f"ingest queue still full after {max_wait}s "
+                            f"(sent {sent}/{len(packets)} packets)"
+                        ) from exc
+                    retries += 1
+                    time.sleep(0.02)
+                else:
+                    sent += len(part)
+                    break
+        return {
+            "sent": sent,
+            "chunks": (len(packets) + chunk - 1) // chunk,
+            "retries": retries,
+        }
 
     def pause(self) -> Dict:
         return self._request("POST", "/pause")

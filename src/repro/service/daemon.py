@@ -22,13 +22,18 @@ segment's results are frozen as a canonical JSON payload
 is what makes hot swaps testable: served-and-swapped equals two offline
 runs split at the swap tick.
 
-**Determinism.** The scalar engines execute a tick only once no future
-``feed`` can still deliver an arrival for it
-(:attr:`repro.mp5.MP5Switch.ingest_watermark`), so results are
-independent of how arrivals were batched or when control requests
-interleaved. The vector engine cannot step tick-by-tick; its adapter
-buffers the fed chunks and replays them through
-:func:`repro.mp5.run_mp5_vector` when the segment closes.
+**Determinism.** Every engine executes work only once no future
+``feed`` can still affect it. The scalar engines execute a tick once it
+falls below :attr:`repro.mp5.MP5Switch.ingest_watermark`; the vector
+engine services a whole *epoch* once the watermark proves its arrivals
+are complete. Both expose the same ``start``/``feed``/``pump``/
+``finish`` primitives and the uniform ``work_available(drain)`` probe,
+so one adapter drives all three and results are independent of how
+arrivals were batched or when control requests interleaved. When the
+vector engine cannot run the segment (faults armed, a config knob it
+does not model, an unsupported program shape) the adapter falls back
+to the fast engine with the same ladder as
+:func:`repro.mp5.run_mp5_vector`.
 
 **Backpressure.** The ingest queue holds at most ``queue_depth``
 batches. ``POST /ingest`` never blocks: a full queue is answered with
@@ -44,6 +49,7 @@ import contextlib
 import dataclasses
 import json
 import threading
+import time
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -51,9 +57,16 @@ import numpy as np
 from ..compiler import compile_program
 from ..errors import ConfigError, ReproError
 from ..faults import FaultSchedule
-from ..mp5 import MP5Config, MP5Switch, ReferenceSwitch, run_mp5_vector
+from ..mp5 import (
+    MP5Config,
+    MP5Switch,
+    ReferenceSwitch,
+    VectorSwitch,
+    VectorUnsupported,
+)
 from ..mp5.packet import DataPacket
 from ..mp5.switch import FLOW_ORDER_ARRAY
+from ..mp5.vector import _warn_fallback, config_fallback_reason
 from ..obs.alerts import SEVERITY_CRITICAL
 from ..obs.health import VERDICT_DEGRADED, VERDICT_OK, worst_verdict
 from ..obs.metrics import MetricsRegistry
@@ -150,16 +163,21 @@ def packet_from_json(record: Dict, idx: int = 0) -> DataPacket:
 # ----------------------------------------------------------------------
 
 
-class _ScalarAdapter:
-    """Streams batches into a fast/dense switch via the start/feed/pump
-    primitives; ticks advance only below the ingest watermark until the
-    segment drains."""
+class _EngineAdapter:
+    """One open segment, any engine, one contract: batches stream in
+    through ``feed`` and work advances through ``pump`` only once the
+    ingest watermark proves no future feed can affect it — ticks for
+    the scalar engines, whole epochs for the vector engine. The vector
+    path mirrors :func:`repro.mp5.run_mp5_vector`'s fallback ladder
+    (faults armed → warn and use fast; config knob the vector model
+    omits → silently use fast; unsupported program shape → warn and
+    use fast), so a ``--engine vector`` service is never wedged by a
+    mid-stream fault attach — the next segment just runs scalar."""
 
     streaming = True
 
     def __init__(self, service: "SwitchService"):
-        cls = ReferenceSwitch if service.engine == "dense" else MP5Switch
-        self.switch = cls(service.compiled, service.config)
+        self.engine, self.switch = self._build_switch(service)
         self.monitor = (
             InvariantMonitor() if service.monitor_enabled else None
         )
@@ -176,10 +194,41 @@ class _ScalarAdapter:
                 metrics=self.metrics, monitor=self.monitor
             )
         schedule = service.schedule
-        if schedule is not None and schedule.faults:
+        if schedule is not None and schedule.faults and self.engine != "vector":
             self.switch.attach_faults(schedule)
         self.switch.start()
         self.offered = 0
+        self.first_feed_ts: Optional[float] = None
+        self.first_egress_ts: Optional[float] = None
+
+    @staticmethod
+    def _build_switch(service: "SwitchService"):
+        engine = service.engine
+        if engine == "vector":
+            schedule = service.schedule
+            if schedule is not None and schedule.faults:
+                _warn_fallback(
+                    "vector engine: faults attached; falling back to the "
+                    "fast engine"
+                )
+            elif config_fallback_reason(service.config) is not None:
+                pass  # a config knob, not a surprise: silent fallback
+            else:
+                try:
+                    return "vector", VectorSwitch(
+                        service.compiled,
+                        service.config,
+                        native=service.native,
+                        epoch_jobs=service.epoch_jobs,
+                    )
+                except VectorUnsupported as exc:
+                    _warn_fallback(
+                        f"vector engine: unsupported program shape ({exc}); "
+                        "falling back to the fast engine"
+                    )
+            engine = "fast"
+        cls = ReferenceSwitch if engine == "dense" else MP5Switch
+        return engine, cls(service.compiled, service.config)
 
     @property
     def injector(self):
@@ -189,23 +238,44 @@ class _ScalarAdapter:
     def tick(self) -> int:
         return self.switch.tick
 
+    @property
+    def watermark(self) -> int:
+        return self.switch.ingest_watermark
+
+    @property
+    def egressed(self) -> int:
+        return int(self.switch.stats.egressed)
+
+    @property
+    def first_egress_latency(self) -> Optional[float]:
+        """Seconds from the segment's first accepted feed to its first
+        observed egress — the streaming win the bench measures."""
+        if self.first_feed_ts is None or self.first_egress_ts is None:
+            return None
+        return self.first_egress_ts - self.first_feed_ts
+
     def feed(self, batch: List[DataPacket]) -> int:
         n = self.switch.feed(batch)
         self.offered += n
+        if n and self.first_feed_ts is None:
+            self.first_feed_ts = time.monotonic()
         return n
 
     def runnable(self, drain: bool) -> bool:
-        sw = self.switch
-        if not sw.has_work:
-            return False
-        return drain or sw.tick < sw.ingest_watermark
+        return self.switch.work_available(drain)
 
     def pump(self, budget: int, drain: bool) -> int:
-        until = None if drain else self.switch.ingest_watermark
-        return self.switch.pump(max_steps=budget, until_tick=until)
+        sw = self.switch
+        until = None if drain else sw.ingest_watermark
+        steps = sw.pump(max_steps=budget, until_tick=until)
+        if self.first_egress_ts is None and sw.stats.egressed > 0:
+            self.first_egress_ts = time.monotonic()
+        return steps
 
     def close(self) -> Tuple[object, Dict[str, List[int]]]:
         stats = self.switch.finish()
+        if self.first_egress_ts is None and stats.egressed > 0:
+            self.first_egress_ts = time.monotonic()
         registers = {
             name: values
             for name, values in self.switch.registers.items()
@@ -213,72 +283,9 @@ class _ScalarAdapter:
         }
         return stats, registers
 
-    def alert_dicts(self) -> List[Dict]:
-        return self.monitor.alerts.to_dicts() if self.monitor else []
-
-    def critical_alerts(self) -> int:
-        if self.monitor is None:
-            return 0
-        return len(self.monitor.alerts.by_severity(SEVERITY_CRITICAL))
-
-    def health_report(self):
-        return self.monitor.health_report() if self.monitor else None
-
-
-class _VectorAdapter:
-    """Chunk-buffered adapter for the batch vector engine: fed chunks
-    accumulate and the whole segment replays through
-    :func:`run_mp5_vector` at close (its epoch pipeline cannot advance
-    tick-by-tick). Monitor/metrics attach natively at that point via
-    epoch-trace reconstruction."""
-
-    streaming = False
-
-    def __init__(self, service: "SwitchService"):
-        self._service = service
-        self.buffer: List[DataPacket] = []
-        self.monitor = (
-            InvariantMonitor() if service.monitor_enabled else None
-        )
-        self.metrics = (
-            MetricsRegistry(
-                window=service.metrics_window,
-                retention=service.metrics_retention,
-            )
-            if service.metrics_enabled
-            else None
-        )
-        self.offered = 0
-
-    injector = None
-    tick = None
-
-    def feed(self, batch: List[DataPacket]) -> int:
-        self.buffer.extend(batch)
-        self.offered += len(batch)
-        return len(batch)
-
-    def runnable(self, drain: bool) -> bool:
-        return False
-
-    def pump(self, budget: int, drain: bool) -> int:
-        return 0
-
-    def close(self) -> Tuple[object, Dict[str, List[int]]]:
-        svc = self._service
-        schedule = svc.schedule
-        if schedule is not None and not schedule.faults:
-            schedule = None
-        return run_mp5_vector(
-            svc.compiled,
-            self.buffer,
-            svc.config,
-            metrics=self.metrics,
-            monitor=self.monitor,
-            faults=schedule,
-            native=svc.native,
-            epoch_jobs=svc.epoch_jobs,
-        )
+    def stream_stats(self) -> Optional[Dict[str, int]]:
+        fn = getattr(self.switch, "stream_stats", None)
+        return fn() if fn is not None else None
 
     def alert_dicts(self) -> List[Dict]:
         return self.monitor.alerts.to_dicts() if self.monitor else []
@@ -339,9 +346,14 @@ class SwitchService:
         self.epoch_jobs = epoch_jobs
         self.queue_depth = queue_depth
         self.pump_slice = pump_slice
-        self.compiled = (
-            compile_program(program, name=program_name) if program else None
-        )
+        if program is None:
+            self.compiled = None
+        elif isinstance(program, str):
+            self.compiled = compile_program(program, name=program_name)
+        else:
+            # An already-compiled program object (bench harness, tests):
+            # skips recompilation and reuses its kernel caches.
+            self.compiled = program
         self.program_name = self.compiled.name if self.compiled else None
 
         self._adapter = None
@@ -349,6 +361,7 @@ class SwitchService:
         self._payloads: List[Dict] = []  # canonical results per segment
         self._alerts: List[Dict] = []  # alerts from closed segments
         self._feed_horizon: Optional[Tuple[float, int]] = None
+        self._first_egress_latency: Optional[float] = None
         self._ingested = 0
         self._batches = 0
         self._rejected = 0
@@ -455,8 +468,7 @@ class SwitchService:
         if self._adapter is None:
             if self.compiled is None:
                 raise ServiceError("no program loaded", status=409)
-            cls = _VectorAdapter if self.engine == "vector" else _ScalarAdapter
-            self._adapter = cls(self)
+            self._adapter = _EngineAdapter(self)
         return self._adapter
 
     # -- quiesce and segment close --------------------------------------
@@ -501,13 +513,15 @@ class SwitchService:
         if ad is None:
             return None
         stats, registers = ad.close()
+        if ad.first_egress_latency is not None:
+            self._first_egress_latency = ad.first_egress_latency
         payload = segment_payload(stats, registers)
         alerts = ad.alert_dicts()
         report = ad.health_report()
         index = len(self._segments)
         record = {
             "index": index,
-            "engine": self.engine,
+            "engine": ad.engine,
             "program": self.program_name,
             "offered": int(stats.offered),
             "egressed": int(stats.egressed),
@@ -744,6 +758,9 @@ class SwitchService:
                 "offered": ad.offered,
                 "tick": ad.tick,
                 "streaming": ad.streaming,
+                "engine": ad.engine,
+                "watermark": ad.watermark,
+                "egressed": ad.egressed,
             },
             "settled": (
                 not self._draining
@@ -806,6 +823,11 @@ class SwitchService:
     def metrics_snapshot(self, since: int = -1) -> Dict:
         ad = self._adapter
         live_alerts = ad.alert_dicts() if ad is not None else []
+        latency = (
+            ad.first_egress_latency
+            if ad is not None and ad.first_egress_latency is not None
+            else self._first_egress_latency
+        )
         out = {
             "service": {
                 "ingested": self._ingested,
@@ -814,10 +836,16 @@ class SwitchService:
                 "segments": len(self._segments),
                 "alerts_total": len(self._alerts) + len(live_alerts),
                 "queue_depth": self._queue.qsize() if self._queue else 0,
+                "watermark": ad.watermark if ad is not None else None,
+                "first_egress_latency": latency,
             },
             "segment_index": len(self._segments) if ad is not None else None,
             "engine": None,
         }
+        if ad is not None:
+            stream = ad.stream_stats()
+            if stream is not None:
+                out["service"]["stream"] = stream
         if ad is not None and ad.metrics is not None:
             out["engine"] = ad.metrics.since(since)
         return out
@@ -859,6 +887,23 @@ class SwitchService:
             "alerts": "Alerts raised across all segments.",
             "queue_depth": "Ingest queue occupancy in batches.",
         }
+        if ad is not None:
+            values["watermark"] = ad.watermark
+            kinds["watermark"] = "gauge"
+            helps["watermark"] = (
+                "Open segment's ingest watermark (ticks proven complete)."
+            )
+        latency = (
+            ad.first_egress_latency
+            if ad is not None and ad.first_egress_latency is not None
+            else self._first_egress_latency
+        )
+        if latency is not None:
+            values["first_egress_latency_seconds"] = latency
+            kinds["first_egress_latency_seconds"] = "gauge"
+            helps["first_egress_latency_seconds"] = (
+                "Seconds from a segment's first feed to its first egress."
+            )
         service = families_from_values(
             values,
             kinds,

@@ -2,10 +2,13 @@
 
 A deliberately small HTTP/1.1 server over ``asyncio`` streams: one
 request per connection (``Connection: close``), JSON bodies in and out.
-No routing framework, no content negotiation — the endpoint table in
-``docs/service.md`` is the contract, and :class:`ControlPlane` is a
-dispatch dict over ``(method, path)`` plus one pattern route for
-``/segments/<i>/results``.
+No routing framework, and exactly one piece of content negotiation —
+``POST /ingest`` also accepts ``application/x-ndjson``, one packet
+record per line, which amortizes framing overhead across a batch (the
+fast ingest path :meth:`~repro.service.client.ServiceClient.replay_trace`
+uses). The endpoint table in ``docs/service.md`` is the contract, and
+:class:`ControlPlane` is a dispatch dict over ``(method, path)`` plus
+one pattern route for ``/segments/<i>/results``.
 
 Two response shapes exist:
 
@@ -53,6 +56,7 @@ STREAM_POLL_MIN = 0.005
 STREAM_HEARTBEAT = 15.0
 
 OPENMETRICS_CTYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+NDJSON_CTYPE = "application/x-ndjson"
 
 _STATUS_TEXT = {
     200: "OK",
@@ -80,6 +84,31 @@ def _qfloat(query: Dict, key: str, default: float) -> float:
         return float(query.get(key, [default])[0])
     except (TypeError, ValueError) as exc:
         raise ServiceError(f"query parameter {key!r} must be a number") from exc
+
+
+def _parse_ndjson(body: bytes) -> Dict:
+    """NDJSON ingest body → the same payload shape the JSON route
+    builds: one packet record per non-blank line, diagnostics carry the
+    1-based line number so a client can fix the exact frame."""
+    records = []
+    for ln, line in enumerate(body.split(b"\n"), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(
+                f"invalid NDJSON body: line {ln}: {exc}"
+            ) from exc
+        if not isinstance(record, dict):
+            raise ServiceError(
+                f"invalid NDJSON body: line {ln}: expected a packet "
+                f"object, got {type(record).__name__}"
+            )
+        records.append(record)
+    if not records:
+        raise ServiceError("invalid NDJSON body: no packet records")
+    return {"packets": records}
 
 
 def _sse_frame(event: str, payload: Dict) -> bytes:
@@ -315,16 +344,27 @@ class ControlPlane:
             raise ServiceError("content-length must be an integer") from exc
         if length > MAX_BODY:
             raise ServiceError("request body too large", status=413)
+        split = urlsplit(target)
+        query = parse_qs(split.query)
+        method = method.upper()
+        path = split.path.rstrip("/") or "/"
         payload = None
         if length:
             body = await reader.readexactly(length)
-            try:
-                payload = json.loads(body)
-            except json.JSONDecodeError as exc:
-                raise ServiceError(f"invalid JSON body: {exc}") from exc
-        split = urlsplit(target)
-        query = parse_qs(split.query)
-        return method.upper(), split.path.rstrip("/") or "/", query, payload
+            ctype = headers.get("content-type", "")
+            ctype = ctype.partition(";")[0].strip().lower()
+            if ctype == NDJSON_CTYPE:
+                if (method, path) != ("POST", "/ingest"):
+                    raise ServiceError(
+                        "NDJSON bodies are only accepted on POST /ingest"
+                    )
+                payload = _parse_ndjson(body)
+            else:
+                try:
+                    payload = json.loads(body)
+                except json.JSONDecodeError as exc:
+                    raise ServiceError(f"invalid JSON body: {exc}") from exc
+        return method, path, query, payload
 
     async def _dispatch(
         self, method: str, path: str, query: Dict, payload: Optional[Dict]

@@ -29,7 +29,13 @@ import pytest
 
 from repro.compiler import compile_program
 from repro.faults import FaultSchedule
-from repro.mp5 import ENGINES, MP5Config, MP5Switch, ReferenceSwitch
+from repro.mp5 import (
+    ENGINES,
+    MP5Config,
+    MP5Switch,
+    ReferenceSwitch,
+    VectorSwitch,
+)
 from repro.obs.monitor import InvariantMonitor
 from repro.service import (
     ServiceThread,
@@ -81,11 +87,14 @@ def client_of(thread: ServiceThread) -> ServiceClient:
 # ----------------------------------------------------------------------
 
 
-@pytest.mark.parametrize("engine_cls", [MP5Switch, ReferenceSwitch])
+@pytest.mark.parametrize(
+    "engine_cls", [MP5Switch, ReferenceSwitch, VectorSwitch]
+)
 @pytest.mark.parametrize("chunk", [1, 7, 64, 1000])
 def test_chunked_feeding_matches_run(engine_cls, chunk):
     """Any feed batching, with gated pumping in between, is
-    byte-identical to the one-shot run loop."""
+    byte-identical to the one-shot run loop — on all three engines,
+    the vector engine's epoch streaming included."""
     program = compile_program("heavy_hitter")
     config = MP5Config(num_pipelines=PIPELINES, seed=5)
     trace = make_trace("heavy_hitter", 300)
@@ -385,6 +394,181 @@ def test_fault_schedule_validated_against_pipelines():
         assert err.value.status == 400
         assert "out of range" in err.value.message
         client.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Fast ingest path: NDJSON framing, and the served vector engine
+# ----------------------------------------------------------------------
+
+
+def test_ndjson_ingest_equals_json_ingest():
+    """The NDJSON framing is pure transport: segments fed through
+    ``ingest_ndjson``/``replay_trace`` are byte-identical to JSON-body
+    ingest and to the offline run."""
+    trace = make_trace("heavy_hitter", 300)
+    records = records_of(trace)
+    service, thread = serve(program="heavy_hitter")
+    with thread:
+        client = client_of(thread)
+        client.ingest(records)
+        client.drain()
+        sent = client.replay_trace(records, chunk=64)
+        assert sent["sent"] == len(records)
+        record = client.drain()["closed_segment"]
+        assert record["drained"]
+        json_served = client.segment_results(0)
+        ndjson_served = client.segment_results(1)
+        client.shutdown()
+    assert ndjson_served == json_served
+    config = MP5Config(num_pipelines=PIPELINES, seed=5)
+    assert json_served == offline_payload("fast", "heavy_hitter", trace, config)
+
+
+def test_ndjson_malformed_frames_rejected_with_line_numbers():
+    service, thread = serve(program="heavy_hitter")
+    with thread:
+        client = client_of(thread)
+        good = json.dumps(records_of(make_trace("heavy_hitter", 1))[0])
+
+        def post(body: bytes):
+            return client._request(
+                "POST", "/ingest", data=body,
+                content_type="application/x-ndjson",
+            )
+
+        with pytest.raises(ServiceClientError) as err:
+            post(good.encode() + b"\nnot json\n")
+        assert err.value.status == 400
+        assert "line 2" in err.value.message
+        with pytest.raises(ServiceClientError) as err:
+            post(good.encode() + b"\n[1, 2]\n")
+        assert err.value.status == 400
+        assert "line 2" in err.value.message and "object" in err.value.message
+        with pytest.raises(ServiceClientError) as err:
+            post(b"\n  \n")
+        assert err.value.status == 400
+        assert "no packet records" in err.value.message
+        # NDJSON bodies are only negotiated on POST /ingest.
+        with pytest.raises(ServiceClientError) as err:
+            client._request(
+                "POST", "/replay", data=b'{"packets": 10}\n',
+                content_type="application/x-ndjson",
+            )
+        assert err.value.status == 400
+        assert "only accepted on POST /ingest" in err.value.message
+        # The daemon survives all of it, and blank-padded valid NDJSON
+        # still ingests.
+        out = post(b"\n" + good.encode() + b"\n\n")
+        assert out["queued"] == 1
+        client.shutdown()
+
+
+def test_vector_served_segment_streams_before_drain():
+    """The tentpole, end to end: a ``--engine vector`` service egresses
+    packets while the segment is still open (first egress well before
+    drain), exposes the watermark and first-egress-latency gauges, and
+    the drained segment is byte-identical to the offline batch run."""
+    from repro.obs.export import parse_openmetrics
+
+    trace = make_trace("heavy_hitter", 900, seed=7)
+    records = records_of(trace)
+    service, thread = serve(program="heavy_hitter", engine="vector")
+    with thread:
+        client = client_of(thread)
+        for lo in range(0, len(records), 150):
+            client.ingest(records[lo : lo + 150])
+            client.wait_settled()
+        status = client.status()
+        segment = status["segment"]
+        assert segment["streaming"] and segment["engine"] == "vector"
+        assert segment["egressed"] > 0, "no egress before drain"
+        assert segment["watermark"] > 0
+        metrics = client.metrics()["service"]
+        assert metrics["watermark"] == segment["watermark"]
+        assert metrics["first_egress_latency"] is not None
+        stream = metrics["stream"]
+        assert stream["epochs_serviced"] > 0
+        assert 0 < stream["peak_buffered"] < len(records)
+        families = parse_openmetrics(client.metrics_prom())
+        assert families["mp5_service_watermark"]["samples"][0][2] == (
+            segment["watermark"]
+        )
+        assert (
+            families["mp5_service_first_egress_latency_seconds"]["samples"][0][2]
+            >= 0
+        )
+        record = client.drain()["closed_segment"]
+        assert record["engine"] == "vector" and record["drained"]
+        served = client.segment_results(0)
+        # the latency gauge survives segment close
+        closed = client.metrics()["service"]
+        assert closed["first_egress_latency"] is not None
+        client.shutdown()
+    config = MP5Config(num_pipelines=PIPELINES, seed=5)
+    assert served == offline_payload("vector", "heavy_hitter", trace, config)
+
+
+@pytest.mark.parametrize("chunk", [37, 150, 900])
+def test_vector_served_chunking_invariance(chunk):
+    """Served vector segments are byte-identical at every chunking —
+    the PR 8 determinism contract now covers the third engine."""
+    trace = make_trace("heavy_hitter", 900, seed=8)
+    records = records_of(trace)
+    service, thread = serve(program="heavy_hitter", engine="vector")
+    with thread:
+        client = client_of(thread)
+        for lo in range(0, len(records), chunk):
+            client.ingest(records[lo : lo + chunk])
+        client.wait_settled()
+        record = client.drain()["closed_segment"]
+        assert record["drained"]
+        served = client.segment_results(0)
+        client.shutdown()
+    config = MP5Config(num_pipelines=PIPELINES, seed=5)
+    assert served == offline_payload("vector", "heavy_hitter", trace, config)
+
+
+def test_vector_service_fault_attach_falls_back_to_fast():
+    """Mid-stream fault attach on a vector service: the open vector
+    segment closes clean, the next segment runs on the fast engine
+    (same ladder as ``run_mp5_vector``) with faults live, and detaching
+    returns to the vector engine."""
+    clean = make_trace("heavy_hitter", 200, seed=3)
+    faulted = make_trace("heavy_hitter", 400, seed=4)
+    schedule_path = "examples/faults/crossbar.json"
+
+    service, thread = serve(
+        program="heavy_hitter", engine="vector", monitor=True
+    )
+    with thread:
+        client = client_of(thread)
+        client.ingest(records_of(clean))
+        client.wait_settled()
+        attach = client.attach_faults(path=schedule_path)
+        assert attach["attached"] and attach["closed_segment"] == 0
+        client.ingest(records_of(faulted))
+        client.wait_settled()
+        client.drain()
+        served_alerts = client.alerts()["alerts"]
+        segments = client.segments()["segments"]
+        client.detach_faults()
+        client.ingest(records_of(make_trace("heavy_hitter", 40, seed=2)))
+        final = client.drain()["closed_segment"]
+        client.shutdown()
+
+    assert segments[0]["engine"] == "vector"
+    assert segments[1]["engine"] == "fast"
+    assert final["engine"] == "vector"
+    monitor = InvariantMonitor()
+    ENGINES["fast"](
+        compile_program("heavy_hitter"),
+        clone_packets(faulted),
+        MP5Config(num_pipelines=PIPELINES, seed=5),
+        faults=FaultSchedule.load(schedule_path),
+        monitor=monitor,
+    )
+    assert served_alerts == monitor.alerts.to_dicts()
+    assert served_alerts, "crossbar schedule must raise alerts"
 
 
 # ----------------------------------------------------------------------

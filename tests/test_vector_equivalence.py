@@ -40,12 +40,22 @@ from repro.mp5 import (
     run_mp5_reference,
     run_mp5_vector,
 )
-from repro.mp5.vector import config_fallback_reason
+from repro.mp5.vector import config_fallback_reason, reset_fallback_warnings
 from repro.obs import InvariantMonitor
 from repro.workloads import line_rate_trace
 from repro.workloads.synthetic import make_sensitivity_program, sensitivity_trace
 
 from tests.test_fuzz_equivalence import FIELDS, random_program
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warning_scope():
+    """The fallback-warning dedup set is process-global (one line per
+    run, not per sweep cell); the service tests emit the same messages,
+    so each test here starts a fresh scope like a CLI entry would."""
+    reset_fallback_warnings()
+    yield
+    reset_fallback_warnings()
 
 
 def _vector_native(program, trace, config, max_ticks=None):
@@ -325,6 +335,192 @@ def test_cli_vector_native_no_warning(capsys):
     captured = capsys.readouterr()
     assert "falling back" not in captured.err
     assert "throughput" in captured.out
+
+
+# ---------------------------------------------------------------------------
+# Streaming: start/feed/pump/finish vs run() (the PR 8 contract on the
+# vector engine — byte-identical at any chunking, memory bounded by the
+# largest epoch)
+# ---------------------------------------------------------------------------
+
+
+def _stream_vector(
+    program,
+    trace,
+    config,
+    chunk,
+    native=None,
+    epoch_jobs=None,
+    monitor=None,
+    metrics=None,
+):
+    """Feed ``trace`` in ``chunk``-sized batches with a watermark-gated
+    pump after every feed — the exact loop the service daemon runs."""
+    switch = VectorSwitch(
+        program, config, native=native, epoch_jobs=epoch_jobs
+    )
+    if monitor is not None or metrics is not None:
+        switch.attach_observability(metrics=metrics, monitor=monitor)
+    switch.start()
+    for i in range(0, len(trace), chunk):
+        switch.feed(trace[i : i + chunk])
+        switch.pump(until_tick=switch.ingest_watermark)
+    stats = switch.finish()
+    return switch, stats
+
+
+def _snapshot(switch, stats):
+    registers = {
+        name: values
+        for name, values in switch.registers.items()
+        if name != FLOW_ORDER_ARRAY
+    }
+    return stats, registers, switch._last_schedule.dag_signature()
+
+
+@pytest.mark.parametrize("chunk", (1, 7, 64, 1000))
+def test_vector_streaming_matches_batch(chunk):
+    """Streamed (feed + gated pump per chunk) equals the one-shot batch
+    run bit-for-bit: stats, registers, and the epoch DAG itself."""
+    program = make_sensitivity_program(num_stateful=4, register_size=64)
+    config = MP5Config(num_pipelines=4, remap_period=3)
+
+    batch = VectorSwitch(program, config)
+    ref = _snapshot(batch, batch.run(sensitivity_trace(600, 4, 4, 64, seed=0)))
+
+    switch, stats = _stream_vector(
+        program, sensitivity_trace(600, 4, 4, 64, seed=0), config, chunk
+    )
+    assert switch.stream_stats()["epochs_serviced"] > 0
+    assert _snapshot(switch, stats) == ref
+
+
+@pytest.mark.parametrize(
+    "knobs",
+    [dict(native=True), dict(epoch_jobs=2), dict(native=True, epoch_jobs=2)],
+    ids=["native", "jobs2", "native_jobs2"],
+)
+def test_vector_streaming_matches_batch_native_and_jobs(knobs):
+    """The native kernel tier and the epoch pool are performance knobs
+    only — streamed execution with them on still equals the plain batch
+    run."""
+    program = make_sensitivity_program(num_stateful=4, register_size=64)
+    config = MP5Config(num_pipelines=4, remap_period=3)
+
+    batch = VectorSwitch(program, config)
+    ref = _snapshot(batch, batch.run(sensitivity_trace(600, 4, 4, 64, seed=0)))
+
+    switch, stats = _stream_vector(
+        program,
+        sensitivity_trace(600, 4, 4, 64, seed=0),
+        config,
+        chunk=64,
+        **knobs,
+    )
+    assert _snapshot(switch, stats) == ref
+
+
+def test_vector_streaming_buffer_bounded_by_epoch_not_segment():
+    """Acceptance: peak buffered-packet count tracks the largest epoch,
+    not the segment. On a stable (underloaded) workload, quadrupling
+    the trace must leave the peak essentially flat — what grows with
+    trace length is throughput, not memory. (An *overloaded* workload
+    accumulates genuinely in-flight packets inside the switch model
+    itself; that queueing is the model's, not the streamer's.)"""
+    program = make_sensitivity_program(num_stateful=4, register_size=64)
+    config = MP5Config(num_pipelines=4, remap_period=3)
+
+    def trace(n):
+        return line_rate_trace(
+            n,
+            4,
+            lambda rng, _i: {
+                f"idx{j}": int(rng.integers(0, 64)) for j in range(4)
+            },
+            seed=0,
+            utilization=0.7,
+        )
+
+    peaks = {}
+    for n in (1500, 6000):
+        switch, stats = _stream_vector(program, trace(n), config, chunk=32)
+        assert stats.egressed == n
+        gauges = switch.stream_stats()
+        assert gauges["buffered"] == 0  # drained dry
+        peaks[n] = gauges["peak_buffered"]
+    assert peaks[6000] < 6000 / 10, peaks
+    # O(largest epoch): the peak must not scale with segment length.
+    assert peaks[6000] <= peaks[1500] * 1.25 + 32, peaks
+
+
+def test_vector_streaming_observability_matches_batch():
+    """Monitor + metrics attached, streamed vs batch: the reconstructed
+    event stream (alerts, health, window series) is identical because
+    the epoch DAG is."""
+    from repro.obs import MetricsRegistry
+
+    program = make_sensitivity_program(num_stateful=4, register_size=64)
+    config = MP5Config(num_pipelines=4, remap_period=3)
+
+    bat_mon, bat_met = InvariantMonitor(), MetricsRegistry(window=25)
+    batch = VectorSwitch(program, config)
+    batch.attach_observability(metrics=bat_met, monitor=bat_mon)
+    batch.start()
+    batch.feed(sensitivity_trace(600, 4, 4, 64, seed=0))
+    bat_stats = batch.finish()
+
+    str_mon, str_met = InvariantMonitor(), MetricsRegistry(window=25)
+    switch, stats = _stream_vector(
+        program,
+        sensitivity_trace(600, 4, 4, 64, seed=0),
+        config,
+        chunk=48,
+        monitor=str_mon,
+        metrics=str_met,
+    )
+    assert stats == bat_stats
+    assert str_mon.alerts.to_dicts() == bat_mon.alerts.to_dicts()
+    assert (
+        str_mon.health_report().to_dict() == bat_mon.health_report().to_dict()
+    )
+    assert str_met.since(-1) == bat_met.since(-1)
+
+
+def test_vector_feed_after_draining_pump_rejected():
+    """A draining pump commits the tail's remap decisions; feeding more
+    arrivals afterwards would diverge from the batch run, so the engine
+    refuses (the scalar engines allow it — the one asymmetry)."""
+    from repro.errors import ConfigError
+
+    program = make_sensitivity_program(num_stateful=4, register_size=64)
+    switch = VectorSwitch(program, MP5Config(num_pipelines=4))
+    switch.start()
+    trace = sensitivity_trace(200, 4, 4, 64, seed=0)
+    switch.feed(trace[:100])
+    switch.pump()  # drain: no until_tick
+    with pytest.raises(ConfigError, match="draining pump"):
+        switch.feed(trace[100:])
+
+
+def test_vector_work_available_gates_on_watermark():
+    """The uniform scheduling probe: False before any feed, True only
+    once the watermark proves an epoch complete (or at drain)."""
+    program = make_sensitivity_program(num_stateful=4, register_size=64)
+    config = MP5Config(num_pipelines=4, remap_period=3)
+    switch = VectorSwitch(program, config)
+    switch.start()
+    assert not switch.work_available(False)
+    assert not switch.work_available(True)
+    trace = sensitivity_trace(400, 4, 4, 64, seed=0)
+    switch.feed(trace)
+    assert switch.work_available(True)
+    assert switch.work_available(False)  # watermark closed epochs exist
+    switch.pump(until_tick=switch.ingest_watermark)
+    assert not switch.work_available(False)  # parked at the watermark
+    assert switch.work_available(True)  # drain still has the tail
+    stats = switch.finish()
+    assert stats.egressed == 400
+    assert not switch.work_available(True)
 
 
 # ---------------------------------------------------------------------------
